@@ -1,0 +1,50 @@
+// Figure 4: GCN vs MLP accuracy by node-homophily bucket on the MGTAB
+// simulant.
+//
+// Expected shape (paper): GCN wins on high-homophily buckets; MLP wins on
+// the low-homophily (heterophilic minority) buckets — the observation that
+// motivates biased subgraphs.
+#include "bench_common.h"
+#include "graph/homophily.h"
+
+using namespace bsg;
+using namespace bsg::bench;
+
+int main() {
+  PrintHeader("Figure 4: accuracy by node homophily bucket (MGTAB simulant)");
+  const HeteroGraph& g = GraphMgtab();
+  Csr merged = g.MergedGraph();
+  std::vector<double> homophily = NodeHomophily(merged, g.labels);
+  std::printf("Graph homophily h = %.3f\n\n", GraphHomophily(merged, g.labels));
+
+  ModelConfig mc = BenchModelConfig();
+  TrainConfig tc = BenchTrainConfig();
+  auto gcn = CreateModel("GCN", g, mc, 17);
+  auto mlp = CreateModel("MLP", g, mc, 17);
+  TrainResult gcn_res = TrainModel(gcn.get(), tc);
+  TrainResult mlp_res = TrainModel(mlp.get(), tc);
+
+  std::vector<int> buckets = HomophilyBuckets(homophily, 4);
+  const char* kBucketNames[4] = {"(0,0.25]", "(0.25,0.5]", "(0.5,0.75]",
+                                 "(0.75,1]"};
+  TablePrinter t({"Homophily bucket", "#test nodes", "GCN Acc", "MLP Acc"});
+  for (int b = 0; b < 4; ++b) {
+    std::vector<int> subset;
+    for (int v : g.test_idx) {
+      if (buckets[v] == b) subset.push_back(v);
+    }
+    if (subset.empty()) {
+      t.AddRow({kBucketNames[b], "0", "-", "-"});
+      continue;
+    }
+    EvalResult gcn_eval = Evaluate(gcn_res.best_logits, g.labels, subset);
+    EvalResult mlp_eval = Evaluate(mlp_res.best_logits, g.labels, subset);
+    t.AddRow({kBucketNames[b], std::to_string(subset.size()),
+              StrFormat("%.2f", gcn_eval.accuracy * 100.0),
+              StrFormat("%.2f", mlp_eval.accuracy * 100.0)});
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf("Shape to verify (paper Fig. 4): MLP > GCN on low-homophily "
+              "buckets, GCN >= MLP on the (0.75,1] bucket.\n");
+  return 0;
+}

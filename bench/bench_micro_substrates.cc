@@ -1,0 +1,96 @@
+// Substrate micro-benchmarks (google-benchmark): PPR forward push, SpMM,
+// K-means, biased subgraph construction and batch assembly. Not a paper
+// table — used to track the cost of the pieces behind Table III.
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "core/pretrain.h"
+#include "core/subgraph_batch.h"
+#include "features/kmeans.h"
+
+using namespace bsg;
+using namespace bsg::bench;
+
+namespace {
+
+const HeteroGraph& G() { return Graph22(); }
+
+const Matrix& HiddenReps() {
+  static const Matrix* reps = [] {
+    PretrainConfig pc;
+    pc.hidden = 32;
+    pc.epochs = 40;
+    return new Matrix(PretrainClassifier(G(), pc).hidden_reps);
+  }();
+  return *reps;
+}
+
+void BM_ApproximatePpr(benchmark::State& state) {
+  const Csr& rel = G().relations[0];
+  PprConfig cfg;
+  cfg.epsilon = 1.0 / static_cast<double>(state.range(0));
+  int v = 0;
+  for (auto _ : state) {
+    SparseVec p = ApproximatePpr(rel, v, cfg);
+    benchmark::DoNotOptimize(p);
+    v = (v + 17) % rel.num_nodes();
+  }
+}
+BENCHMARK(BM_ApproximatePpr)->Arg(1000)->Arg(10000)->Arg(100000);
+
+void BM_SpMM(benchmark::State& state) {
+  SpMat adj = MakeSpMat(G().MergedGraph().Normalized(CsrNorm::kSym));
+  Tensor x = MakeTensor(
+      Matrix(G().num_nodes, static_cast<int>(state.range(0)), 0.5));
+  for (auto _ : state) {
+    Tensor y = ops::SpMM(adj, x);
+    benchmark::DoNotOptimize(y->value.data());
+  }
+}
+BENCHMARK(BM_SpMM)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_KMeansAssign(benchmark::State& state) {
+  Rng rng(3);
+  Matrix points = Matrix::RandomNormal(20000, 12, 1.0, &rng);
+  Matrix centers = Matrix::RandomNormal(20, 12, 1.0, &rng);
+  for (auto _ : state) {
+    auto assign = AssignToCenters(points, centers);
+    benchmark::DoNotOptimize(assign);
+  }
+}
+BENCHMARK(BM_KMeansAssign);
+
+void BM_BiasedSubgraphConstruction(benchmark::State& state) {
+  BiasedSubgraphConfig cfg;
+  cfg.k = static_cast<int>(state.range(0));
+  int v = 0;
+  for (auto _ : state) {
+    BiasedSubgraph sub = BuildBiasedSubgraph(G(), HiddenReps(), v, cfg);
+    benchmark::DoNotOptimize(sub);
+    v = (v + 31) % G().num_nodes;
+  }
+}
+BENCHMARK(BM_BiasedSubgraphConstruction)->Arg(8)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_SubgraphBatchAssembly(benchmark::State& state) {
+  BiasedSubgraphConfig cfg;
+  cfg.k = 16;
+  static const std::vector<BiasedSubgraph>* subs = [&] {
+    return new std::vector<BiasedSubgraph>(
+        BuildAllSubgraphs(G(), HiddenReps(), cfg));
+  }();
+  std::vector<int> centers;
+  for (int i = 0; i < state.range(0); ++i) {
+    centers.push_back((i * 131) % G().num_nodes);
+  }
+  for (auto _ : state) {
+    SubgraphBatch batch =
+        MakeSubgraphBatch(*subs, centers, G().num_relations());
+    benchmark::DoNotOptimize(batch);
+  }
+}
+BENCHMARK(BM_SubgraphBatchAssembly)->Arg(32)->Arg(128);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,93 @@
+// Table IV: biased subgraphs as a plug-and-play component on GCN, GAT and
+// BotRGCN across the three benchmarks.
+//
+// Expected shape (paper): "Subgraphs + X" improves X everywhere, and
+// BSG4Bot still beats all plugin variants.
+#include "bench_common.h"
+#include "core/plugin.h"
+#include "core/pretrain.h"
+
+using namespace bsg;
+using namespace bsg::bench;
+
+namespace {
+
+struct Cell {
+  double acc;
+  double f1;
+};
+
+Cell RunPlain(const std::string& base, const HeteroGraph& g) {
+  ExperimentResult r = RunBaseline(base, g, BenchModelConfig(),
+                                   BenchTrainConfig(), BenchSeeds());
+  return {r.accuracy.mean, r.f1.mean};
+}
+
+Cell RunPlugged(const std::string& base, const HeteroGraph& g,
+                const PluginGraphs& plugin) {
+  std::vector<double> accs, f1s;
+  for (uint64_t seed : BenchSeeds()) {
+    auto model =
+        CreatePluginModel(base, g, plugin, BenchModelConfig(), seed);
+    TrainResult res = TrainModel(model.get(), BenchTrainConfig());
+    accs.push_back(res.test.accuracy * 100.0);
+    f1s.push_back(res.test.f1 * 100.0);
+  }
+  return {ComputeMeanStd(accs).mean, ComputeMeanStd(f1s).mean};
+}
+
+}  // namespace
+
+int main() {
+  PrintHeader("Table IV: biased subgraphs as a plug-and-play component");
+  const std::vector<const HeteroGraph*> graphs = {&Graph20(), &Graph22(),
+                                                  &GraphMgtab()};
+  // One prepare phase per dataset, shared across plugin variants.
+  std::vector<PluginGraphs> plugins;
+  for (const HeteroGraph* g : graphs) {
+    PretrainConfig pc;
+    pc.hidden = 32;
+    pc.epochs = 60;
+    PretrainResult pre = PretrainClassifier(*g, pc);
+    BiasedSubgraphConfig sc;
+    sc.k = 16;
+    plugins.push_back(
+        BuildPluginGraphs(*g, BuildAllSubgraphs(*g, pre.hidden_reps, sc)));
+    std::fprintf(stderr, "  plugin graphs ready: %s\n", g->name.c_str());
+  }
+
+  TablePrinter t({"Model", "tw20 Acc", "tw20 F1", "tw22 Acc", "tw22 F1",
+                  "mgtab Acc", "mgtab F1"});
+  const std::vector<std::string> bases = {"GCN", "GAT", "BotRGCN"};
+  for (const std::string& base : bases) {
+    std::vector<std::string> plain_row = {base};
+    std::vector<std::string> plug_row = {"Subgraphs + " + base};
+    for (size_t i = 0; i < graphs.size(); ++i) {
+      Cell plain = RunPlain(base, *graphs[i]);
+      Cell plugged = RunPlugged(base, *graphs[i], plugins[i]);
+      plain_row.push_back(StrFormat("%.2f", plain.acc));
+      plain_row.push_back(StrFormat("%.2f", plain.f1));
+      plug_row.push_back(StrFormat("%.2f", plugged.acc));
+      plug_row.push_back(StrFormat("%.2f", plugged.f1));
+    }
+    t.AddRow(plain_row);
+    t.AddRow(plug_row);
+    std::fprintf(stderr, "  done: %s\n", base.c_str());
+  }
+  {
+    std::vector<std::string> row = {"BSG4Bot (Ours)"};
+    for (const HeteroGraph* g : graphs) {
+      ExperimentResult r = RunBsg4Bot(*g, BenchBsgConfig(), BenchSeeds());
+      row.push_back(StrFormat("%.2f", r.accuracy.mean));
+      row.push_back(StrFormat("%.2f", r.f1.mean));
+    }
+    t.AddRow(row);
+  }
+  std::printf("%s\n", t.ToString().c_str());
+  std::printf(
+      "Shape to verify: \"Subgraphs + X\" lifts the GNNs that suffer from "
+      "mixed patterns\n(GCN/GAT, largest on TwiBot-22). Simulant deviation: "
+      "BotRGCN can lose performance\nwhen restricted to rewired edges — see "
+      "EXPERIMENTS.md.\n");
+  return 0;
+}

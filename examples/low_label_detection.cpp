@@ -1,0 +1,55 @@
+// Example: bot detection with scarce labels (paper Fig. 7 scenario).
+//
+// Labelling a bot needs an expert investigation, so real deployments have
+// few labels. This example sweeps the labelled fraction from 10% to 100%
+// and compares BSG4Bot against a GCN baseline.
+#include <cstdio>
+
+#include "core/bsg4bot.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "models/model_factory.h"
+#include "train/splits.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace bsg;
+
+  DatasetConfig data_cfg = MgtabSim();
+  data_cfg.num_users = 1200;
+  data_cfg.tweets_per_user = 14;
+  HeteroGraph graph = BuildBenchmarkGraph(data_cfg);
+
+  std::printf("%-10s %-12s %-12s\n", "labels", "GCN F1", "BSG4Bot F1");
+  for (double fraction : {0.1, 0.3, 0.5, 1.0}) {
+    Rng rng(42);
+    std::vector<int> subset =
+        SubsampleTrainFraction(graph.train_idx, graph.labels, fraction, &rng);
+
+    // GCN with the restricted label set.
+    ModelConfig mc;
+    TrainConfig tc;
+    tc.max_epochs = 40;
+    tc.train_override = subset;
+    auto gcn = CreateModel("GCN", graph, mc, 7);
+    TrainResult gcn_res = TrainModel(gcn.get(), tc);
+
+    // BSG4Bot with the same restricted label set.
+    HeteroGraph restricted = graph;
+    restricted.train_idx = subset;
+    Bsg4BotConfig cfg;
+    cfg.subgraph.k = 16;
+    cfg.max_epochs = 30;
+    cfg.seed = 7;
+    Bsg4Bot ours(restricted, cfg);
+    TrainResult our_res = ours.Fit();
+
+    std::printf("%-10s %-12.3f %-12.3f\n",
+                (std::to_string(static_cast<int>(fraction * 100)) + "%")
+                    .c_str(),
+                gcn_res.test.f1, our_res.test.f1);
+  }
+  std::printf("\nExpected shape: BSG4Bot holds its F1 with 10%% of labels "
+              "far better than the GCN baseline (paper Fig. 7).\n");
+  return 0;
+}

@@ -1,0 +1,53 @@
+// Example: biased subgraphs as a plug-and-play component (paper Table IV).
+//
+// Trains a plain GCN, then the same GCN over the homophily-enhanced graph
+// rewired from biased subgraphs, and compares. Demonstrates using the
+// subgraph construction independently of the BSG4Bot head — e.g. to
+// upgrade an existing GNN pipeline.
+#include <cstdio>
+
+#include "core/plugin.h"
+#include "core/pretrain.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "graph/homophily.h"
+#include "models/model_factory.h"
+#include "train/trainer.h"
+
+int main() {
+  using namespace bsg;
+
+  DatasetConfig data_cfg = MgtabSim();
+  data_cfg.num_users = 1500;
+  data_cfg.tweets_per_user = 14;
+  HeteroGraph graph = BuildBenchmarkGraph(data_cfg);
+
+  // Step 1: pre-train the coarse classifier and build biased subgraphs.
+  PretrainConfig pretrain_cfg;
+  PretrainResult pre = PretrainClassifier(graph, pretrain_cfg);
+  BiasedSubgraphConfig subgraph_cfg;
+  subgraph_cfg.k = 16;
+  std::vector<BiasedSubgraph> subgraphs =
+      BuildAllSubgraphs(graph, pre.hidden_reps, subgraph_cfg);
+
+  // Step 2: union the subgraphs into a rewired global graph.
+  PluginGraphs plugin = BuildPluginGraphs(graph, subgraphs);
+  std::printf("Homophily (bots): original %.3f -> rewired %.3f\n",
+              ClassHomophily(graph.MergedGraph(), graph.labels, 1),
+              ClassHomophily(plugin.merged, graph.labels, 1));
+
+  // Step 3: same architecture, two adjacencies.
+  ModelConfig mc;
+  TrainConfig tc;
+  tc.max_epochs = 50;
+  for (const char* base : {"GCN", "GAT", "BotRGCN"}) {
+    auto plain = CreateModel(base, graph, mc, /*seed=*/7);
+    auto plugged = CreatePluginModel(base, graph, plugin, mc, /*seed=*/7);
+    TrainResult plain_res = TrainModel(plain.get(), tc);
+    TrainResult plug_res = TrainModel(plugged.get(), tc);
+    std::printf("%-8s  acc %.3f -> %.3f   F1 %.3f -> %.3f\n", base,
+                plain_res.test.accuracy, plug_res.test.accuracy,
+                plain_res.test.f1, plug_res.test.f1);
+  }
+  return 0;
+}

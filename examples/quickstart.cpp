@@ -1,0 +1,58 @@
+// Quickstart: generate a social network, train BSG4Bot, inspect results.
+//
+//   $ ./build/examples/quickstart
+//
+// Walks the full public API in ~30 seconds: dataset generation, feature
+// assembly, the three BSG4Bot phases, and evaluation.
+#include <cstdio>
+
+#include "core/bsg4bot.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+
+int main() {
+  using namespace bsg;
+
+  // 1. Pick a benchmark preset (TwiBot-20 analogue) and scale it down.
+  DatasetConfig data_cfg = Twibot20Sim();
+  data_cfg.num_users = 1500;
+  data_cfg.tweets_per_user = 16;
+
+  // 2. Generate the network and assemble node features (Eq. 3): profile
+  //    embeddings, metadata, content-category and temporal-activity blocks.
+  HeteroGraph graph = BuildBenchmarkGraph(data_cfg);
+  std::printf("Generated %s: %d users (%d bots), %lld edges, %d relations, "
+              "%d features/node\n",
+              graph.name.c_str(), graph.num_nodes, graph.NumBots(),
+              static_cast<long long>(graph.TotalEdges()),
+              graph.num_relations(), graph.feature_dim());
+
+  // 3. Configure and train BSG4Bot.
+  Bsg4BotConfig cfg;
+  cfg.subgraph.k = 16;   // neighbours per relation subgraph
+  cfg.hidden = 32;
+  cfg.max_epochs = 30;
+  cfg.verbose = false;
+  Bsg4Bot model(graph, cfg);
+
+  model.Prepare();  // phase 1-2: pre-classifier + biased subgraphs
+  std::printf("Prepare done in %.2fs (pre-classifier fit acc %.3f)\n",
+              model.prepare_seconds(), model.pretrain_result().fit.accuracy);
+
+  TrainResult result = model.Fit();  // phase 3: subgraph-batch GNN training
+  std::printf("Trained %d epochs in %.2fs — val F1 %.3f\n",
+              result.epochs_run, result.total_seconds, result.val.f1);
+  std::printf("Test: accuracy %.3f, F1 %.3f\n", result.test.accuracy,
+              result.test.f1);
+
+  // 4. Inference on individual accounts.
+  std::vector<int> suspects = {graph.test_idx[0], graph.test_idx[1],
+                               graph.test_idx[2]};
+  std::vector<int> verdicts = model.Predict(suspects);
+  for (size_t i = 0; i < suspects.size(); ++i) {
+    std::printf("  user %d: predicted %s (ground truth %s)\n", suspects[i],
+                verdicts[i] ? "BOT" : "human",
+                graph.labels[suspects[i]] ? "BOT" : "human");
+  }
+  return 0;
+}

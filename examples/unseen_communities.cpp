@@ -1,0 +1,52 @@
+// Example: detecting bots in communities never seen during training
+// (paper Fig. 9 scenario).
+//
+// Bots evolve; a deployed detector constantly meets accounts from regions
+// of the network it was not trained on. This example trains BSG4Bot on one
+// community and applies it to three unseen ones via TransferEvaluate.
+#include <cstdio>
+
+#include "core/bsg4bot.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+
+int main() {
+  using namespace bsg;
+
+  // Four nearly-disjoint balanced communities.
+  DatasetConfig cfg = CommunitySim(/*count=*/4, /*per_community=*/400);
+  cfg.tweets_per_user = 14;
+  HeteroGraph full = BuildBenchmarkGraph(cfg);
+
+  std::vector<HeteroGraph> communities;
+  for (int c = 0; c < 4; ++c) {
+    std::vector<int> nodes;
+    for (int v = 0; v < full.num_nodes; ++v) {
+      if (full.community[v] == c) nodes.push_back(v);
+    }
+    communities.push_back(full.InducedSubgraph(nodes));
+  }
+
+  // Train on community 0 only.
+  Bsg4BotConfig model_cfg;
+  model_cfg.subgraph.k = 16;
+  model_cfg.max_epochs = 30;
+  Bsg4Bot model(communities[0], model_cfg);
+  TrainResult res = model.Fit();
+  std::printf("Trained on community 0: test acc %.3f (in-domain)\n",
+              res.test.accuracy);
+
+  // Apply to the unseen communities.
+  for (int c = 1; c < 4; ++c) {
+    Bsg4Bot probe(communities[c], model_cfg);
+    std::vector<int> all(communities[c].num_nodes);
+    for (int v = 0; v < communities[c].num_nodes; ++v) all[v] = v;
+    double acc = model.TransferEvaluate(&probe, all);
+    std::printf("Community %d (unseen): accuracy %.3f over %d accounts\n", c,
+                acc, communities[c].num_nodes);
+  }
+  std::printf("The long-range behavioural features (content categories, "
+              "temporal activity)\ntransfer across communities — the paper's "
+              "explanation for BSG4Bot's generalisation.\n");
+  return 0;
+}

@@ -1,0 +1,108 @@
+#include "core/biased_subgraph.h"
+
+#include <algorithm>
+#include <set>
+
+#include "core/pretrain.h"
+#include "util/status.h"
+
+namespace bsg {
+
+namespace {
+
+// Builds the relation-local adjacency: star edges to the centre plus the
+// original relation edges among selected nodes (Algorithm 1, lines 8-13).
+Csr BuildSubgraphAdjacency(const Csr& relation,
+                           const std::vector<int>& nodes) {
+  const int m = static_cast<int>(nodes.size());
+  std::vector<std::pair<int, int>> edges;
+  // Star: every selected node connects to the centre (local id 0).
+  for (int i = 1; i < m; ++i) edges.emplace_back(0, i);
+  // Induced original edges.
+  Csr induced = relation.InducedSubgraph(nodes);
+  for (int u = 0; u < induced.num_nodes(); ++u) {
+    for (const int* p = induced.NeighborsBegin(u); p != induced.NeighborsEnd(u);
+         ++p) {
+      edges.emplace_back(u, *p);
+    }
+  }
+  return Csr::FromEdgesSymmetric(m, edges);
+}
+
+}  // namespace
+
+BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
+                                   const Matrix& hidden_reps, int center,
+                                   const BiasedSubgraphConfig& cfg) {
+  BSG_CHECK(center >= 0 && center < g.num_nodes, "centre out of range");
+  BSG_CHECK(hidden_reps.rows() == g.num_nodes, "hidden reps size mismatch");
+  BiasedSubgraph out;
+  out.center = center;
+  out.per_relation.reserve(g.relations.size());
+
+  for (const Csr& relation : g.relations) {
+    // Line 3: PPR vector and candidate neighbourhood.
+    SparseVec pi = ApproximatePpr(relation, center, cfg.ppr);
+    // Max-normalise PPR so both score components live on [0, 1].
+    double pi_max = 0.0;
+    for (const auto& [node, score] : pi) {
+      if (node != center) pi_max = std::max(pi_max, score);
+    }
+    if (pi_max <= 0.0) pi_max = 1.0;
+
+    // Lines 4-5: combined score over candidates (centre excluded).
+    std::vector<std::pair<double, int>> scored;  // (-score, node) for sort
+    scored.reserve(pi.size());
+    for (const auto& [node, score] : pi) {
+      if (node == center) continue;
+      double pi_norm = score / pi_max;
+      double combined;
+      if (cfg.ppr_only) {
+        combined = pi_norm;
+      } else {
+        double sim = NodeSimilarity(hidden_reps, center, node);
+        combined = cfg.lambda * pi_norm + (1.0 - cfg.lambda) * sim;
+      }
+      scored.emplace_back(-combined, node);
+    }
+    // Line 6: top-k (deterministic tie-break by node id).
+    int take = std::min<int>(cfg.k, static_cast<int>(scored.size()));
+    std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
+
+    RelationSubgraph rel;
+    rel.nodes.push_back(center);
+    for (int i = 0; i < take; ++i) rel.nodes.push_back(scored[i].second);
+    rel.adj = BuildSubgraphAdjacency(relation, rel.nodes);
+    out.per_relation.push_back(std::move(rel));
+  }
+  return out;
+}
+
+std::vector<BiasedSubgraph> BuildAllSubgraphs(
+    const HeteroGraph& g, const Matrix& hidden_reps,
+    const BiasedSubgraphConfig& cfg) {
+  std::vector<BiasedSubgraph> out;
+  out.reserve(g.num_nodes);
+  for (int v = 0; v < g.num_nodes; ++v) {
+    out.push_back(BuildBiasedSubgraph(g, hidden_reps, v, cfg));
+  }
+  return out;
+}
+
+double SubgraphCenterHomophily(const BiasedSubgraph& sub,
+                               const std::vector<int>& labels) {
+  std::set<int> neighbours;
+  for (const RelationSubgraph& rel : sub.per_relation) {
+    for (size_t i = 1; i < rel.nodes.size(); ++i) {
+      neighbours.insert(rel.nodes[i]);
+    }
+  }
+  if (neighbours.empty()) return -1.0;
+  int same = 0;
+  for (int u : neighbours) {
+    if (labels[u] == labels[sub.center]) ++same;
+  }
+  return static_cast<double>(same) / static_cast<double>(neighbours.size());
+}
+
+}  // namespace bsg

@@ -1,0 +1,268 @@
+#include "core/bsg4bot.h"
+
+#include <algorithm>
+
+#include "tensor/optim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bsg {
+
+Bsg4Bot::Bsg4Bot(const HeteroGraph& graph, Bsg4BotConfig cfg)
+    : graph_(graph), cfg_(std::move(cfg)), rng_(cfg_.seed) {
+  BSG_CHECK(graph_.num_relations() > 0, "graph has no relations");
+  features_ = MakeTensor(graph_.features, /*requires_grad=*/false);
+  BuildNetwork();
+}
+
+void Bsg4Bot::BuildNetwork() {
+  const int h = cfg_.hidden;
+  input_ = Linear(graph_.feature_dim(), h, &store_, &rng_, "bsg.in");
+  gcn_.resize(graph_.num_relations());
+  for (int r = 0; r < graph_.num_relations(); ++r) {
+    for (int l = 0; l < cfg_.gnn_layers; ++l) {
+      gcn_[r].emplace_back(h, h, &store_, &rng_,
+                           "bsg.rel" + std::to_string(r) + ".l" +
+                               std::to_string(l));
+    }
+  }
+  // Width of the per-relation final representation (Eq. 11).
+  int final_dim = cfg_.use_intermediate_concat ? (cfg_.gnn_layers + 1) * h : h;
+  if (cfg_.use_semantic_attention) {
+    fuse_ = SemanticAttention(final_dim, h, &store_, &rng_, "bsg.sem");
+  }
+  head_ = Linear(final_dim, 2, &store_, &rng_, "bsg.head");
+}
+
+void Bsg4Bot::Prepare() {
+  if (prepared_) return;
+  WallTimer timer;
+  cfg_.pretrain.seed = cfg_.seed ^ 0xAB54A98CEB1F0AD2ULL;
+  pretrain_ = PretrainClassifier(graph_, cfg_.pretrain);
+  subgraphs_ = BuildAllSubgraphs(graph_, pretrain_.hidden_reps, cfg_.subgraph);
+  prepare_seconds_ = timer.Seconds();
+  prepared_ = true;
+  if (cfg_.verbose) {
+    BSG_LOG_INFO("prepare: pre-classifier acc %.4f f1 %.4f, %zu subgraphs, %.2fs",
+                 pretrain_.fit.accuracy, pretrain_.fit.f1, subgraphs_.size(),
+                 prepare_seconds_);
+  }
+}
+
+Tensor Bsg4Bot::ForwardBatch(const SubgraphBatch& batch, bool training) {
+  const int R = graph_.num_relations();
+  std::vector<Tensor> per_relation;
+  per_relation.reserve(R);
+  for (int r = 0; r < R; ++r) {
+    // Gather stacked node features and apply the shared input transform.
+    Tensor x = ops::GatherRows(features_, batch.rel_node_ids[r]);
+    x = ops::Dropout(x, cfg_.dropout, training, &rng_);
+    Tensor h = ops::LeakyRelu(input_.Forward(x), cfg_.leaky_slope);  // Eq. 9
+
+    std::vector<Tensor> layer_outputs{h};
+    Tensor cur = h;
+    for (int l = 0; l < cfg_.gnn_layers; ++l) {
+      cur = ops::LeakyRelu(
+          gcn_[r][l].Forward(ops::SpMM(batch.rel_adjs[r], cur)),
+          cfg_.leaky_slope);  // Eq. 10
+      layer_outputs.push_back(cur);
+    }
+    // Eq. 11: COMBINE — gather the centre rows from each layer and concat.
+    std::vector<Tensor> center_layers;
+    center_layers.reserve(layer_outputs.size());
+    if (cfg_.use_intermediate_concat) {
+      for (const Tensor& lo : layer_outputs) {
+        center_layers.push_back(
+            ops::GatherRows(lo, batch.rel_center_rows[r]));
+      }
+      per_relation.push_back(ops::ConcatCols(center_layers));
+    } else {
+      per_relation.push_back(
+          ops::GatherRows(layer_outputs.back(), batch.rel_center_rows[r]));
+    }
+  }
+  // Eq. 12-14 (or the mean-pooling ablation).
+  Tensor fused = cfg_.use_semantic_attention ? fuse_.Forward(per_relation)
+                                             : MeanPoolRelations(per_relation);
+  fused = ops::Dropout(fused, cfg_.dropout, training, &rng_);
+  return head_.Forward(fused);  // Eq. 15
+}
+
+std::vector<Matrix> Bsg4Bot::SnapshotParams() const {
+  std::vector<Matrix> snap;
+  snap.reserve(store_.params().size());
+  for (const Tensor& p : store_.params()) snap.push_back(p->value);
+  return snap;
+}
+
+void Bsg4Bot::RestoreParams(const std::vector<Matrix>& snapshot) {
+  BSG_CHECK(snapshot.size() == store_.params().size(), "snapshot mismatch");
+  for (size_t i = 0; i < snapshot.size(); ++i) {
+    store_.params()[i]->value = snapshot[i];
+  }
+}
+
+TrainResult Bsg4Bot::Fit() {
+  Prepare();
+  const int R = graph_.num_relations();
+  Adam optimizer(store_.params(), cfg_.lr, cfg_.weight_decay);
+
+  TrainResult res;
+  double best_score = -1.0;
+  int since_best = 0;
+  std::vector<Matrix> best_params;
+
+  // Assemble train/val batches once (composition fixed across epochs).
+  if (train_batches_.empty()) {
+    std::vector<int> train_nodes = graph_.train_idx;
+    rng_.Shuffle(&train_nodes);
+    for (size_t b = 0; b < train_nodes.size();
+         b += static_cast<size_t>(cfg_.batch_size)) {
+      std::vector<int> centers(
+          train_nodes.begin() + b,
+          train_nodes.begin() +
+              std::min(train_nodes.size(),
+                       b + static_cast<size_t>(cfg_.batch_size)));
+      train_batches_.push_back(MakeSubgraphBatch(subgraphs_, centers, R));
+    }
+    for (size_t b = 0; b < graph_.val_idx.size();
+         b += static_cast<size_t>(cfg_.batch_size)) {
+      std::vector<int> centers(
+          graph_.val_idx.begin() + b,
+          graph_.val_idx.begin() +
+              std::min(graph_.val_idx.size(),
+                       b + static_cast<size_t>(cfg_.batch_size)));
+      val_batches_.push_back(MakeSubgraphBatch(subgraphs_, centers, R));
+    }
+  }
+
+  std::vector<int> batch_order(train_batches_.size());
+  for (size_t i = 0; i < batch_order.size(); ++i) {
+    batch_order[i] = static_cast<int>(i);
+  }
+
+  WallTimer total_timer;
+  for (int epoch = 0; epoch < cfg_.max_epochs; ++epoch) {
+    rng_.Shuffle(&batch_order);
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int bi : batch_order) {
+      const SubgraphBatch& batch = train_batches_[bi];
+      Tensor logits = ForwardBatch(batch, /*training=*/true);
+      // Local labels + full mask over the batch.
+      std::vector<int> labels(batch.centers.size());
+      std::vector<int> mask(batch.centers.size());
+      for (size_t i = 0; i < batch.centers.size(); ++i) {
+        labels[i] = graph_.labels[batch.centers[i]];
+        mask[i] = static_cast<int>(i);
+      }
+      Tensor loss = ops::SoftmaxCrossEntropy(logits, labels, mask);  // Eq. 16
+      Backward(loss);
+      optimizer.Step();
+      epoch_loss += loss->value(0, 0);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= batches;
+    res.loss_history.push_back(epoch_loss);
+    res.epochs_run = epoch + 1;
+
+    // Validation over the cached subgraph batches.
+    EvalResult val;
+    {
+      std::vector<int> preds, val_labels;
+      for (const SubgraphBatch& batch : val_batches_) {
+        Tensor logits = ForwardBatch(batch, /*training=*/false);
+        std::vector<int> batch_preds = ArgmaxRows(logits->value);
+        preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
+        for (int c : batch.centers) val_labels.push_back(graph_.labels[c]);
+      }
+      std::vector<int> all(preds.size());
+      for (size_t i = 0; i < preds.size(); ++i) all[i] = static_cast<int>(i);
+      Confusion conf = ConfusionOn(preds, val_labels, all);
+      val = EvalResult{Accuracy(conf), F1Score(conf)};
+    }
+    double score = val.f1 + 1e-6 * val.accuracy;
+    if (score > best_score) {
+      best_score = score;
+      since_best = 0;
+      res.val = val;
+      best_params = SnapshotParams();
+    } else {
+      ++since_best;
+    }
+    if (cfg_.verbose) {
+      BSG_LOG_INFO("[BSG4Bot] epoch %d loss %.4f val acc %.4f f1 %.4f", epoch,
+                   epoch_loss, val.accuracy, val.f1);
+    }
+    if (epoch + 1 >= cfg_.min_epochs && since_best >= cfg_.patience) break;
+  }
+  res.total_seconds = total_timer.Seconds();
+  res.seconds_per_epoch =
+      res.epochs_run > 0 ? res.total_seconds / res.epochs_run : 0.0;
+  if (!best_params.empty()) RestoreParams(best_params);
+
+  if (!graph_.test_idx.empty()) {
+    Matrix test_logits = PredictLogits(graph_.test_idx);
+    std::vector<int> local_labels(graph_.test_idx.size());
+    std::vector<int> all(graph_.test_idx.size());
+    for (size_t i = 0; i < graph_.test_idx.size(); ++i) {
+      local_labels[i] = graph_.labels[graph_.test_idx[i]];
+      all[i] = static_cast<int>(i);
+    }
+    res.test = Evaluate(test_logits, local_labels, all);
+    res.best_logits = std::move(test_logits);
+  }
+  return res;
+}
+
+Matrix Bsg4Bot::PredictLogits(const std::vector<int>& centers) {
+  BSG_CHECK(prepared_, "PredictLogits before Prepare()");
+  Matrix out(static_cast<int>(centers.size()), 2);
+  const int R = graph_.num_relations();
+  for (size_t b = 0; b < centers.size();
+       b += static_cast<size_t>(cfg_.batch_size)) {
+    std::vector<int> chunk(
+        centers.begin() + b,
+        centers.begin() + std::min(centers.size(),
+                                   b + static_cast<size_t>(cfg_.batch_size)));
+    SubgraphBatch batch = MakeSubgraphBatch(subgraphs_, chunk, R);
+    Tensor logits = ForwardBatch(batch, /*training=*/false);
+    for (size_t i = 0; i < chunk.size(); ++i) {
+      out(static_cast<int>(b + i), 0) = logits->value(static_cast<int>(i), 0);
+      out(static_cast<int>(b + i), 1) = logits->value(static_cast<int>(i), 1);
+    }
+  }
+  return out;
+}
+
+std::vector<int> Bsg4Bot::Predict(const std::vector<int>& centers) {
+  return ArgmaxRows(PredictLogits(centers));
+}
+
+double Bsg4Bot::TransferEvaluate(Bsg4Bot* other,
+                                 const std::vector<int>& nodes) {
+  BSG_CHECK(other != nullptr, "null transfer target");
+  BSG_CHECK(other->store_.params().size() == store_.params().size(),
+            "transfer between different architectures");
+  other->Prepare();
+  for (size_t i = 0; i < store_.params().size(); ++i) {
+    BSG_CHECK(other->store_.params()[i]->value.SameShape(
+                  store_.params()[i]->value),
+              "transfer parameter shape mismatch");
+    other->store_.params()[i]->value = store_.params()[i]->value;
+  }
+  Matrix logits = other->PredictLogits(nodes);
+  std::vector<int> local_labels(nodes.size());
+  std::vector<int> all(nodes.size());
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    local_labels[i] = other->graph_.labels[nodes[i]];
+    all[i] = static_cast<int>(i);
+  }
+  return Evaluate(logits, local_labels, all).accuracy;
+}
+
+const std::vector<double>& Bsg4Bot::relation_weights() const {
+  return fuse_.last_weights();
+}
+
+}  // namespace bsg

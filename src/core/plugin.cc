@@ -1,0 +1,59 @@
+#include "core/plugin.h"
+
+#include "models/botrgcn.h"
+#include "models/gat.h"
+#include "models/gcn.h"
+
+namespace bsg {
+
+PluginGraphs BuildPluginGraphs(const HeteroGraph& g,
+                               const std::vector<BiasedSubgraph>& subgraphs) {
+  const int R = g.num_relations();
+  std::vector<std::vector<std::pair<int, int>>> edges(R);
+  for (const BiasedSubgraph& sub : subgraphs) {
+    for (int r = 0; r < R; ++r) {
+      const RelationSubgraph& rel = sub.per_relation[r];
+      // Translate local edges back to global ids.
+      for (int u = 0; u < rel.adj.num_nodes(); ++u) {
+        for (const int* p = rel.adj.NeighborsBegin(u);
+             p != rel.adj.NeighborsEnd(u); ++p) {
+          edges[r].emplace_back(rel.nodes[u], rel.nodes[*p]);
+        }
+      }
+    }
+  }
+  PluginGraphs out;
+  std::vector<std::pair<int, int>> all;
+  for (int r = 0; r < R; ++r) {
+    out.per_relation.push_back(Csr::FromEdgesSymmetric(g.num_nodes, edges[r]));
+    all.insert(all.end(), edges[r].begin(), edges[r].end());
+  }
+  out.merged = Csr::FromEdgesSymmetric(g.num_nodes, all);
+  return out;
+}
+
+std::unique_ptr<Model> CreatePluginModel(const std::string& base,
+                                         const HeteroGraph& g,
+                                         const PluginGraphs& plugin,
+                                         ModelConfig cfg, uint64_t seed) {
+  if (base == "GCN") {
+    return std::make_unique<GcnModel>(
+        g, MakeSpMat(plugin.merged.Normalized(CsrNorm::kSym)), cfg, seed,
+        "Subgraphs+GCN");
+  }
+  if (base == "GAT") {
+    return std::make_unique<GatModel>(g, plugin.merged, cfg, seed,
+                                      "Subgraphs+GAT");
+  }
+  if (base == "BotRGCN") {
+    std::vector<SpMat> adjs;
+    for (const Csr& rel : plugin.per_relation) {
+      adjs.push_back(MakeSpMat(rel.Normalized(CsrNorm::kSym)));
+    }
+    return std::make_unique<BotRgcnModel>(g, std::move(adjs), cfg, seed,
+                                          "Subgraphs+BotRGCN");
+  }
+  return nullptr;
+}
+
+}  // namespace bsg

@@ -1,0 +1,33 @@
+// Biased subgraphs as a plug-and-play component (paper Table IV): the union
+// of all per-node biased subgraph edges forms a rewired global graph with
+// enhanced homophily, on which standard GNNs (GCN / GAT / BotRGCN) are
+// trained unchanged.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/biased_subgraph.h"
+#include "models/model.h"
+
+namespace bsg {
+
+/// The rewired global graphs induced by a set of biased subgraphs.
+struct PluginGraphs {
+  Csr merged;                    ///< union over relations (GCN / GAT input)
+  std::vector<Csr> per_relation; ///< per-relation unions (BotRGCN input)
+};
+
+/// Unions the (global-id) edges of every node's biased subgraph.
+PluginGraphs BuildPluginGraphs(const HeteroGraph& g,
+                               const std::vector<BiasedSubgraph>& subgraphs);
+
+/// Creates "Subgraphs + <base>" models for base in {GCN, GAT, BotRGCN}.
+/// Returns nullptr for unsupported base names.
+std::unique_ptr<Model> CreatePluginModel(const std::string& base,
+                                         const HeteroGraph& g,
+                                         const PluginGraphs& plugin,
+                                         ModelConfig cfg, uint64_t seed);
+
+}  // namespace bsg

@@ -1,0 +1,35 @@
+#include "core/subgraph_batch.h"
+
+namespace bsg {
+
+SubgraphBatch MakeSubgraphBatch(const std::vector<BiasedSubgraph>& subgraphs,
+                                const std::vector<int>& centers,
+                                int num_relations) {
+  BSG_CHECK(!centers.empty(), "empty batch");
+  SubgraphBatch batch;
+  batch.centers = centers;
+  batch.rel_adjs.reserve(num_relations);
+  batch.rel_node_ids.resize(num_relations);
+  batch.rel_center_rows.resize(num_relations);
+
+  for (int r = 0; r < num_relations; ++r) {
+    std::vector<const Csr*> blocks;
+    blocks.reserve(centers.size());
+    int offset = 0;
+    for (int c : centers) {
+      const BiasedSubgraph& sub = subgraphs[c];
+      BSG_CHECK(sub.center == c, "subgraph index mismatch");
+      const RelationSubgraph& rel = sub.per_relation[r];
+      blocks.push_back(&rel.adj);
+      batch.rel_center_rows[r].push_back(offset);  // centre is local row 0
+      batch.rel_node_ids[r].insert(batch.rel_node_ids[r].end(),
+                                   rel.nodes.begin(), rel.nodes.end());
+      offset += static_cast<int>(rel.nodes.size());
+    }
+    Csr stacked = Csr::BlockDiagonal(blocks);
+    batch.rel_adjs.push_back(MakeSpMat(stacked.Normalized(CsrNorm::kSym)));
+  }
+  return batch;
+}
+
+}  // namespace bsg

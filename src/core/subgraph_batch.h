@@ -1,0 +1,32 @@
+// Batching of biased subgraphs for training (paper §III-F): the per-centre
+// subgraphs of one batch are stacked block-diagonally per relation, so a
+// single SpMM per relation drives message passing for the whole batch.
+#pragma once
+
+#include <vector>
+
+#include "core/biased_subgraph.h"
+#include "tensor/ops.h"
+
+namespace bsg {
+
+/// One training/inference batch over a set of centres.
+struct SubgraphBatch {
+  std::vector<int> centers;  ///< global centre ids, batch order
+
+  /// Per relation r: block-diagonal normalised adjacency over the stacked
+  /// subgraphs of all centres.
+  std::vector<SpMat> rel_adjs;
+  /// Per relation r: global node id for every stacked local row.
+  std::vector<std::vector<int>> rel_node_ids;
+  /// Per relation r: row index of each centre within the stacking.
+  std::vector<std::vector<int>> rel_center_rows;
+};
+
+/// Assembles a batch from the precomputed subgraphs of `centers`.
+/// `subgraphs` is indexed by global node id (BuildAllSubgraphs output).
+SubgraphBatch MakeSubgraphBatch(const std::vector<BiasedSubgraph>& subgraphs,
+                                const std::vector<int>& centers,
+                                int num_relations);
+
+}  // namespace bsg

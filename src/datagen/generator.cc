@@ -1,0 +1,247 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/tweet_model.h"
+#include "util/logging.h"
+#include "util/status.h"
+
+namespace bsg {
+
+SocialNetworkGenerator::SocialNetworkGenerator(DatasetConfig cfg)
+    : cfg_(std::move(cfg)) {
+  BSG_CHECK(cfg_.num_users > 0, "need at least one user");
+  BSG_CHECK(cfg_.bot_fraction >= 0.0 && cfg_.bot_fraction <= 1.0,
+            "bot fraction out of range");
+  BSG_CHECK(cfg_.relations.size() == cfg_.relation_density.size(),
+            "relation/density size mismatch");
+  BSG_CHECK(cfg_.num_communities > 0, "need at least one community");
+}
+
+namespace {
+
+// Assigns labels and communities. Within each community the global bot
+// fraction is preserved (every community holds both classes, as in the
+// paper's community datasets).
+void AssignPopulation(const DatasetConfig& cfg, Rng* rng,
+                      std::vector<int>* labels, std::vector<int>* community) {
+  const int n = cfg.num_users;
+  labels->assign(n, 0);
+  community->assign(n, 0);
+  for (int u = 0; u < n; ++u) {
+    (*community)[u] = u % cfg.num_communities;  // balanced communities
+    (*labels)[u] = rng->Bernoulli(cfg.bot_fraction) ? 1 : 0;
+  }
+  // Guarantee at least 2 of each class per community so stratified splits
+  // and per-community evaluation are always well-defined.
+  std::vector<std::vector<int>> members(cfg.num_communities);
+  for (int u = 0; u < n; ++u) members[(*community)[u]].push_back(u);
+  for (int c = 0; c < cfg.num_communities; ++c) {
+    int bots = 0;
+    for (int u : members[c]) bots += (*labels)[u];
+    int humans = static_cast<int>(members[c].size()) - bots;
+    for (int need = bots; need < 2 && !members[c].empty(); ++need) {
+      (*labels)[members[c][rng->UniformInt(members[c].size())]] = 1;
+    }
+    for (int need = humans; need < 2 && !members[c].empty(); ++need) {
+      // Flip a bot back only if more than 2 bots remain.
+      for (int u : members[c]) {
+        if ((*labels)[u] == 1) {
+          (*labels)[u] = 0;
+          break;
+        }
+      }
+    }
+  }
+}
+
+// Generates one relation's edges following the paper's structural sketch.
+Csr GenerateRelation(const DatasetConfig& cfg, double density,
+                     const std::vector<int>& labels,
+                     const std::vector<int>& community, Rng* rng) {
+  const int n = cfg.num_users;
+  // Index humans/bots per community for targeted sampling.
+  std::vector<std::vector<int>> humans_in(cfg.num_communities);
+  std::vector<int> all_humans, all_bots;
+  for (int u = 0; u < n; ++u) {
+    if (labels[u] == 0) {
+      humans_in[community[u]].push_back(u);
+      all_humans.push_back(u);
+    } else {
+      all_bots.push_back(u);
+    }
+  }
+  auto pick = [&](const std::vector<int>& pool, int self) -> int {
+    if (pool.empty()) return -1;
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      int v = pool[rng->UniformInt(pool.size())];
+      if (v != self) return v;
+    }
+    return -1;
+  };
+
+  std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(n) * 6);
+  for (int u = 0; u < n; ++u) {
+    if (labels[u] == 0) {
+      // Human: mostly same-community humans, few cross-community.
+      int intra = rng->Poisson(cfg.human_intra_degree * density);
+      for (int e = 0; e < intra; ++e) {
+        int v = pick(humans_in[community[u]], u);
+        if (v >= 0) edges.emplace_back(u, v);
+      }
+      int inter = rng->Poisson(cfg.human_inter_degree * density);
+      for (int e = 0; e < inter; ++e) {
+        int v = pick(all_humans, u);
+        if (v >= 0 && community[v] != community[u]) edges.emplace_back(u, v);
+      }
+    } else {
+      // Bot: links to humans (mostly locally targeted), rarely to bots.
+      int to_h = rng->Poisson(cfg.bot_to_human_degree * density);
+      for (int e = 0; e < to_h; ++e) {
+        const std::vector<int>& pool =
+            rng->Bernoulli(cfg.bot_local_targeting)
+                ? humans_in[community[u]]
+                : all_humans;
+        int v = pick(pool, u);
+        if (v >= 0) edges.emplace_back(u, v);
+      }
+      int to_b = rng->Poisson(cfg.bot_to_bot_degree * density);
+      for (int e = 0; e < to_b; ++e) {
+        int v = pick(all_bots, u);
+        if (v >= 0) edges.emplace_back(u, v);
+      }
+    }
+  }
+  return Csr::FromEdgesSymmetric(n, edges);
+}
+
+// Metadata distributions: bots partially imitate human statistics
+// (mimicry-dependent overlap), mirroring the Fig. 1 example where a bot's
+// counters look plausible.
+UserMetadata GenerateMetadata(const DatasetConfig& cfg, bool is_bot,
+                              Rng* rng) {
+  UserMetadata m;
+  double mimic = cfg.bot_mimicry;
+  if (!is_bot) {
+    m.followers = rng->LogNormal(5.4, 1.6);
+    m.friends = rng->LogNormal(5.2, 1.2);
+    m.listed = rng->LogNormal(1.2, 1.3);
+    m.account_age_days = rng->Uniform(700, 4200);
+    m.total_tweets = rng->LogNormal(6.6, 1.4);
+    m.verified = rng->Bernoulli(0.06);
+    m.default_profile = rng->Bernoulli(0.18);
+    m.has_description = rng->Bernoulli(0.93);
+  } else {
+    // Interpolate bot-native stats toward the human distribution.
+    double f_bot = rng->LogNormal(2.8, 1.4), f_hum = rng->LogNormal(5.4, 1.6);
+    double r_bot = rng->LogNormal(6.2, 1.1), r_hum = rng->LogNormal(5.2, 1.2);
+    m.followers = std::exp((1 - mimic) * std::log(f_bot + 1) +
+                           mimic * std::log(f_hum + 1));
+    m.friends = std::exp((1 - mimic) * std::log(r_bot + 1) +
+                         mimic * std::log(r_hum + 1));
+    m.listed = rng->LogNormal(0.2 + mimic, 1.0);
+    m.account_age_days =
+        rng->Uniform(30, 900) * (1 - mimic) + rng->Uniform(700, 4200) * mimic;
+    m.total_tweets = rng->LogNormal(7.6 - mimic, 1.1);
+    m.verified = rng->Bernoulli(0.005 + 0.02 * mimic);
+    m.default_profile = rng->Bernoulli(0.55 - 0.3 * mimic);
+    m.has_description = rng->Bernoulli(0.6 + 0.3 * mimic);
+  }
+  return m;
+}
+
+}  // namespace
+
+RawDataset SocialNetworkGenerator::Generate() const {
+  RawDataset out;
+  out.config = cfg_;
+  Rng master(cfg_.seed);
+
+  Rng pop_rng = master.Split();
+  AssignPopulation(cfg_, &pop_rng, &out.labels, &out.community);
+  const int n = cfg_.num_users;
+
+  // --- relations ---
+  for (size_t r = 0; r < cfg_.relations.size(); ++r) {
+    Rng rel_rng = master.Split();
+    out.relations.push_back(GenerateRelation(
+        cfg_, cfg_.relation_density[r], out.labels, out.community, &rel_rng));
+  }
+
+  // --- metadata ---
+  Rng meta_rng = master.Split();
+  out.metadata.reserve(n);
+  for (int u = 0; u < n; ++u) {
+    out.metadata.push_back(
+        GenerateMetadata(cfg_, out.labels[u] == 1, &meta_rng));
+  }
+
+  // --- description embeddings ---
+  // Prototype per community for humans + one shared bot prototype; a bot's
+  // description drifts toward its community prototype with mimicry.
+  Rng desc_rng = master.Split();
+  Matrix community_proto =
+      Matrix::RandomNormal(cfg_.num_communities, cfg_.embed_dim, 1.0,
+                           &desc_rng);
+  Matrix bot_proto = Matrix::RandomNormal(1, cfg_.embed_dim, 1.0, &desc_rng);
+  out.desc_embeddings = Matrix(n, cfg_.embed_dim);
+  for (int u = 0; u < n; ++u) {
+    const double* proto_c = community_proto.row(out.community[u]);
+    double mimic = out.labels[u] == 1 ? cfg_.bot_mimicry : 1.0;
+    for (int c = 0; c < cfg_.embed_dim; ++c) {
+      double base = mimic * proto_c[c] + (1.0 - mimic) * bot_proto(0, c);
+      out.desc_embeddings(u, c) =
+          base + desc_rng.Normal(0.0, cfg_.profile_noise);
+    }
+  }
+
+  // --- tweets ---
+  Rng topic_rng = master.Split();
+  TopicEmbeddingModel topics(cfg_.num_topics, cfg_.embed_dim, cfg_.topic_noise,
+                             &topic_rng);
+  Rng tweet_rng = master.Split();
+  out.tweet_offsets.assign(1, 0);
+  std::vector<int> per_user_tweets(n);
+  int64_t total = 0;
+  for (int u = 0; u < n; ++u) {
+    // Tweet sample size varies a little per user (bots steady, humans vary).
+    int base = cfg_.tweets_per_user;
+    int t = out.labels[u] == 1
+                ? base + static_cast<int>(tweet_rng.Normal(0.0, 2.0))
+                : static_cast<int>(base * tweet_rng.Uniform(0.5, 1.5));
+    per_user_tweets[u] = std::max(4, t);
+    total += per_user_tweets[u];
+    out.tweet_offsets.push_back(total);
+  }
+  out.tweet_embeddings = Matrix(static_cast<int>(total), cfg_.embed_dim);
+  out.tweet_topics.resize(static_cast<size_t>(total));
+  for (int u = 0; u < n; ++u) {
+    std::vector<double> mixture = topics.SampleTopicMixture(
+        out.labels[u] == 1, cfg_.bot_topic_concentration,
+        cfg_.human_topic_concentration, &tweet_rng);
+    for (int64_t e = out.tweet_offsets[u]; e < out.tweet_offsets[u + 1]; ++e) {
+      int topic = topics.SampleTopic(mixture, &tweet_rng);
+      out.tweet_topics[static_cast<size_t>(e)] = topic;
+      topics.EmbedTweet(topic, &tweet_rng,
+                        out.tweet_embeddings.row(static_cast<int>(e)));
+    }
+  }
+
+  // --- temporal activity ---
+  Rng time_rng = master.Split();
+  TemporalActivityModel temporal(cfg_);
+  out.monthly_counts.reserve(n);
+  for (int u = 0; u < n; ++u) {
+    out.monthly_counts.push_back(
+        temporal.SampleMonthlyCounts(out.labels[u] == 1, &time_rng));
+  }
+
+  BSG_LOG_DEBUG("generated %s: %d users, %zu relations, %lld tweets",
+                cfg_.name.c_str(), n, out.relations.size(),
+                static_cast<long long>(total));
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,64 @@
+// Synthetic heterogeneous social-network generator.
+//
+// Produces the raw observables a crawler would deliver (edges per relation,
+// user metadata, tweet embeddings, monthly activity); the feature pipeline
+// (features/feature_pipeline.h) turns these into a HeteroGraph with the
+// paper's feature layout (Eq. 3).
+#pragma once
+
+#include <vector>
+
+#include "datagen/config.h"
+#include "graph/csr.h"
+#include "tensor/matrix.h"
+
+namespace bsg {
+
+/// Numerical + categorical profile metadata for one user (the BotRGCN-style
+/// z^num / z^cat inputs).
+struct UserMetadata {
+  double followers = 0;
+  double friends = 0;
+  double listed = 0;
+  double account_age_days = 0;
+  double total_tweets = 0;
+  bool verified = false;
+  bool default_profile = false;
+  bool has_description = true;
+};
+
+/// Everything the generator emits. Tweet embeddings are stored flattened:
+/// user u's tweets occupy rows [tweet_offsets[u], tweet_offsets[u+1]).
+struct RawDataset {
+  DatasetConfig config;
+
+  std::vector<int> labels;      ///< 0 human, 1 bot
+  std::vector<int> community;   ///< community id per user
+
+  std::vector<Csr> relations;   ///< symmetrised, aligned with config.relations
+
+  std::vector<UserMetadata> metadata;
+  Matrix desc_embeddings;       ///< n x embed_dim simulated description vecs
+
+  Matrix tweet_embeddings;      ///< total_tweets x embed_dim
+  std::vector<int64_t> tweet_offsets;  ///< size n+1
+  std::vector<int> tweet_topics;       ///< ground-truth topic per tweet
+
+  std::vector<std::vector<int>> monthly_counts;  ///< n x config.months
+
+  int num_users() const { return static_cast<int>(labels.size()); }
+};
+
+/// Deterministic generator: same config (incl. seed) => identical output.
+class SocialNetworkGenerator {
+ public:
+  explicit SocialNetworkGenerator(DatasetConfig cfg);
+
+  /// Runs the full generation pipeline.
+  RawDataset Generate() const;
+
+ private:
+  DatasetConfig cfg_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,74 @@
+#include "datagen/tweet_model.h"
+
+#include <cmath>
+
+#include "util/status.h"
+
+namespace bsg {
+
+TopicEmbeddingModel::TopicEmbeddingModel(int num_topics, int embed_dim,
+                                         double noise, Rng* rng)
+    : num_topics_(num_topics), embed_dim_(embed_dim), noise_(noise) {
+  BSG_CHECK(num_topics > 0 && embed_dim > 0, "bad topic model shape");
+  // Centres at radius ~sqrt(d) so pairwise distances dominate the noise.
+  centers_ = Matrix(num_topics, embed_dim);
+  for (int t = 0; t < num_topics; ++t) {
+    double norm2 = 0.0;
+    for (int c = 0; c < embed_dim; ++c) {
+      double v = rng->Normal();
+      centers_(t, c) = v;
+      norm2 += v * v;
+    }
+    double scale = std::sqrt(static_cast<double>(embed_dim)) /
+                   std::max(std::sqrt(norm2), 1e-9);
+    for (int c = 0; c < embed_dim; ++c) centers_(t, c) *= scale;
+  }
+}
+
+std::vector<double> TopicEmbeddingModel::SampleTopicMixture(
+    bool is_bot, double bot_alpha, double human_alpha, Rng* rng) const {
+  double alpha = is_bot ? bot_alpha : human_alpha;
+  return rng->Dirichlet(static_cast<size_t>(num_topics_), alpha);
+}
+
+int TopicEmbeddingModel::SampleTopic(const std::vector<double>& mixture,
+                                     Rng* rng) const {
+  return static_cast<int>(rng->Categorical(mixture));
+}
+
+void TopicEmbeddingModel::EmbedTweet(int topic, Rng* rng, double* out) const {
+  BSG_CHECK(topic >= 0 && topic < num_topics_, "topic out of range");
+  for (int c = 0; c < embed_dim_; ++c) {
+    out[c] = centers_(topic, c) + rng->Normal(0.0, noise_);
+  }
+}
+
+std::vector<int> TemporalActivityModel::SampleMonthlyCounts(bool is_bot,
+                                                            Rng* rng) const {
+  std::vector<int> counts(cfg_.months, 0);
+  if (is_bot) {
+    // Near-constant rate: scheduled, task-driven posting.
+    double base = cfg_.bot_monthly_rate *
+                  std::exp(rng->Normal(0.0, cfg_.bot_rate_jitter));
+    for (int m = 0; m < cfg_.months; ++m) {
+      double rate = base * std::exp(rng->Normal(0.0, cfg_.bot_rate_jitter));
+      counts[m] = rng->Poisson(rate);
+    }
+    return counts;
+  }
+  // Humans: lognormal month-to-month variation plus occasional spikes,
+  // with an AR(1)-style persistence so bursts span adjacent months.
+  double log_level = rng->Normal(0.0, cfg_.human_rate_jitter);
+  for (int m = 0; m < cfg_.months; ++m) {
+    log_level = 0.55 * log_level +
+                rng->Normal(0.0, cfg_.human_rate_jitter * 0.8);
+    double rate = cfg_.human_monthly_rate * std::exp(log_level);
+    if (rng->Bernoulli(cfg_.human_spike_prob)) {
+      rate *= cfg_.human_spike_scale * (0.5 + rng->Uniform());
+    }
+    counts[m] = rng->Poisson(rate);
+  }
+  return counts;
+}
+
+}  // namespace bsg

@@ -1,0 +1,60 @@
+// Tweet content and temporal-activity simulators.
+//
+// TopicEmbeddingModel replaces the paper's frozen RoBERTa encoder: 20 latent
+// topic centres in R^d; a tweet embedding is its topic centre plus isotropic
+// noise. K-means over such embeddings recovers the topics, which is exactly
+// the property the paper's content-category feature (§III-B) relies on.
+//
+// TemporalActivityModel reproduces the Fig. 3 regularity: bots post at a
+// near-constant monthly rate; humans are bursty with occasional spikes.
+#pragma once
+
+#include <vector>
+
+#include "datagen/config.h"
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Simulated frozen text encoder with `num_topics` latent topics.
+class TopicEmbeddingModel {
+ public:
+  /// Draws `num_topics` well-separated centres in R^embed_dim.
+  TopicEmbeddingModel(int num_topics, int embed_dim, double noise, Rng* rng);
+
+  /// Per-user topic mixture. Bots: symmetric Dirichlet with small alpha
+  /// (mass concentrates on 1-3 topics). Humans: larger alpha (broad).
+  std::vector<double> SampleTopicMixture(bool is_bot, double bot_alpha,
+                                         double human_alpha, Rng* rng) const;
+
+  /// Samples a topic id from a mixture.
+  int SampleTopic(const std::vector<double>& mixture, Rng* rng) const;
+
+  /// Embedding of one tweet of the given topic (centre + noise).
+  void EmbedTweet(int topic, Rng* rng, double* out) const;
+
+  int num_topics() const { return num_topics_; }
+  int embed_dim() const { return embed_dim_; }
+  const Matrix& centers() const { return centers_; }
+
+ private:
+  int num_topics_;
+  int embed_dim_;
+  double noise_;
+  Matrix centers_;  // num_topics x embed_dim
+};
+
+/// Monthly posting-count simulator.
+class TemporalActivityModel {
+ public:
+  explicit TemporalActivityModel(const DatasetConfig& cfg) : cfg_(cfg) {}
+
+  /// Monthly tweet counts over cfg.months months for one user.
+  std::vector<int> SampleMonthlyCounts(bool is_bot, Rng* rng) const;
+
+ private:
+  const DatasetConfig& cfg_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,48 @@
+// Node feature assembly (paper Eq. 3):
+//   x_i = [ z_desc ; z_tweet ; z_num ; z_cat ; z_category ; z_temporal ]
+//
+// - z_desc:     simulated description embedding (RoBERTa stand-in)
+// - z_tweet:    mean of the user's simulated tweet embeddings
+// - z_num:      z-scored log-scaled numerical metadata (5 dims)
+// - z_cat:      categorical metadata flags (3 dims)
+// - z_category: content-category feature (§III-B): K-means over all tweet
+//               embeddings into 20 categories, then [z-scored #categories ;
+//               per-category tweet percentage] per user
+// - z_temporal: per-month posting percentages over the last 12 months
+//
+// Each family is registered as a named FeatureBlock on the HeteroGraph so
+// ablations (Table V) can zero out a family by name.
+#pragma once
+
+#include "datagen/generator.h"
+#include "features/kmeans.h"
+#include "graph/hetero_graph.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Pipeline configuration.
+struct FeaturePipelineConfig {
+  KMeansConfig kmeans;          ///< clustering of tweet embeddings (k = 20)
+  int temporal_months = 12;     ///< months used for the temporal feature
+  uint64_t seed = 7;            ///< k-means seeding + split shuffling
+};
+
+/// Optional diagnostics returned by BuildGraph, consumed by the Fig. 2
+/// bench and tests.
+struct FeatureReport {
+  std::vector<int> num_categories_per_user;  ///< distinct K-means clusters
+  KMeansResult kmeans;
+};
+
+/// Assembles the HeteroGraph: features (with named blocks), labels,
+/// relations, communities and a stratified train/val/test split (fractions
+/// from raw.config).
+HeteroGraph BuildGraph(const RawDataset& raw, const FeaturePipelineConfig& cfg,
+                       FeatureReport* report = nullptr);
+
+/// Convenience: generate + featurise one benchmark preset.
+HeteroGraph BuildBenchmarkGraph(const DatasetConfig& cfg,
+                                FeatureReport* report = nullptr);
+
+}  // namespace bsg

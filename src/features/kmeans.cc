@@ -1,0 +1,133 @@
+#include "features/kmeans.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "util/status.h"
+
+namespace bsg {
+
+namespace {
+
+double SqDist(const double* a, const double* b, int d) {
+  double s = 0.0;
+  for (int c = 0; c < d; ++c) {
+    double diff = a[c] - b[c];
+    s += diff * diff;
+  }
+  return s;
+}
+
+// k-means++ seeding: first centre uniform, next centres proportional to
+// squared distance from the nearest chosen centre.
+Matrix SeedPlusPlus(const Matrix& points, int k, Rng* rng) {
+  const int n = points.rows(), d = points.cols();
+  Matrix centers(k, d);
+  std::vector<double> dist2(n, std::numeric_limits<double>::max());
+  int first = static_cast<int>(rng->UniformInt(n));
+  std::copy(points.row(first), points.row(first) + d, centers.row(0));
+  for (int c = 1; c < k; ++c) {
+    double total = 0.0;
+    for (int i = 0; i < n; ++i) {
+      double d2 = SqDist(points.row(i), centers.row(c - 1), d);
+      dist2[i] = std::min(dist2[i], d2);
+      total += dist2[i];
+    }
+    int chosen = n - 1;
+    if (total > 0.0) {
+      double x = rng->Uniform() * total;
+      double acc = 0.0;
+      for (int i = 0; i < n; ++i) {
+        acc += dist2[i];
+        if (x < acc) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<int>(rng->UniformInt(n));
+    }
+    std::copy(points.row(chosen), points.row(chosen) + d, centers.row(c));
+  }
+  return centers;
+}
+
+}  // namespace
+
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& cfg,
+                       Rng* rng) {
+  const int n = points.rows(), d = points.cols(), k = cfg.k;
+  BSG_CHECK(n >= k && k > 0, "k-means needs at least k points");
+  KMeansResult res;
+  res.centers = SeedPlusPlus(points, k, rng);
+  res.assignment.assign(n, 0);
+
+  for (int it = 0; it < cfg.max_iters; ++it) {
+    // Assignment step.
+    res.inertia = 0.0;
+    for (int i = 0; i < n; ++i) {
+      int best = 0;
+      double best_d = SqDist(points.row(i), res.centers.row(0), d);
+      for (int c = 1; c < k; ++c) {
+        double d2 = SqDist(points.row(i), res.centers.row(c), d);
+        if (d2 < best_d) {
+          best_d = d2;
+          best = c;
+        }
+      }
+      res.assignment[i] = best;
+      res.inertia += best_d;
+    }
+    // Update step.
+    Matrix next(k, d);
+    std::vector<int> counts(k, 0);
+    for (int i = 0; i < n; ++i) {
+      int c = res.assignment[i];
+      counts[c]++;
+      const double* p = points.row(i);
+      double* ctr = next.row(c);
+      for (int j = 0; j < d; ++j) ctr[j] += p[j];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at a random point.
+        int i = static_cast<int>(rng->UniformInt(n));
+        std::copy(points.row(i), points.row(i) + d, next.row(c));
+      } else {
+        double* ctr = next.row(c);
+        for (int j = 0; j < d; ++j) ctr[j] /= counts[c];
+      }
+    }
+    // Convergence check.
+    double movement = 0.0;
+    for (int c = 0; c < k; ++c) {
+      movement += SqDist(next.row(c), res.centers.row(c), d);
+    }
+    res.centers = std::move(next);
+    res.iters_run = it + 1;
+    if (std::sqrt(movement) < cfg.tol) break;
+  }
+  return res;
+}
+
+std::vector<int> AssignToCenters(const Matrix& points, const Matrix& centers) {
+  BSG_CHECK(points.cols() == centers.cols(), "dimension mismatch");
+  const int n = points.rows(), d = points.cols(), k = centers.rows();
+  std::vector<int> out(n, 0);
+  for (int i = 0; i < n; ++i) {
+    int best = 0;
+    double best_d = SqDist(points.row(i), centers.row(0), d);
+    for (int c = 1; c < k; ++c) {
+      double d2 = SqDist(points.row(i), centers.row(c), d);
+      if (d2 < best_d) {
+        best_d = d2;
+        best = c;
+      }
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,35 @@
+// Lloyd's K-means with k-means++ seeding: clusters simulated tweet
+// embeddings into the paper's 20 content categories (§II-B, §III-B).
+#pragma once
+
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// K-means configuration.
+struct KMeansConfig {
+  int k = 20;
+  int max_iters = 30;
+  double tol = 1e-4;  ///< stop when centre movement (Frobenius) < tol
+};
+
+/// K-means result: per-point assignment plus centres.
+struct KMeansResult {
+  Matrix centers;               // k x d
+  std::vector<int> assignment;  // size = points
+  double inertia = 0.0;         // sum of squared distances to centres
+  int iters_run = 0;
+};
+
+/// Runs k-means++ seeding followed by Lloyd iterations. `points` is N x d
+/// with N >= k.
+KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& cfg,
+                       Rng* rng);
+
+/// Assigns new points to the nearest of the given centres.
+std::vector<int> AssignToCenters(const Matrix& points, const Matrix& centers);
+
+}  // namespace bsg

@@ -1,0 +1,33 @@
+#include "features/zscore.h"
+
+#include "util/status.h"
+
+namespace bsg {
+
+void ZScoreScaler::Fit(const Matrix& data) {
+  means_ = data.ColMeans();
+  stddevs_ = data.ColStddevs();
+  for (auto& s : stddevs_) {
+    if (s < 1e-12) s = 1.0;  // constant column: pass through centred
+  }
+}
+
+Matrix ZScoreScaler::Transform(const Matrix& data) const {
+  BSG_CHECK(static_cast<size_t>(data.cols()) == means_.size(),
+            "ZScoreScaler column mismatch (was Fit called?)");
+  Matrix out = data;
+  for (int i = 0; i < out.rows(); ++i) {
+    double* r = out.row(i);
+    for (int c = 0; c < out.cols(); ++c) {
+      r[c] = (r[c] - means_[c]) / stddevs_[c];
+    }
+  }
+  return out;
+}
+
+Matrix ZScoreScaler::FitTransform(const Matrix& data) {
+  Fit(data);
+  return Transform(data);
+}
+
+}  // namespace bsg

@@ -1,0 +1,215 @@
+#include "graph/graph_io.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <sys/stat.h>
+
+#include "util/string_util.h"
+
+namespace bsg {
+
+namespace {
+
+Status WriteFile(const std::string& path, const std::string& content) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::Internal("cannot open for write: " + path + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+  if (written != content.size()) {
+    return Status::Internal("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open: " + path);
+  }
+  std::string content;
+  char buf[1 << 16];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    content.append(buf, n);
+  }
+  std::fclose(f);
+  return content;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t start = 0;
+  while (start < text.size()) {
+    size_t end = text.find('\n', start);
+    if (end == std::string::npos) end = text.size();
+    if (end > start) lines.push_back(text.substr(start, end - start));
+    start = end + 1;
+  }
+  return lines;
+}
+
+std::vector<std::string> SplitTabs(const std::string& line) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t end = line.find('\t', start);
+    if (end == std::string::npos) {
+      parts.push_back(line.substr(start));
+      break;
+    }
+    parts.push_back(line.substr(start, end - start));
+    start = end + 1;
+  }
+  return parts;
+}
+
+}  // namespace
+
+Status SaveGraph(const HeteroGraph& graph, const std::string& dir) {
+  BSG_RETURN_NOT_OK(graph.Validate());
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Internal("cannot create directory: " + dir);
+  }
+
+  // meta.txt
+  std::string meta = "name\t" + graph.name + "\n";
+  meta += StrFormat("num_nodes\t%d\n", graph.num_nodes);
+  meta += StrFormat("feature_dim\t%d\n", graph.feature_dim());
+  meta += "relations";
+  for (const auto& r : graph.relation_names) meta += "\t" + r;
+  meta += "\n";
+  for (const auto& [bname, blk] : graph.feature_blocks) {
+    meta += StrFormat("block\t%s\t%d\t%d\n", bname.c_str(), blk.start,
+                      blk.len);
+  }
+  BSG_RETURN_NOT_OK(WriteFile(dir + "/meta.txt", meta));
+
+  // features.tsv
+  std::string features;
+  features.reserve(static_cast<size_t>(graph.num_nodes) *
+                   graph.feature_dim() * 8);
+  for (int i = 0; i < graph.num_nodes; ++i) {
+    for (int c = 0; c < graph.feature_dim(); ++c) {
+      if (c > 0) features += '\t';
+      features += StrFormat("%.17g", graph.features(i, c));
+    }
+    features += '\n';
+  }
+  BSG_RETURN_NOT_OK(WriteFile(dir + "/features.tsv", features));
+
+  // labels.tsv with split codes.
+  std::vector<int> split(graph.num_nodes, -1);
+  for (int v : graph.train_idx) split[v] = 0;
+  for (int v : graph.val_idx) split[v] = 1;
+  for (int v : graph.test_idx) split[v] = 2;
+  std::string labels;
+  for (int i = 0; i < graph.num_nodes; ++i) {
+    int community = graph.community.empty() ? 0 : graph.community[i];
+    labels += StrFormat("%d\t%d\t%d\t%d\n", i, graph.labels[i], community,
+                        split[i]);
+  }
+  BSG_RETURN_NOT_OK(WriteFile(dir + "/labels.tsv", labels));
+
+  // edges_<relation>.tsv
+  for (size_t r = 0; r < graph.relations.size(); ++r) {
+    std::string edges;
+    const Csr& rel = graph.relations[r];
+    for (int u = 0; u < rel.num_nodes(); ++u) {
+      for (const int* p = rel.NeighborsBegin(u); p != rel.NeighborsEnd(u);
+           ++p) {
+        edges += StrFormat("%d\t%d\n", u, *p);
+      }
+    }
+    BSG_RETURN_NOT_OK(
+        WriteFile(dir + "/edges_" + graph.relation_names[r] + ".tsv", edges));
+  }
+  return Status::OK();
+}
+
+Result<HeteroGraph> LoadGraph(const std::string& dir) {
+  Result<std::string> meta_r = ReadFile(dir + "/meta.txt");
+  if (!meta_r.ok()) return meta_r.status();
+  HeteroGraph g;
+  int feature_dim = 0;
+  for (const std::string& line : SplitLines(meta_r.ValueOrDie())) {
+    std::vector<std::string> parts = SplitTabs(line);
+    if (parts.empty()) continue;
+    if (parts[0] == "name" && parts.size() >= 2) {
+      g.name = parts[1];
+    } else if (parts[0] == "num_nodes" && parts.size() >= 2) {
+      g.num_nodes = std::atoi(parts[1].c_str());
+    } else if (parts[0] == "feature_dim" && parts.size() >= 2) {
+      feature_dim = std::atoi(parts[1].c_str());
+    } else if (parts[0] == "relations") {
+      for (size_t i = 1; i < parts.size(); ++i) {
+        g.relation_names.push_back(parts[i]);
+      }
+    } else if (parts[0] == "block" && parts.size() >= 4) {
+      g.feature_blocks[parts[1]] = FeatureBlock{
+          std::atoi(parts[2].c_str()), std::atoi(parts[3].c_str())};
+    }
+  }
+  if (g.num_nodes <= 0 || feature_dim <= 0) {
+    return Status::Internal("corrupt meta.txt in " + dir);
+  }
+
+  // features
+  Result<std::string> feat_r = ReadFile(dir + "/features.tsv");
+  if (!feat_r.ok()) return feat_r.status();
+  std::vector<std::string> rows = SplitLines(feat_r.ValueOrDie());
+  if (static_cast<int>(rows.size()) != g.num_nodes) {
+    return Status::Internal("feature row count mismatch");
+  }
+  g.features = Matrix(g.num_nodes, feature_dim);
+  for (int i = 0; i < g.num_nodes; ++i) {
+    std::vector<std::string> cells = SplitTabs(rows[i]);
+    if (static_cast<int>(cells.size()) != feature_dim) {
+      return Status::Internal(StrFormat("feature column mismatch row %d", i));
+    }
+    for (int c = 0; c < feature_dim; ++c) {
+      g.features(i, c) = std::atof(cells[c].c_str());
+    }
+  }
+
+  // labels + splits
+  Result<std::string> lab_r = ReadFile(dir + "/labels.tsv");
+  if (!lab_r.ok()) return lab_r.status();
+  g.labels.assign(g.num_nodes, 0);
+  g.community.assign(g.num_nodes, 0);
+  for (const std::string& line : SplitLines(lab_r.ValueOrDie())) {
+    std::vector<std::string> parts = SplitTabs(line);
+    if (parts.size() < 4) continue;
+    int id = std::atoi(parts[0].c_str());
+    if (id < 0 || id >= g.num_nodes) {
+      return Status::Internal("label node id out of range");
+    }
+    g.labels[id] = std::atoi(parts[1].c_str());
+    g.community[id] = std::atoi(parts[2].c_str());
+    int split = std::atoi(parts[3].c_str());
+    if (split == 0) g.train_idx.push_back(id);
+    if (split == 1) g.val_idx.push_back(id);
+    if (split == 2) g.test_idx.push_back(id);
+  }
+
+  // relations
+  for (const std::string& rname : g.relation_names) {
+    Result<std::string> edges_r = ReadFile(dir + "/edges_" + rname + ".tsv");
+    if (!edges_r.ok()) return edges_r.status();
+    std::vector<std::pair<int, int>> edges;
+    for (const std::string& line : SplitLines(edges_r.ValueOrDie())) {
+      std::vector<std::string> parts = SplitTabs(line);
+      if (parts.size() < 2) continue;
+      edges.emplace_back(std::atoi(parts[0].c_str()),
+                         std::atoi(parts[1].c_str()));
+    }
+    g.relations.push_back(Csr::FromEdges(g.num_nodes, edges));
+  }
+  BSG_RETURN_NOT_OK(g.Validate());
+  return g;
+}
+
+}  // namespace bsg

@@ -1,0 +1,25 @@
+// Plain-text serialisation of HeteroGraph, so generated benchmarks can be
+// exported, inspected, versioned, or loaded by downstream tools.
+//
+// Format (one directory per graph):
+//   meta.txt      name, counts, relation names, feature blocks
+//   features.tsv  one row per node, tab-separated doubles
+//   labels.tsv    node_id <tab> label <tab> community <tab> split
+//                 (split: 0 train, 1 val, 2 test, -1 none)
+//   edges_<relation>.tsv  src <tab> dst  (directed as stored)
+#pragma once
+
+#include <string>
+
+#include "graph/hetero_graph.h"
+#include "util/status.h"
+
+namespace bsg {
+
+/// Writes the graph under `dir` (created if missing).
+Status SaveGraph(const HeteroGraph& graph, const std::string& dir);
+
+/// Reads a graph previously written by SaveGraph.
+Result<HeteroGraph> LoadGraph(const std::string& dir);
+
+}  // namespace bsg

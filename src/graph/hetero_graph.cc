@@ -1,0 +1,119 @@
+#include "graph/hetero_graph.h"
+
+#include <algorithm>
+
+namespace bsg {
+
+int64_t HeteroGraph::TotalEdges() const {
+  int64_t total = 0;
+  for (const Csr& r : relations) total += r.num_edges();
+  return total;
+}
+
+int HeteroGraph::NumBots() const {
+  return static_cast<int>(std::count(labels.begin(), labels.end(), 1));
+}
+
+int HeteroGraph::NumHumans() const {
+  return static_cast<int>(std::count(labels.begin(), labels.end(), 0));
+}
+
+Csr HeteroGraph::MergedGraph() const {
+  std::vector<std::pair<int, int>> edges;
+  for (const Csr& r : relations) {
+    for (int u = 0; u < r.num_nodes(); ++u) {
+      for (const int* p = r.NeighborsBegin(u); p != r.NeighborsEnd(u); ++p) {
+        edges.emplace_back(u, *p);
+      }
+    }
+  }
+  return Csr::FromEdgesSymmetric(num_nodes, edges);
+}
+
+HeteroGraph HeteroGraph::WithFeatureBlockZeroed(
+    const std::string& block_name) const {
+  auto it = feature_blocks.find(block_name);
+  BSG_CHECK(it != feature_blocks.end(), "unknown feature block");
+  HeteroGraph out = *this;
+  const FeatureBlock& blk = it->second;
+  for (int i = 0; i < out.num_nodes; ++i) {
+    double* row = out.features.row(i);
+    std::fill(row + blk.start, row + blk.start + blk.len, 0.0);
+  }
+  return out;
+}
+
+HeteroGraph HeteroGraph::InducedSubgraph(const std::vector<int>& nodes) const {
+  HeteroGraph out;
+  out.name = name + "/induced";
+  out.num_nodes = static_cast<int>(nodes.size());
+  out.relation_names = relation_names;
+  for (const Csr& r : relations) {
+    out.relations.push_back(r.InducedSubgraph(nodes));
+  }
+  out.features = features.GatherRows(nodes);
+  out.labels.reserve(nodes.size());
+  out.community.reserve(nodes.size());
+  for (int v : nodes) {
+    out.labels.push_back(labels[v]);
+    if (!community.empty()) out.community.push_back(community[v]);
+  }
+  out.feature_blocks = feature_blocks;
+
+  std::vector<int> position(num_nodes, -1);
+  for (size_t i = 0; i < nodes.size(); ++i) {
+    position[nodes[i]] = static_cast<int>(i);
+  }
+  auto remap = [&](const std::vector<int>& src) {
+    std::vector<int> dst;
+    for (int v : src) {
+      if (position[v] >= 0) dst.push_back(position[v]);
+    }
+    return dst;
+  };
+  out.train_idx = remap(train_idx);
+  out.val_idx = remap(val_idx);
+  out.test_idx = remap(test_idx);
+  return out;
+}
+
+Status HeteroGraph::Validate() const {
+  if (relation_names.size() != relations.size()) {
+    return Status::Internal("relation name/graph count mismatch");
+  }
+  for (const Csr& r : relations) {
+    if (r.num_nodes() != num_nodes) {
+      return Status::Internal("relation node count mismatch");
+    }
+    BSG_RETURN_NOT_OK(r.Validate());
+  }
+  if (features.rows() != num_nodes) {
+    return Status::Internal("feature row count mismatch");
+  }
+  if (static_cast<int>(labels.size()) != num_nodes) {
+    return Status::Internal("label count mismatch");
+  }
+  for (int y : labels) {
+    if (y != 0 && y != 1) return Status::Internal("non-binary label");
+  }
+  auto check_split = [&](const std::vector<int>& idx) {
+    for (int v : idx) {
+      if (v < 0 || v >= num_nodes) return false;
+    }
+    return true;
+  };
+  if (!check_split(train_idx) || !check_split(val_idx) ||
+      !check_split(test_idx)) {
+    return Status::Internal("split index out of range");
+  }
+  for (const auto& [name_, blk] : feature_blocks) {
+    (void)name_;
+    if (blk.start < 0 || blk.len < 0 ||
+        blk.start + blk.len > features.cols()) {
+      return Status::Internal("feature block out of range");
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace bsg

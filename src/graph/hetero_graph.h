@@ -1,0 +1,65 @@
+// The multi-relation social graph: nodes with features, labels, splits and
+// one Csr per edge relation (paper §II-A: G = {V, X, E, R}).
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "graph/csr.h"
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace bsg {
+
+/// Named column range inside the feature matrix; lets ablations drop a
+/// feature family (e.g. the tweet-category block) by name.
+struct FeatureBlock {
+  int start = 0;
+  int len = 0;
+};
+
+/// Heterogeneous multi-relation graph with node features and labels.
+///
+/// Labels: 0 = genuine user (human), 1 = bot. Splits index into [0, n).
+struct HeteroGraph {
+  std::string name;
+  int num_nodes = 0;
+
+  std::vector<std::string> relation_names;
+  std::vector<Csr> relations;  // aligned with relation_names
+
+  Matrix features;          // num_nodes x feature_dim
+  std::vector<int> labels;  // size num_nodes
+  std::vector<int> community;  // community id per node (generator metadata)
+
+  std::vector<int> train_idx;
+  std::vector<int> val_idx;
+  std::vector<int> test_idx;
+
+  /// Column layout of `features` by feature family.
+  std::map<std::string, FeatureBlock> feature_blocks;
+
+  int num_relations() const { return static_cast<int>(relations.size()); }
+  int feature_dim() const { return features.cols(); }
+
+  int64_t TotalEdges() const;
+  int NumBots() const;
+  int NumHumans() const;
+
+  /// Union of all relations as one undirected (symmetrised) graph.
+  Csr MergedGraph() const;
+
+  /// Copy with the named feature block zeroed out (ablation helper; keeps
+  /// dimensions so trained shapes stay comparable).
+  HeteroGraph WithFeatureBlockZeroed(const std::string& block_name) const;
+
+  /// Copy restricted to `nodes` (features/labels gathered, every relation
+  /// induced, split indices remapped and filtered).
+  HeteroGraph InducedSubgraph(const std::vector<int>& nodes) const;
+
+  /// Structural sanity checks across all members.
+  Status Validate() const;
+};
+
+}  // namespace bsg

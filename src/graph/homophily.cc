@@ -1,0 +1,79 @@
+#include "graph/homophily.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace bsg {
+
+std::vector<double> NodeHomophily(const Csr& graph,
+                                  const std::vector<int>& labels) {
+  BSG_CHECK(static_cast<int>(labels.size()) == graph.num_nodes(),
+            "labels size mismatch");
+  std::vector<double> h(graph.num_nodes(), -1.0);
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    int d = graph.Degree(u);
+    if (d == 0) continue;
+    int same = 0;
+    for (const int* p = graph.NeighborsBegin(u); p != graph.NeighborsEnd(u);
+         ++p) {
+      if (labels[*p] == labels[u]) ++same;
+    }
+    h[u] = static_cast<double>(same) / d;
+  }
+  return h;
+}
+
+double GraphHomophily(const Csr& graph, const std::vector<int>& labels) {
+  std::vector<double> h = NodeHomophily(graph, labels);
+  double total = 0.0;
+  int count = 0;
+  for (double v : h) {
+    if (v >= 0.0) {
+      total += v;
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : 0.0;
+}
+
+double ClassHomophily(const Csr& graph, const std::vector<int>& labels,
+                      int cls) {
+  std::vector<double> h = NodeHomophily(graph, labels);
+  double total = 0.0;
+  int count = 0;
+  for (size_t i = 0; i < h.size(); ++i) {
+    if (labels[i] == cls && h[i] >= 0.0) {
+      total += h[i];
+      ++count;
+    }
+  }
+  return count > 0 ? total / count : -1.0;
+}
+
+std::vector<int> HomophilyHistogram(const std::vector<double>& homophily,
+                                    int num_bins) {
+  BSG_CHECK(num_bins > 0, "non-positive bin count");
+  std::vector<int> bins(num_bins, 0);
+  for (double v : homophily) {
+    if (v < 0.0) continue;
+    int b = std::min(static_cast<int>(v * num_bins), num_bins - 1);
+    bins[b]++;
+  }
+  return bins;
+}
+
+std::vector<int> HomophilyBuckets(const std::vector<double>& homophily,
+                                  int num_buckets) {
+  BSG_CHECK(num_buckets > 0, "non-positive bucket count");
+  std::vector<int> out(homophily.size(), -1);
+  for (size_t i = 0; i < homophily.size(); ++i) {
+    if (homophily[i] < 0.0) continue;
+    int b = std::min(static_cast<int>(homophily[i] * num_buckets),
+                     num_buckets - 1);
+    out[i] = b;
+  }
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,34 @@
+// Node and graph homophily ratios (paper Eq. 1-2) plus bucketing used by
+// Fig. 4 and the Fig. 8 distribution study.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace bsg {
+
+/// Per-node homophily h_i = |{u in N(v_i) : y_u = y_i}| / d_i (Eq. 1).
+/// Nodes with no neighbours get h_i = -1 (excluded from averages).
+std::vector<double> NodeHomophily(const Csr& graph,
+                                  const std::vector<int>& labels);
+
+/// Graph homophily: mean of defined node homophilies (Eq. 2).
+double GraphHomophily(const Csr& graph, const std::vector<int>& labels);
+
+/// Mean homophily restricted to nodes with a given label (-1 if none
+/// defined). Used for the Fig. 8 per-class averages.
+double ClassHomophily(const Csr& graph, const std::vector<int>& labels,
+                      int cls);
+
+/// Histogram of node homophilies over [0,1] into `num_bins` equal bins;
+/// undefined nodes skipped. Returns counts per bin.
+std::vector<int> HomophilyHistogram(const std::vector<double>& homophily,
+                                    int num_bins);
+
+/// Assigns each node to one of `num_buckets` homophily buckets
+/// ((0,0.25], (0.25,0.5], ... for 4 buckets); -1 for undefined nodes.
+std::vector<int> HomophilyBuckets(const std::vector<double>& homophily,
+                                  int num_buckets);
+
+}  // namespace bsg

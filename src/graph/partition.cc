@@ -1,0 +1,90 @@
+#include "graph/partition.h"
+
+#include <deque>
+
+namespace bsg {
+
+std::vector<int> PartitionGraph(const Csr& graph, int num_parts, Rng* rng) {
+  BSG_CHECK(num_parts > 0, "non-positive part count");
+  const int n = graph.num_nodes();
+  std::vector<int> part_of(n, -1);
+  if (n == 0) return part_of;
+
+  int target = (n + num_parts - 1) / num_parts;
+  std::vector<int> sizes(num_parts, 0);
+  std::vector<std::deque<int>> frontier(num_parts);
+
+  // Seed each part with a distinct random unassigned node.
+  std::vector<int> order(n);
+  for (int i = 0; i < n; ++i) order[i] = i;
+  rng->Shuffle(&order);
+  int next_seed = 0;
+  for (int p = 0; p < num_parts && next_seed < n; ++p) {
+    while (next_seed < n && part_of[order[next_seed]] != -1) ++next_seed;
+    if (next_seed >= n) break;
+    int s = order[next_seed++];
+    part_of[s] = p;
+    sizes[p] = 1;
+    frontier[p].push_back(s);
+  }
+
+  // Round-robin BFS growth, skipping full parts.
+  bool progressed = true;
+  while (progressed) {
+    progressed = false;
+    for (int p = 0; p < num_parts; ++p) {
+      if (sizes[p] >= target || frontier[p].empty()) continue;
+      int u = frontier[p].front();
+      frontier[p].pop_front();
+      for (const int* q = graph.NeighborsBegin(u); q != graph.NeighborsEnd(u);
+           ++q) {
+        if (part_of[*q] == -1 && sizes[p] < target) {
+          part_of[*q] = p;
+          sizes[p]++;
+          frontier[p].push_back(*q);
+          progressed = true;
+        }
+      }
+      if (!frontier[p].empty()) progressed = true;
+    }
+  }
+
+  // Leftovers (disconnected or capacity-stranded): smallest part first.
+  for (int i = 0; i < n; ++i) {
+    int u = order[i];
+    if (part_of[u] != -1) continue;
+    int best = 0;
+    for (int p = 1; p < num_parts; ++p) {
+      if (sizes[p] < sizes[best]) best = p;
+    }
+    part_of[u] = best;
+    sizes[best]++;
+  }
+  return part_of;
+}
+
+std::vector<std::vector<int>> GroupByPart(const std::vector<int>& part_of,
+                                          int num_parts) {
+  std::vector<std::vector<int>> groups(num_parts);
+  for (size_t u = 0; u < part_of.size(); ++u) {
+    BSG_CHECK(part_of[u] >= 0 && part_of[u] < num_parts,
+              "part id out of range");
+    groups[part_of[u]].push_back(static_cast<int>(u));
+  }
+  return groups;
+}
+
+double EdgeCutFraction(const Csr& graph, const std::vector<int>& part_of) {
+  int64_t cut = 0;
+  int64_t total = graph.num_edges();
+  if (total == 0) return 0.0;
+  for (int u = 0; u < graph.num_nodes(); ++u) {
+    for (const int* p = graph.NeighborsBegin(u); p != graph.NeighborsEnd(u);
+         ++p) {
+      if (part_of[u] != part_of[*p]) ++cut;
+    }
+  }
+  return static_cast<double>(cut) / static_cast<double>(total);
+}
+
+}  // namespace bsg

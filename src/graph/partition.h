@@ -1,0 +1,27 @@
+// Balanced graph partitioning for ClusterGCN-style subgraph training.
+//
+// Stands in for METIS (paper [52]): grows `num_parts` BFS frontiers from
+// random seeds simultaneously, producing connected, roughly balanced parts —
+// the only properties ClusterGCN actually needs.
+#pragma once
+
+#include <vector>
+
+#include "graph/csr.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Partitions `graph` into `num_parts` balanced parts by multi-seed BFS
+/// growth. Returns a part id in [0, num_parts) per node; isolated nodes are
+/// assigned round-robin.
+std::vector<int> PartitionGraph(const Csr& graph, int num_parts, Rng* rng);
+
+/// Groups node ids by part id. Returns num_parts vectors.
+std::vector<std::vector<int>> GroupByPart(const std::vector<int>& part_of,
+                                          int num_parts);
+
+/// Fraction of edges whose endpoints fall in different parts (cut quality).
+double EdgeCutFraction(const Csr& graph, const std::vector<int>& part_of);
+
+}  // namespace bsg

@@ -1,0 +1,61 @@
+#include "models/botmoe.h"
+
+namespace bsg {
+
+BotMoeModel::BotMoeModel(const HeteroGraph& graph, ModelConfig cfg,
+                         uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)),
+      merged_adj_(MergedSymAdjacency(graph)),
+      rel_adjs_(PerRelationSymAdjacency(graph)) {
+  const int f = graph.feature_dim();
+  const int h = cfg_.hidden;
+  gate_ = Linear(f, 3, &store_, &rng_, name_ + ".gate");
+  mlp1_ = Linear(f, h, &store_, &rng_, name_ + ".mlp1");
+  mlp2_ = Linear(h, h, &store_, &rng_, name_ + ".mlp2");
+  gcn1_ = Linear(f, h, &store_, &rng_, name_ + ".gcn1");
+  gcn2_ = Linear(h, h, &store_, &rng_, name_ + ".gcn2");
+  rel_in_ = Linear(f, h, &store_, &rng_, name_ + ".rel_in");
+  for (size_t r = 0; r < rel_adjs_.size(); ++r) {
+    rel_convs_.emplace_back(h, h, &store_, &rng_,
+                            name_ + ".rel" + std::to_string(r));
+  }
+  rel_out_ = Linear(h, h, &store_, &rng_, name_ + ".rel_out");
+  output_ = Linear(h, cfg_.num_classes, &store_, &rng_, name_ + ".out");
+}
+
+Tensor BotMoeModel::Forward(bool training) {
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+
+  // Expert 0: profile MLP.
+  Tensor e0 = ops::LeakyRelu(
+      mlp2_.Forward(ops::LeakyRelu(mlp1_.Forward(x), cfg_.leaky_slope)),
+      cfg_.leaky_slope);
+  // Expert 1: GCN channel on the merged graph.
+  Tensor e1 = ops::LeakyRelu(
+      gcn2_.Forward(ops::SpMM(
+          merged_adj_,
+          ops::LeakyRelu(gcn1_.Forward(ops::SpMM(merged_adj_, x)),
+                         cfg_.leaky_slope))),
+      cfg_.leaky_slope);
+  // Expert 2: relational channel (sum of per-relation propagations).
+  Tensor hr = ops::LeakyRelu(rel_in_.Forward(x), cfg_.leaky_slope);
+  Tensor acc;
+  for (size_t r = 0; r < rel_adjs_.size(); ++r) {
+    Tensor part = rel_convs_[r].Forward(ops::SpMM(rel_adjs_[r], hr));
+    acc = (r == 0) ? part : ops::Add(acc, part);
+  }
+  Tensor e2 = ops::LeakyRelu(rel_out_.Forward(ops::LeakyRelu(
+                                 acc, cfg_.leaky_slope)),
+                             cfg_.leaky_slope);
+
+  // Community-aware gate over the three experts.
+  Tensor gate = ops::SoftmaxRows(gate_.Forward(x));  // n x 3
+  Tensor mixed = ops::Add(
+      ops::Add(ops::MulColVec(e0, ops::SliceCols(gate, 0, 1)),
+               ops::MulColVec(e1, ops::SliceCols(gate, 1, 1))),
+      ops::MulColVec(e2, ops::SliceCols(gate, 2, 1)));
+  mixed = ops::Dropout(mixed, cfg_.dropout, training, &rng_);
+  return output_.Forward(mixed);
+}
+
+}  // namespace bsg

@@ -1,0 +1,34 @@
+// BotMoE baseline (Liu et al., SIGIR'23), simplified: a community-aware
+// mixture of modality experts. A gating network (driven by node features,
+// which carry the community signal in our generator) mixes three experts:
+// a feature MLP, a GCN channel and a relational channel.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Mixture-of-experts: out_i = sum_e gate_ie * expert_e(x)_i.
+class BotMoeModel : public Model {
+ public:
+  BotMoeModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+              std::string name = "BotMoe");
+
+  Tensor Forward(bool training) override;
+
+ private:
+  SpMat merged_adj_;
+  std::vector<SpMat> rel_adjs_;
+  Linear gate_;
+  // Expert 0: MLP.
+  Linear mlp1_, mlp2_;
+  // Expert 1: GCN channel.
+  Linear gcn1_, gcn2_;
+  // Expert 2: relational mean channel.
+  Linear rel_in_;
+  std::vector<Linear> rel_convs_;
+  Linear rel_out_;
+  Linear output_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,49 @@
+#include "models/botrgcn.h"
+
+namespace bsg {
+
+BotRgcnModel::BotRgcnModel(const HeteroGraph& graph, ModelConfig cfg,
+                           uint64_t seed, std::string name)
+    : BotRgcnModel(graph, PerRelationSymAdjacency(graph), cfg, seed,
+                   std::move(name)) {}
+
+BotRgcnModel::BotRgcnModel(const HeteroGraph& graph,
+                           std::vector<SpMat> adjacencies, ModelConfig cfg,
+                           uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)), adjs_(std::move(adjacencies)) {
+  BSG_CHECK(!adjs_.empty(), "BotRGCN needs at least one relation");
+  const int h = cfg_.hidden;
+  input_ = Linear(graph.feature_dim(), h, &store_, &rng_, name_ + ".in");
+  auto make_layer = [&](const std::string& tag) {
+    RgcnLayer layer;
+    layer.self = Linear(h, h, &store_, &rng_, name_ + tag + ".self");
+    for (size_t r = 0; r < adjs_.size(); ++r) {
+      layer.per_relation.emplace_back(h, h, &store_, &rng_,
+                                      name_ + tag + ".rel" + std::to_string(r));
+    }
+    return layer;
+  };
+  layer1_ = make_layer(".l1");
+  layer2_ = make_layer(".l2");
+  output_ = Linear(h, cfg_.num_classes, &store_, &rng_, name_ + ".out");
+}
+
+Tensor BotRgcnModel::ApplyLayer(const RgcnLayer& layer, const Tensor& h) const {
+  Tensor out = layer.self.Forward(h);
+  for (size_t r = 0; r < adjs_.size(); ++r) {
+    out = ops::Add(out,
+                   layer.per_relation[r].Forward(ops::SpMM(adjs_[r], h)));
+  }
+  return ops::LeakyRelu(out, cfg_.leaky_slope);
+}
+
+Tensor BotRgcnModel::Forward(bool training) {
+  Tensor h = ops::LeakyRelu(input_.Forward(Features()), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  h = ApplyLayer(layer1_, h);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  h = ApplyLayer(layer2_, h);
+  return output_.Forward(h);
+}
+
+}  // namespace bsg

@@ -1,0 +1,37 @@
+// BotRGCN baseline (Feng et al.): relational GCN over the heterogeneous
+// graph — per-relation convolutions summed with a self transform.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Input Linear -> 2 RGCN layers -> output Linear.
+/// Layer: h' = leakyrelu(W_self h + sum_r Â_r h W_r).
+class BotRgcnModel : public Model {
+ public:
+  BotRgcnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+               std::string name = "BotRGCN");
+
+  /// Plugin variant with externally supplied per-relation adjacencies
+  /// (biased-subgraph rewiring, Table IV).
+  BotRgcnModel(const HeteroGraph& graph, std::vector<SpMat> adjacencies,
+               ModelConfig cfg, uint64_t seed, std::string name);
+
+  Tensor Forward(bool training) override;
+
+ private:
+  struct RgcnLayer {
+    Linear self;
+    std::vector<Linear> per_relation;
+  };
+  Tensor ApplyLayer(const RgcnLayer& layer, const Tensor& h) const;
+
+  std::vector<SpMat> adjs_;
+  Linear input_;
+  RgcnLayer layer1_;
+  RgcnLayer layer2_;
+  Linear output_;
+};
+
+}  // namespace bsg

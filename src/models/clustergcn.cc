@@ -1,0 +1,74 @@
+#include "models/clustergcn.h"
+
+#include <algorithm>
+
+#include "graph/partition.h"
+
+namespace bsg {
+
+ClusterGcnModel::ClusterGcnModel(const HeteroGraph& graph, ModelConfig cfg,
+                                 uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)), merged_(graph.MergedGraph()) {
+  full_adj_ = MakeSpMat(merged_.Normalized(CsrNorm::kSym));
+  Rng part_rng = rng_.Split();
+  std::vector<int> part_of =
+      PartitionGraph(merged_, cfg_.cluster_parts, &part_rng);
+  clusters_ = GroupByPart(part_of, cfg_.cluster_parts);
+  fc1_ = Linear(graph.feature_dim(), cfg_.hidden, &store_, &rng_,
+                name_ + ".fc1");
+  fc2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_, name_ + ".fc2");
+}
+
+Tensor ClusterGcnModel::ForwardOn(const SpMat& adj, const Tensor& x,
+                                  bool training) {
+  Tensor h = ops::Dropout(x, cfg_.dropout, training, &rng_);
+  h = ops::LeakyRelu(fc1_.Forward(ops::SpMM(adj, h)), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  return fc2_.Forward(ops::SpMM(adj, h));
+}
+
+Tensor ClusterGcnModel::Forward(bool training) {
+  return ForwardOn(full_adj_, Features(), training);
+}
+
+std::vector<Tensor> ClusterGcnModel::BuildEpochLosses(
+    const std::vector<int>& train_idx) {
+  // Mark training nodes for cheap membership tests.
+  std::vector<char> is_train(graph_.num_nodes, 0);
+  for (int v : train_idx) is_train[v] = 1;
+
+  // Random cluster order, grouped into batches of clusters_per_batch.
+  std::vector<int> order(clusters_.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  rng_.Shuffle(&order);
+
+  std::vector<Tensor> losses;
+  for (size_t b = 0; b < order.size();
+       b += static_cast<size_t>(cfg_.clusters_per_batch)) {
+    std::vector<int> nodes;
+    for (size_t j = b;
+         j < std::min(order.size(),
+                      b + static_cast<size_t>(cfg_.clusters_per_batch));
+         ++j) {
+      const auto& cl = clusters_[order[j]];
+      nodes.insert(nodes.end(), cl.begin(), cl.end());
+    }
+    std::sort(nodes.begin(), nodes.end());
+    std::vector<int> batch_train;
+    std::vector<int> batch_labels(nodes.size());
+    for (size_t i = 0; i < nodes.size(); ++i) {
+      batch_labels[i] = graph_.labels[nodes[i]];
+      if (is_train[nodes[i]]) batch_train.push_back(static_cast<int>(i));
+    }
+    if (batch_train.empty()) continue;
+    SpMat adj = MakeSpMat(
+        merged_.InducedSubgraph(nodes).Normalized(CsrNorm::kSym));
+    Tensor x = ops::GatherRows(Features(), nodes);
+    Tensor logits = ForwardOn(adj, x, /*training=*/true);
+    losses.push_back(
+        ops::SoftmaxCrossEntropy(logits, batch_labels, batch_train));
+  }
+  return losses;
+}
+
+}  // namespace bsg

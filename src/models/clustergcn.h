@@ -1,0 +1,31 @@
+// ClusterGCN baseline (Chiang et al., KDD'19): partition the graph into
+// clusters, train GCN layers on random unions of clusters — memory-light
+// subgraph training (the non-biased ancestor of BSG4Bot's strategy).
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// GCN weights trained over cluster-union induced subgraphs; evaluation
+/// runs the same weights full-graph.
+class ClusterGcnModel : public Model {
+ public:
+  ClusterGcnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                  std::string name = "ClusterGCN");
+
+  Tensor Forward(bool training) override;
+  std::vector<Tensor> BuildEpochLosses(
+      const std::vector<int>& train_idx) override;
+
+ private:
+  Tensor ForwardOn(const SpMat& adj, const Tensor& x, bool training);
+
+  Csr merged_;
+  SpMat full_adj_;
+  std::vector<std::vector<int>> clusters_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace bsg

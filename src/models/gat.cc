@@ -1,0 +1,63 @@
+#include "models/gat.h"
+
+namespace bsg {
+
+GatGraphCache GatGraphCache::FromCsr(const Csr& adjacency) {
+  Csr with_loops = adjacency.WithSelfLoops();
+  GatGraphCache gc;
+  auto seg = std::make_shared<std::vector<int64_t>>(with_loops.indptr());
+  gc.seg_ptr = seg;
+  gc.src_ids = with_loops.indices();
+  gc.dst_ids.reserve(gc.src_ids.size());
+  for (int u = 0; u < with_loops.num_nodes(); ++u) {
+    for (int64_t e = with_loops.indptr()[u]; e < with_loops.indptr()[u + 1];
+         ++e) {
+      gc.dst_ids.push_back(u);
+    }
+  }
+  return gc;
+}
+
+GatLayer::GatLayer(int in_dim, int out_dim, ParamStore* store, Rng* rng,
+                   const std::string& name, double attn_slope)
+    : proj_(in_dim, out_dim, store, rng, name + ".proj"),
+      attn_slope_(attn_slope) {
+  a_src_ = store->CreateXavier(out_dim, 1, rng, name + ".a_src");
+  a_dst_ = store->CreateXavier(out_dim, 1, rng, name + ".a_dst");
+}
+
+Tensor GatLayer::Forward(const Tensor& x, const GatGraphCache& gc) const {
+  BSG_CHECK(a_src_ != nullptr, "GatLayer used before initialisation");
+  Tensor hw = proj_.Forward(x);                       // n x out
+  Tensor s = ops::MatMul(hw, a_src_);                 // n x 1
+  Tensor t = ops::MatMul(hw, a_dst_);                 // n x 1
+  Tensor e = ops::LeakyRelu(
+      ops::Add(ops::GatherRows(s, gc.src_ids), ops::GatherRows(t, gc.dst_ids)),
+      attn_slope_);                                    // E x 1
+  Tensor alpha = ops::SegmentSoftmax(e, gc.seg_ptr);   // E x 1
+  Tensor msgs = ops::MulColVec(ops::GatherRows(hw, gc.src_ids), alpha);
+  return ops::SegmentSum(msgs, gc.seg_ptr);            // n x out
+}
+
+GatModel::GatModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                   std::string name)
+    : GatModel(graph, graph.MergedGraph(), cfg, seed, std::move(name)) {}
+
+GatModel::GatModel(const HeteroGraph& graph, const Csr& adjacency,
+                   ModelConfig cfg, uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)) {
+  cache_ = GatGraphCache::FromCsr(adjacency);
+  layer1_ = GatLayer(graph.feature_dim(), cfg_.hidden, &store_, &rng_,
+                     name_ + ".l1");
+  layer2_ = GatLayer(cfg_.hidden, cfg_.num_classes, &store_, &rng_,
+                     name_ + ".l2");
+}
+
+Tensor GatModel::Forward(bool training) {
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+  Tensor h = ops::LeakyRelu(layer1_.Forward(x, cache_), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  return layer2_.Forward(h, cache_);
+}
+
+}  // namespace bsg

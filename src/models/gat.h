@@ -1,0 +1,58 @@
+// Graph attention network (Velickovic et al.): single-head additive
+// attention. The GatLayer is reused by the RGT baseline for its
+// per-relation attention encoders.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Precomputed edge arrays for attention over one adjacency (self loops
+/// must already be present so every node attends at least to itself).
+struct GatGraphCache {
+  std::shared_ptr<const std::vector<int64_t>> seg_ptr;  ///< per-dst edge span
+  std::vector<int> src_ids;  ///< source node per edge
+  std::vector<int> dst_ids;  ///< destination node per edge
+
+  /// Builds the cache from an adjacency (adds self loops itself).
+  static GatGraphCache FromCsr(const Csr& adjacency);
+};
+
+/// One single-head GAT layer:
+///   e_ij  = leakyrelu(a_src^T W h_j + a_dst^T W h_i)
+///   alpha = segment softmax over in-edges of i
+///   out_i = sum_j alpha_ij W h_j
+class GatLayer {
+ public:
+  GatLayer() = default;
+  GatLayer(int in_dim, int out_dim, ParamStore* store, Rng* rng,
+           const std::string& name = "gat", double attn_slope = 0.2);
+
+  Tensor Forward(const Tensor& x, const GatGraphCache& gc) const;
+
+ private:
+  Linear proj_;
+  Tensor a_src_;
+  Tensor a_dst_;
+  double attn_slope_ = 0.2;
+};
+
+/// Two-layer GAT over the merged relation graph.
+class GatModel : public Model {
+ public:
+  GatModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+           std::string name = "GAT");
+
+  /// Plugin variant: attention over an externally supplied adjacency.
+  GatModel(const HeteroGraph& graph, const Csr& adjacency, ModelConfig cfg,
+           uint64_t seed, std::string name);
+
+  Tensor Forward(bool training) override;
+
+ private:
+  GatGraphCache cache_;
+  GatLayer layer1_;
+  GatLayer layer2_;
+};
+
+}  // namespace bsg

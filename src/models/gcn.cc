@@ -1,0 +1,25 @@
+#include "models/gcn.h"
+
+namespace bsg {
+
+GcnModel::GcnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                   std::string name)
+    : GcnModel(graph, MergedSymAdjacency(graph), cfg, seed, std::move(name)) {}
+
+GcnModel::GcnModel(const HeteroGraph& graph, SpMat adjacency, ModelConfig cfg,
+                   uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)), adj_(std::move(adjacency)) {
+  fc1_ = Linear(graph.feature_dim(), cfg_.hidden, &store_, &rng_,
+                name_ + ".fc1");
+  fc2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_, name_ + ".fc2");
+}
+
+Tensor GcnModel::Forward(bool training) {
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+  Tensor h = ops::LeakyRelu(fc1_.Forward(ops::SpMM(adj_, x)),
+                            cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  return fc2_.Forward(ops::SpMM(adj_, h));
+}
+
+}  // namespace bsg

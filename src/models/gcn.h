@@ -1,0 +1,28 @@
+// GCN baseline (Kipf & Welling): two symmetric-normalised graph
+// convolutions over the merged relation graph.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Two-layer GCN: logits = Â leakyrelu(Â X W0) W1 (+ biases, dropout).
+class GcnModel : public Model {
+ public:
+  GcnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+           std::string name = "GCN");
+
+  /// Variant constructor with an externally supplied adjacency (used by the
+  /// biased-subgraph plugin, Table IV).
+  GcnModel(const HeteroGraph& graph, SpMat adjacency, ModelConfig cfg,
+           uint64_t seed, std::string name);
+
+  Tensor Forward(bool training) override;
+
+ private:
+  SpMat adj_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,43 @@
+#include "models/gprgnn.h"
+
+#include <cmath>
+
+namespace bsg {
+
+GprGnnModel::GprGnnModel(const HeteroGraph& graph, ModelConfig cfg,
+                         uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)),
+      adj_(MergedSymAdjacency(graph)) {
+  fc1_ = Linear(graph.feature_dim(), cfg_.hidden, &store_, &rng_,
+                name_ + ".fc1");
+  fc2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_, name_ + ".fc2");
+  Matrix init(1, cfg_.gpr_steps + 1);
+  for (int k = 0; k <= cfg_.gpr_steps; ++k) {
+    init(0, k) = cfg_.gpr_alpha * std::pow(1.0 - cfg_.gpr_alpha, k);
+  }
+  init(0, cfg_.gpr_steps) = std::pow(1.0 - cfg_.gpr_alpha, cfg_.gpr_steps);
+  gamma_ = store_.CreateFrom(std::move(init), name_ + ".gamma");
+}
+
+Tensor GprGnnModel::Forward(bool training) {
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+  Tensor h = ops::LeakyRelu(fc1_.Forward(x), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  Tensor base = fc2_.Forward(h);  // n x classes
+
+  Tensor z = ops::ScaleByScalar(base, ops::ElementAt(gamma_, 0, 0));
+  Tensor hop = base;
+  for (int k = 1; k <= cfg_.gpr_steps; ++k) {
+    hop = ops::SpMM(adj_, hop);
+    z = ops::Add(z, ops::ScaleByScalar(hop, ops::ElementAt(gamma_, 0, k)));
+  }
+  return z;
+}
+
+std::vector<double> GprGnnModel::GammaValues() const {
+  std::vector<double> out;
+  for (int k = 0; k < gamma_->cols(); ++k) out.push_back(gamma_->value(0, k));
+  return out;
+}
+
+}  // namespace bsg

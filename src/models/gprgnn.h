@@ -1,0 +1,29 @@
+// GPR-GNN baseline (Chien et al., ICLR'21): generalised PageRank
+// propagation with learnable step weights — adapts to homophily or
+// heterophily by learning the gamma signs/magnitudes.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Z = sum_{k=0..K} gamma_k Â^k MLP(X), gamma trainable, initialised to
+/// the PPR profile alpha (1-alpha)^k.
+class GprGnnModel : public Model {
+ public:
+  GprGnnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+              std::string name = "GPR-GNN");
+
+  Tensor Forward(bool training) override;
+
+  /// The learned propagation weights (diagnostics).
+  std::vector<double> GammaValues() const;
+
+ private:
+  SpMat adj_;
+  Linear fc1_;
+  Linear fc2_;
+  Tensor gamma_;  // 1 x (K+1)
+};
+
+}  // namespace bsg

@@ -1,0 +1,28 @@
+#include "models/h2gcn.h"
+
+namespace bsg {
+
+H2GcnModel::H2GcnModel(const HeteroGraph& graph, ModelConfig cfg,
+                       uint64_t seed, std::string name)
+    : Model(graph, cfg, seed, std::move(name)) {
+  Csr merged = graph.MergedGraph();
+  hop1_ = MakeSpMat(merged.Normalized(CsrNorm::kRow));
+  hop2_ = MakeSpMat(merged.TwoHop(/*cap=*/64).Normalized(CsrNorm::kRow));
+  embed_ = Linear(graph.feature_dim(), cfg_.hidden, &store_, &rng_,
+                  name_ + ".embed");
+  // final representation: h0 (H) + r1 (2H) + r2 (4H) = 7H wide.
+  output_ = Linear(7 * cfg_.hidden, cfg_.num_classes, &store_, &rng_,
+                   name_ + ".out");
+}
+
+Tensor H2GcnModel::Forward(bool training) {
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+  Tensor h0 = ops::LeakyRelu(embed_.Forward(x), cfg_.leaky_slope);
+  Tensor r1 = ops::ConcatCols({ops::SpMM(hop1_, h0), ops::SpMM(hop2_, h0)});
+  Tensor r2 = ops::ConcatCols({ops::SpMM(hop1_, r1), ops::SpMM(hop2_, r1)});
+  Tensor final_rep = ops::ConcatCols({h0, r1, r2});
+  final_rep = ops::Dropout(final_rep, cfg_.dropout, training, &rng_);
+  return output_.Forward(final_rep);
+}
+
+}  // namespace bsg

@@ -1,0 +1,27 @@
+// H2GCN baseline (Zhu et al., NeurIPS'20): heterophily-aware designs —
+// ego/neighbour separation, 2-hop aggregation, and concatenation of
+// intermediate representations.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// h0 = leakyrelu(X W); r_k = [A1 r_{k-1} || A2 r_{k-1}];
+/// final = [h0 || r1 || r2] -> classifier, with A1 the row-normalised
+/// 1-hop graph *without* self loops and A2 the 2-hop graph.
+class H2GcnModel : public Model {
+ public:
+  H2GcnModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+             std::string name = "H2GCN");
+
+  Tensor Forward(bool training) override;
+
+ private:
+  SpMat hop1_;
+  SpMat hop2_;
+  Linear embed_;
+  Linear output_;
+};
+
+}  // namespace bsg

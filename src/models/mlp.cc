@@ -1,0 +1,49 @@
+#include "models/mlp.h"
+
+namespace bsg {
+
+MlpModel::MlpModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                   int col_start, int col_len, std::string name)
+    : Model(graph, cfg, seed, std::move(name)),
+      col_start_(col_start),
+      col_len_(col_len < 0 ? graph.feature_dim() - col_start : col_len) {
+  BSG_CHECK(col_start_ >= 0 && col_start_ + col_len_ <= graph.feature_dim(),
+            "MLP feature column range invalid");
+  fc1_ = Linear(col_len_, cfg_.hidden, &store_, &rng_, name_ + ".fc1");
+  fc2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_, name_ + ".fc2");
+}
+
+Tensor MlpModel::Forward(bool training) {
+  Tensor x = Features();
+  if (col_start_ != 0 || col_len_ != graph_.feature_dim()) {
+    x = ops::SliceCols(x, col_start_, col_len_);
+  }
+  Tensor h = ops::LeakyRelu(fc1_.Forward(x), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  return fc2_.Forward(h);
+}
+
+Tensor MlpModel::HiddenRepresentation() {
+  Tensor x = Features();
+  if (col_start_ != 0 || col_len_ != graph_.feature_dim()) {
+    x = ops::SliceCols(x, col_start_, col_len_);
+  }
+  return ops::LeakyRelu(fc1_.Forward(x), cfg_.leaky_slope);
+}
+
+std::unique_ptr<MlpModel> MakeRobertaBaseline(const HeteroGraph& graph,
+                                              ModelConfig cfg, uint64_t seed) {
+  auto desc = graph.feature_blocks.find("desc");
+  auto tweet = graph.feature_blocks.find("tweet");
+  BSG_CHECK(desc != graph.feature_blocks.end() &&
+                tweet != graph.feature_blocks.end(),
+            "RoBERTa baseline needs desc+tweet blocks");
+  // desc and tweet are laid out contiguously by the pipeline.
+  BSG_CHECK(desc->second.start + desc->second.len == tweet->second.start,
+            "desc/tweet blocks not contiguous");
+  return std::make_unique<MlpModel>(
+      graph, cfg, seed, desc->second.start,
+      desc->second.len + tweet->second.len, "RoBERTa");
+}
+
+}  // namespace bsg

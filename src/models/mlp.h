@@ -1,0 +1,36 @@
+// Two-layer MLP baseline — also the architecture of BSG4Bot's pre-trained
+// coarse classifier (§III-C, Eq. 4). Optionally restricted to a subset of
+// feature columns (the "RoBERTa" baseline uses only text-derived blocks).
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// MLP over node features: softmax(leakyrelu(X W0 + b0) W1 + b1).
+class MlpModel : public Model {
+ public:
+  /// `feature_cols`: optional (start, len) restriction of the input
+  /// columns; len = -1 means all columns.
+  MlpModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+           int col_start = 0, int col_len = -1, std::string name = "MLP");
+
+  Tensor Forward(bool training) override;
+
+  /// Hidden representation h^p = leakyrelu(X W0 + b0) (Eq. 5): the space in
+  /// which BSG4Bot measures node similarity.
+  Tensor HiddenRepresentation();
+
+ private:
+  int col_start_;
+  int col_len_;
+  Linear fc1_;
+  Linear fc2_;
+};
+
+/// The RoBERTa baseline: MLP over only the text-derived feature blocks
+/// ("desc" + "tweet"); profile metadata and behavioural blocks excluded.
+std::unique_ptr<MlpModel> MakeRobertaBaseline(const HeteroGraph& graph,
+                                              ModelConfig cfg, uint64_t seed);
+
+}  // namespace bsg

@@ -1,0 +1,33 @@
+#include "models/model.h"
+
+namespace bsg {
+
+Model::Model(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+             std::string name)
+    : graph_(graph), cfg_(cfg), rng_(seed), name_(std::move(name)) {
+  features_ = MakeTensor(graph.features, /*requires_grad=*/false);
+}
+
+std::vector<Tensor> Model::BuildEpochLosses(const std::vector<int>& train_idx) {
+  Tensor logits = Forward(/*training=*/true);
+  return {ops::SoftmaxCrossEntropy(logits, graph_.labels, train_idx)};
+}
+
+SpMat MergedSymAdjacency(const HeteroGraph& g) {
+  return MakeSpMat(g.MergedGraph().Normalized(CsrNorm::kSym));
+}
+
+SpMat MergedRowAdjacency(const HeteroGraph& g) {
+  return MakeSpMat(g.MergedGraph().Normalized(CsrNorm::kRow));
+}
+
+std::vector<SpMat> PerRelationSymAdjacency(const HeteroGraph& g) {
+  std::vector<SpMat> out;
+  out.reserve(g.relations.size());
+  for (const Csr& r : g.relations) {
+    out.push_back(MakeSpMat(r.Normalized(CsrNorm::kSym)));
+  }
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,85 @@
+// Common interface for all baseline detection models (Table II).
+//
+// A model is constructed over one HeteroGraph (adjacency preprocessing is
+// cached at construction) and produces full-graph logits via Forward().
+// Models whose training deviates from "one full-graph loss per epoch"
+// (ClusterGCN) override BuildEpochLosses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "graph/hetero_graph.h"
+#include "tensor/nn.h"
+#include "tensor/ops.h"
+#include "tensor/optim.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Hyperparameters shared across baseline models; model-specific knobs are
+/// grouped by prefix.
+struct ModelConfig {
+  int hidden = 32;
+  int num_classes = 2;
+  double dropout = 0.3;
+  double leaky_slope = 0.01;  ///< the paper uses leaky-relu throughout
+
+  int sage_fanout = 10;       ///< GraphSAGE neighbour sample size
+  int gpr_steps = 4;          ///< GPR-GNN propagation depth K
+  double gpr_alpha = 0.1;     ///< GPR-GNN gamma init: alpha(1-alpha)^k
+  int cluster_parts = 16;     ///< ClusterGCN partition count
+  int clusters_per_batch = 4; ///< ClusterGCN clusters merged per batch
+  int moe_experts = 3;        ///< BotMoE expert count
+  int slimg_hops = 2;         ///< SlimG propagation depth
+};
+
+/// Abstract bot-detection model over a fixed graph.
+class Model {
+ public:
+  virtual ~Model() = default;
+
+  /// Full-graph logits (num_nodes x num_classes). `training` enables
+  /// dropout / sampling.
+  virtual Tensor Forward(bool training) = 0;
+
+  /// Losses to optimise for one training epoch. Default: a single
+  /// full-graph masked cross-entropy. Batch-trained models return one loss
+  /// per batch; the trainer steps the optimiser after each.
+  virtual std::vector<Tensor> BuildEpochLosses(
+      const std::vector<int>& train_idx);
+
+  /// Hook before each epoch (e.g. neighbour re-sampling).
+  virtual void OnEpochStart() {}
+
+  const std::vector<Tensor>& Parameters() const { return store_.params(); }
+  int64_t NumParameters() const { return store_.NumParameters(); }
+  const std::string& name() const { return name_; }
+  const HeteroGraph& graph() const { return graph_; }
+
+ protected:
+  Model(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+        std::string name);
+
+  /// Constant leaf holding the node features.
+  Tensor Features() const { return features_; }
+
+  const HeteroGraph& graph_;
+  ModelConfig cfg_;
+  Rng rng_;
+  ParamStore store_;
+  std::string name_;
+
+ private:
+  Tensor features_;
+};
+
+/// Merged-relation symmetric-normalised adjacency (GCN convention).
+SpMat MergedSymAdjacency(const HeteroGraph& g);
+/// Merged-relation row-normalised adjacency without self loops.
+SpMat MergedRowAdjacency(const HeteroGraph& g);
+/// Per-relation symmetric-normalised adjacencies.
+std::vector<SpMat> PerRelationSymAdjacency(const HeteroGraph& g);
+
+}  // namespace bsg

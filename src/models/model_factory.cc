@@ -1,0 +1,47 @@
+#include "models/model_factory.h"
+
+#include "models/botmoe.h"
+#include "models/botrgcn.h"
+#include "models/clustergcn.h"
+#include "models/gat.h"
+#include "models/gcn.h"
+#include "models/gprgnn.h"
+#include "models/h2gcn.h"
+#include "models/mlp.h"
+#include "models/rgt.h"
+#include "models/sage.h"
+#include "models/slimg.h"
+
+namespace bsg {
+
+std::unique_ptr<Model> CreateModel(const std::string& name,
+                                   const HeteroGraph& graph, ModelConfig cfg,
+                                   uint64_t seed) {
+  if (name == "RoBERTa") return MakeRobertaBaseline(graph, cfg, seed);
+  if (name == "MLP") return std::make_unique<MlpModel>(graph, cfg, seed);
+  if (name == "GCN") return std::make_unique<GcnModel>(graph, cfg, seed);
+  if (name == "GAT") return std::make_unique<GatModel>(graph, cfg, seed);
+  if (name == "GraphSAGE") return std::make_unique<SageModel>(graph, cfg, seed);
+  if (name == "ClusterGCN") {
+    return std::make_unique<ClusterGcnModel>(graph, cfg, seed);
+  }
+  if (name == "SlimG") return std::make_unique<SlimGModel>(graph, cfg, seed);
+  if (name == "BotRGCN") {
+    return std::make_unique<BotRgcnModel>(graph, cfg, seed);
+  }
+  if (name == "RGT") return std::make_unique<RgtModel>(graph, cfg, seed);
+  if (name == "BotMoe") return std::make_unique<BotMoeModel>(graph, cfg, seed);
+  if (name == "H2GCN") return std::make_unique<H2GcnModel>(graph, cfg, seed);
+  if (name == "GPR-GNN") {
+    return std::make_unique<GprGnnModel>(graph, cfg, seed);
+  }
+  return nullptr;
+}
+
+std::vector<std::string> BaselineModelNames() {
+  return {"RoBERTa",    "MLP",     "GCN",   "GAT",
+          "GraphSAGE",  "ClusterGCN", "SlimG", "BotRGCN",
+          "RGT",        "BotMoe",  "H2GCN", "GPR-GNN"};
+}
+
+}  // namespace bsg

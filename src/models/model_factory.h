@@ -1,0 +1,22 @@
+// Name-based construction of all baseline models (Table II rows 1-12).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Instantiates a baseline by its Table II name ("MLP", "GCN", "GAT",
+/// "GraphSAGE", "ClusterGCN", "SlimG", "BotRGCN", "RGT", "BotMoe",
+/// "H2GCN", "GPR-GNN", "RoBERTa"). Returns nullptr for unknown names.
+std::unique_ptr<Model> CreateModel(const std::string& name,
+                                   const HeteroGraph& graph, ModelConfig cfg,
+                                   uint64_t seed);
+
+/// The twelve baseline names in the paper's Table II order.
+std::vector<std::string> BaselineModelNames();
+
+}  // namespace bsg

@@ -1,0 +1,46 @@
+#include "models/rgt.h"
+
+namespace bsg {
+
+RgtModel::RgtModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                   std::string name)
+    : Model(graph, cfg, seed, std::move(name)) {
+  for (const Csr& rel : graph.relations) {
+    caches_.push_back(GatGraphCache::FromCsr(rel));
+  }
+  const int h = cfg_.hidden;
+  input_ = Linear(graph.feature_dim(), h, &store_, &rng_, name_ + ".in");
+  auto make_block = [&](const std::string& tag) {
+    Block block;
+    for (size_t r = 0; r < caches_.size(); ++r) {
+      block.encoders.emplace_back(h, h, &store_, &rng_,
+                                  name_ + tag + ".att" + std::to_string(r));
+    }
+    block.fuse = SemanticAttention(h, h, &store_, &rng_, name_ + tag + ".sem");
+    return block;
+  };
+  block1_ = make_block(".b1");
+  block2_ = make_block(".b2");
+  output_ = Linear(h, cfg_.num_classes, &store_, &rng_, name_ + ".out");
+}
+
+Tensor RgtModel::ApplyBlock(const Block& block, const Tensor& h) const {
+  std::vector<Tensor> per_relation;
+  per_relation.reserve(caches_.size());
+  for (size_t r = 0; r < caches_.size(); ++r) {
+    per_relation.push_back(ops::LeakyRelu(
+        block.encoders[r].Forward(h, caches_[r]), cfg_.leaky_slope));
+  }
+  return block.fuse.Forward(per_relation);
+}
+
+Tensor RgtModel::Forward(bool training) {
+  Tensor h = ops::LeakyRelu(input_.Forward(Features()), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  h = ApplyBlock(block1_, h);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  h = ApplyBlock(block2_, h);
+  return output_.Forward(h);
+}
+
+}  // namespace bsg

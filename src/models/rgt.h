@@ -1,0 +1,34 @@
+// RGT baseline (Feng et al., AAAI'22): relational graph transformer —
+// per-relation attention encoders fused by semantic attention.
+#pragma once
+
+#include "core/semantic_attention.h"
+#include "models/gat.h"
+#include "models/model.h"
+
+namespace bsg {
+
+/// Two stacked blocks; each block runs one attention encoder per relation
+/// and fuses the relation embeddings with semantic attention (Eq. 12-14).
+class RgtModel : public Model {
+ public:
+  RgtModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+           std::string name = "RGT");
+
+  Tensor Forward(bool training) override;
+
+ private:
+  struct Block {
+    std::vector<GatLayer> encoders;  // one per relation
+    SemanticAttention fuse;
+  };
+  Tensor ApplyBlock(const Block& block, const Tensor& h) const;
+
+  std::vector<GatGraphCache> caches_;  // one per relation
+  Linear input_;
+  Block block1_;
+  Block block2_;
+  Linear output_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,38 @@
+#include "models/sage.h"
+
+namespace bsg {
+
+SageModel::SageModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+                     std::string name)
+    : Model(graph, cfg, seed, std::move(name)), merged_(graph.MergedGraph()) {
+  full_adj_ = MakeSpMat(merged_.Normalized(CsrNorm::kRow));
+  sampled_adj_ = full_adj_;
+  const int f = graph.feature_dim();
+  self1_ = Linear(f, cfg_.hidden, &store_, &rng_, name_ + ".self1");
+  neigh1_ = Linear(f, cfg_.hidden, &store_, &rng_, name_ + ".neigh1");
+  self2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_,
+                  name_ + ".self2");
+  neigh2_ = Linear(cfg_.hidden, cfg_.num_classes, &store_, &rng_,
+                   name_ + ".neigh2");
+}
+
+void SageModel::OnEpochStart() {
+  sampled_adj_ = MakeSpMat(
+      merged_.SampleNeighbors(cfg_.sage_fanout, &rng_).Normalized(
+          CsrNorm::kRow));
+}
+
+Tensor SageModel::Layer(const Tensor& x, const SpMat& adj, const Linear& self,
+                        const Linear& neigh) const {
+  return ops::Add(self.Forward(x), neigh.Forward(ops::SpMM(adj, x)));
+}
+
+Tensor SageModel::Forward(bool training) {
+  const SpMat& adj = training ? sampled_adj_ : full_adj_;
+  Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
+  Tensor h = ops::LeakyRelu(Layer(x, adj, self1_, neigh1_), cfg_.leaky_slope);
+  h = ops::Dropout(h, cfg_.dropout, training, &rng_);
+  return Layer(h, adj, self2_, neigh2_);
+}
+
+}  // namespace bsg

@@ -1,0 +1,29 @@
+// GraphSAGE baseline (Hamilton et al.): mean aggregator with uniform
+// neighbour sampling, re-sampled every training epoch.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Two-layer GraphSAGE-mean:
+///   h' = leakyrelu(W_self h + W_neigh mean_{sampled N(v)} h_u)
+class SageModel : public Model {
+ public:
+  SageModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+            std::string name = "GraphSAGE");
+
+  Tensor Forward(bool training) override;
+  void OnEpochStart() override;
+
+ private:
+  Tensor Layer(const Tensor& x, const SpMat& adj, const Linear& self,
+               const Linear& neigh) const;
+
+  Csr merged_;
+  SpMat full_adj_;     ///< row-normalised full neighbourhood (eval)
+  SpMat sampled_adj_;  ///< row-normalised sampled neighbourhood (train)
+  Linear self1_, neigh1_, self2_, neigh2_;
+};
+
+}  // namespace bsg

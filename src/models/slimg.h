@@ -1,0 +1,26 @@
+// SlimG baseline (Yoo et al.): a linear model over hyperparameter-free
+// propagated features. Fast to train, interpretable, but — as the paper's
+// Table II shows — weak on bot detection's mixed patterns.
+#pragma once
+
+#include "models/model.h"
+
+namespace bsg {
+
+/// Linear classifier over [X | ÂX | Â²X | ... | Â^hops X] where Â is the
+/// symmetric-normalised merged adjacency. Propagation is precomputed once
+/// (no gradients flow through it), exactly SlimG's "simplified architecture"
+/// idea.
+class SlimGModel : public Model {
+ public:
+  SlimGModel(const HeteroGraph& graph, ModelConfig cfg, uint64_t seed,
+             std::string name = "SlimG");
+
+  Tensor Forward(bool training) override;
+
+ private:
+  Tensor propagated_;  ///< constant (precomputed) design matrix
+  Linear fc_;
+};
+
+}  // namespace bsg

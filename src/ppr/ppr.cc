@@ -1,0 +1,115 @@
+#include "ppr/ppr.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <unordered_map>
+
+#include "util/status.h"
+
+namespace bsg {
+
+SparseVec ApproximatePpr(const Csr& graph, int source, const PprConfig& cfg) {
+  BSG_CHECK(source >= 0 && source < graph.num_nodes(), "bad PPR source");
+  BSG_CHECK(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha out of range");
+  BSG_CHECK(cfg.epsilon > 0.0, "epsilon must be positive");
+
+  // Sparse maps: residual r and settled mass p, touched nodes only.
+  std::unordered_map<int, double> p, r;
+  r[source] = 1.0;
+  std::deque<int> queue{source};
+  std::unordered_map<int, bool> in_queue;
+  in_queue[source] = true;
+
+  int pushes = 0;
+  while (!queue.empty() && pushes < cfg.max_pushes) {
+    int u = queue.front();
+    queue.pop_front();
+    in_queue[u] = false;
+    int deg = graph.Degree(u);
+    double ru = r[u];
+    if (deg == 0) {
+      // Dangling node: settle all residual mass here.
+      p[u] += ru;
+      r[u] = 0.0;
+      continue;
+    }
+    if (ru < cfg.epsilon * deg) continue;
+    ++pushes;
+    p[u] += cfg.alpha * ru;
+    double push_mass = (1.0 - cfg.alpha) * ru / deg;
+    r[u] = 0.0;
+    for (const int* q = graph.NeighborsBegin(u); q != graph.NeighborsEnd(u);
+         ++q) {
+      int v = *q;
+      r[v] += push_mass;
+      int dv = graph.Degree(v);
+      if (!in_queue[v] && r[v] >= cfg.epsilon * std::max(dv, 1)) {
+        queue.push_back(v);
+        in_queue[v] = true;
+      }
+    }
+  }
+
+  SparseVec out;
+  out.reserve(p.size());
+  for (const auto& [node, score] : p) {
+    if (score > 0.0) out.emplace_back(node, score);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<double> ExactPpr(const Csr& graph, int source, double alpha,
+                             int iters) {
+  const int n = graph.num_nodes();
+  BSG_CHECK(source >= 0 && source < n, "bad PPR source");
+  std::vector<double> pi(n, 0.0), next(n, 0.0);
+  pi[source] = 1.0;
+  for (int it = 0; it < iters; ++it) {
+    std::fill(next.begin(), next.end(), 0.0);
+    double dangling = 0.0;
+    for (int u = 0; u < n; ++u) {
+      if (pi[u] == 0.0) continue;
+      int deg = graph.Degree(u);
+      if (deg == 0) {
+        dangling += pi[u];  // dangling mass restarts at the source
+        continue;
+      }
+      double share = (1.0 - alpha) * pi[u] / deg;
+      for (const int* q = graph.NeighborsBegin(u); q != graph.NeighborsEnd(u);
+           ++q) {
+        next[*q] += share;
+      }
+    }
+    // Restart mass: alpha of all walking mass, plus the non-teleport share
+    // of dangling mass (a dangling walker restarts at the source).
+    double moving = 0.0;
+    for (int u = 0; u < n; ++u) moving += pi[u];
+    next[source] += alpha * moving + (1.0 - alpha) * dangling;
+    std::swap(pi, next);
+  }
+  return pi;
+}
+
+SparseVec TopK(const SparseVec& vec, int k, int exclude) {
+  SparseVec copy;
+  copy.reserve(vec.size());
+  for (const auto& e : vec) {
+    if (e.first != exclude) copy.push_back(e);
+  }
+  auto cmp = [](const std::pair<int, double>& a,
+                const std::pair<int, double>& b) {
+    if (a.second != b.second) return a.second > b.second;
+    return a.first < b.first;
+  };
+  if (static_cast<int>(copy.size()) > k) {
+    std::partial_sort(copy.begin(), copy.begin() + k, copy.end(), cmp);
+    copy.resize(k);
+  } else {
+    std::sort(copy.begin(), copy.end(), cmp);
+  }
+  return copy;
+}
+
+}  // namespace bsg

@@ -1,0 +1,47 @@
+// Personalized PageRank.
+//
+// Two implementations:
+//  - ApproximatePpr: Andersen-Chung-Lang forward push (the sequential
+//    instantiation of the approximate scheme the paper cites [29]). Visits
+//    only the neighbourhood where mass concentrates, so cost is independent
+//    of graph size for fixed epsilon.
+//  - ExactPpr: dense power iteration, used as a test oracle and for small
+//    graphs.
+//
+// Convention: scores follow the random walk with restart
+//   pi = alpha * e_s + (1 - alpha) * pi * D^-1 A
+// (push distributes mass along *out*-edges; for the social graphs here
+// relations are symmetrised before PPR).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "graph/csr.h"
+
+namespace bsg {
+
+/// Configuration for PPR computations.
+struct PprConfig {
+  double alpha = 0.15;     ///< teleport (restart) probability
+  double epsilon = 1e-4;   ///< push threshold: stop when r[u] < eps * deg(u)
+  int max_pushes = 1 << 20;  ///< hard safety cap on push operations
+};
+
+/// Sparse PPR vector: (node, score) pairs with score > 0.
+using SparseVec = std::vector<std::pair<int, double>>;
+
+/// Forward-push approximate PPR from `source`. Returned entries are the
+/// settled mass p[u]; they sum to <= 1 and approximate the true PPR up to
+/// eps * deg(u) per node. The source itself is included.
+SparseVec ApproximatePpr(const Csr& graph, int source, const PprConfig& cfg);
+
+/// Dense power-iteration PPR from `source` (test oracle; O(iters * |E|)).
+std::vector<double> ExactPpr(const Csr& graph, int source, double alpha,
+                             int iters = 100);
+
+/// Top-k entries of a sparse vector by score (descending; source excluded if
+/// `exclude` >= 0). Ties broken by node id for determinism.
+SparseVec TopK(const SparseVec& vec, int k, int exclude = -1);
+
+}  // namespace bsg

@@ -1,0 +1,179 @@
+#include "tensor/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/string_util.h"
+
+namespace bsg {
+
+Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
+  if (rows.empty()) return Matrix();
+  Matrix m(static_cast<int>(rows.size()), static_cast<int>(rows[0].size()));
+  for (size_t r = 0; r < rows.size(); ++r) {
+    BSG_CHECK(rows[r].size() == rows[0].size(), "ragged FromRows input");
+    for (size_t c = 0; c < rows[r].size(); ++c) {
+      m(static_cast<int>(r), static_cast<int>(c)) = rows[r][c];
+    }
+  }
+  return m;
+}
+
+Matrix Matrix::Identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomNormal(int rows, int cols, double stddev, Rng* rng) {
+  Matrix m(rows, cols);
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Normal(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::Xavier(int rows, int cols, Rng* rng) {
+  Matrix m(rows, cols);
+  double a = std::sqrt(6.0 / (rows + cols));
+  for (size_t i = 0; i < m.size(); ++i) m.data()[i] = rng->Uniform(-a, a);
+  return m;
+}
+
+void Matrix::Add(const Matrix& other) {
+  BSG_CHECK(SameShape(other), "Add shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += other.data_[i];
+}
+
+void Matrix::Axpy(double alpha, const Matrix& other) {
+  BSG_CHECK(SameShape(other), "Axpy shape mismatch");
+  for (size_t i = 0; i < data_.size(); ++i) {
+    data_[i] += alpha * other.data_[i];
+  }
+}
+
+void Matrix::Scale(double alpha) {
+  for (auto& v : data_) v *= alpha;
+}
+
+Matrix Matrix::MatMul(const Matrix& other) const {
+  BSG_CHECK(cols_ == other.rows_, "MatMul inner dimension mismatch");
+  Matrix out(rows_, other.cols_);
+  // i-k-j loop order: streaming access over both operands.
+  for (int i = 0; i < rows_; ++i) {
+    const double* a_row = row(i);
+    double* o_row = out.row(i);
+    for (int k = 0; k < cols_; ++k) {
+      double a = a_row[k];
+      if (a == 0.0) continue;
+      const double* b_row = other.row(k);
+      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+    }
+  }
+  return out;
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix out(cols_, rows_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
+  }
+  return out;
+}
+
+double Matrix::Sum() const {
+  double s = 0.0;
+  for (double v : data_) s += v;
+  return s;
+}
+
+double Matrix::Mean() const { return data_.empty() ? 0.0 : Sum() / data_.size(); }
+
+double Matrix::AbsMax() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::fabs(v));
+  return m;
+}
+
+double Matrix::FrobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::RowNorm(int r) const {
+  const double* p = row(r);
+  double s = 0.0;
+  for (int c = 0; c < cols_; ++c) s += p[c] * p[c];
+  return std::sqrt(s);
+}
+
+double Matrix::RowCosine(int r, const Matrix& other, int s) const {
+  BSG_CHECK(cols_ == other.cols_, "RowCosine dimension mismatch");
+  const double* a = row(r);
+  const double* b = other.row(s);
+  double dot = 0.0, na = 0.0, nb = 0.0;
+  for (int c = 0; c < cols_; ++c) {
+    dot += a[c] * b[c];
+    na += a[c] * a[c];
+    nb += b[c] * b[c];
+  }
+  if (na <= 0.0 || nb <= 0.0) return 0.0;
+  return dot / std::sqrt(na * nb);
+}
+
+Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
+  Matrix out(static_cast<int>(indices.size()), cols_);
+  for (size_t i = 0; i < indices.size(); ++i) {
+    int r = indices[i];
+    BSG_CHECK(r >= 0 && r < rows_, "GatherRows index out of range");
+    std::copy(row(r), row(r) + cols_, out.row(static_cast<int>(i)));
+  }
+  return out;
+}
+
+std::vector<double> Matrix::ColMeans() const {
+  std::vector<double> means(cols_, 0.0);
+  if (rows_ == 0) return means;
+  for (int i = 0; i < rows_; ++i) {
+    const double* p = row(i);
+    for (int c = 0; c < cols_; ++c) means[c] += p[c];
+  }
+  for (auto& m : means) m /= rows_;
+  return means;
+}
+
+std::vector<double> Matrix::ColStddevs() const {
+  std::vector<double> sd(cols_, 0.0);
+  if (rows_ == 0) return sd;
+  std::vector<double> means = ColMeans();
+  for (int i = 0; i < rows_; ++i) {
+    const double* p = row(i);
+    for (int c = 0; c < cols_; ++c) {
+      double d = p[c] - means[c];
+      sd[c] += d * d;
+    }
+  }
+  for (auto& v : sd) v = std::sqrt(v / rows_);
+  return sd;
+}
+
+Matrix Matrix::ConcatCols(const Matrix& other) const {
+  BSG_CHECK(rows_ == other.rows_, "ConcatCols row mismatch");
+  Matrix out(rows_, cols_ + other.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    std::copy(row(i), row(i) + cols_, out.row(i));
+    std::copy(other.row(i), other.row(i) + other.cols_, out.row(i) + cols_);
+  }
+  return out;
+}
+
+std::string Matrix::DebugString() const {
+  std::string s = StrFormat("Matrix(%dx%d)[", rows_, cols_);
+  size_t show = std::min<size_t>(data_.size(), 6);
+  for (size_t i = 0; i < show; ++i) {
+    s += StrFormat("%s%.4g", i ? ", " : "", data_[i]);
+  }
+  if (data_.size() > show) s += ", ...";
+  return s + "]";
+}
+
+}  // namespace bsg

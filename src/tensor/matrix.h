@@ -1,0 +1,122 @@
+// Dense row-major matrix of doubles: the storage type underlying the autograd
+// engine and all feature pipelines.
+//
+// Kept deliberately simple (plain loops, no BLAS): experiment scales in this
+// repository are <= ~12k x 128, where straightforward O(n*m*k) loops are more
+// than fast enough and trivially portable.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace bsg {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<size_t>(rows) * cols, fill) {
+    BSG_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+  }
+
+  /// Builds a matrix from nested initializer data (row major), mostly for
+  /// tests. All rows must have equal length.
+  static Matrix FromRows(const std::vector<std::vector<double>>& rows);
+
+  /// Identity matrix of size n.
+  static Matrix Identity(int n);
+
+  /// Entries drawn i.i.d. from N(0, stddev^2).
+  static Matrix RandomNormal(int rows, int cols, double stddev, Rng* rng);
+
+  /// Xavier/Glorot uniform initialisation: U(-a, a), a = sqrt(6/(fan_in+out)).
+  static Matrix Xavier(int rows, int cols, Rng* rng);
+
+  int rows() const { return rows_; }
+  int cols() const { return cols_; }
+  size_t size() const { return data_.size(); }
+  bool empty() const { return data_.empty(); }
+
+  double& At(int r, int c) {
+    BSG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "At out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double At(int r, int c) const {
+    BSG_CHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_, "At out of range");
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  /// Unchecked element access for hot loops.
+  double& operator()(int r, int c) {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    return data_[static_cast<size_t>(r) * cols_ + c];
+  }
+
+  double* data() { return data_.data(); }
+  const double* data() const { return data_.data(); }
+  double* row(int r) { return data_.data() + static_cast<size_t>(r) * cols_; }
+  const double* row(int r) const {
+    return data_.data() + static_cast<size_t>(r) * cols_;
+  }
+
+  bool SameShape(const Matrix& other) const {
+    return rows_ == other.rows_ && cols_ == other.cols_;
+  }
+
+  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void Zero() { Fill(0.0); }
+
+  /// this += other (shapes must match).
+  void Add(const Matrix& other);
+  /// this += alpha * other.
+  void Axpy(double alpha, const Matrix& other);
+  /// this *= alpha elementwise.
+  void Scale(double alpha);
+
+  /// Dense matrix product: returns this * other.
+  Matrix MatMul(const Matrix& other) const;
+  /// Returns the transpose.
+  Matrix Transposed() const;
+
+  /// Sum of all entries.
+  double Sum() const;
+  /// Mean of all entries (0 for empty).
+  double Mean() const;
+  /// Maximum absolute entry (0 for empty).
+  double AbsMax() const;
+  /// Frobenius norm.
+  double FrobeniusNorm() const;
+
+  /// Euclidean (L2) norm of one row.
+  double RowNorm(int r) const;
+  /// Cosine similarity between row r of this and row s of other. Returns 0
+  /// when either row is the zero vector.
+  double RowCosine(int r, const Matrix& other, int s) const;
+
+  /// Extracts rows by index into a new matrix.
+  Matrix GatherRows(const std::vector<int>& indices) const;
+
+  /// Column-wise mean / stddev (population), used by the standardiser.
+  std::vector<double> ColMeans() const;
+  std::vector<double> ColStddevs() const;
+
+  /// Horizontal concatenation [this | other] (row counts must match).
+  Matrix ConcatCols(const Matrix& other) const;
+
+  /// Compact debug representation (shape + a few entries).
+  std::string DebugString() const;
+
+ private:
+  int rows_;
+  int cols_;
+  std::vector<double> data_;
+};
+
+}  // namespace bsg

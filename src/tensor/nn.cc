@@ -1,0 +1,56 @@
+#include "tensor/nn.h"
+
+namespace bsg {
+
+Tensor ParamStore::CreateXavier(int rows, int cols, Rng* rng,
+                                std::string name) {
+  Tensor t = MakeTensor(Matrix::Xavier(rows, cols, rng), /*requires_grad=*/true);
+  params_.push_back(t);
+  names_.push_back(std::move(name));
+  return t;
+}
+
+Tensor ParamStore::CreateZeros(int rows, int cols, std::string name) {
+  Tensor t = MakeTensor(Matrix(rows, cols, 0.0), /*requires_grad=*/true);
+  params_.push_back(t);
+  names_.push_back(std::move(name));
+  return t;
+}
+
+Tensor ParamStore::CreateFrom(Matrix init, std::string name) {
+  Tensor t = MakeTensor(std::move(init), /*requires_grad=*/true);
+  params_.push_back(t);
+  names_.push_back(std::move(name));
+  return t;
+}
+
+int64_t ParamStore::NumParameters() const {
+  int64_t total = 0;
+  for (const Tensor& p : params_) total += static_cast<int64_t>(p->value.size());
+  return total;
+}
+
+double ParamStore::SquaredNorm() const {
+  double total = 0.0;
+  for (const Tensor& p : params_) {
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double v = p->value.data()[i];
+      total += v * v;
+    }
+  }
+  return total;
+}
+
+Linear::Linear(int in_dim, int out_dim, ParamStore* store, Rng* rng,
+               const std::string& name)
+    : in_dim_(in_dim), out_dim_(out_dim) {
+  w_ = store->CreateXavier(in_dim, out_dim, rng, name + ".w");
+  b_ = store->CreateZeros(1, out_dim, name + ".b");
+}
+
+Tensor Linear::Forward(const Tensor& x) const {
+  BSG_CHECK(w_ != nullptr, "Linear used before initialisation");
+  return ops::AddRowVec(ops::MatMul(x, w_), b_);
+}
+
+}  // namespace bsg

@@ -1,0 +1,63 @@
+// Neural-network building blocks: parameter registry and Linear layers.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/ops.h"
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Owns the trainable parameters of a model. Parameters are leaf tensors
+/// with requires_grad = true; the optimiser iterates over `params()`.
+class ParamStore {
+ public:
+  /// Creates a Xavier-initialised (rows x cols) parameter.
+  Tensor CreateXavier(int rows, int cols, Rng* rng, std::string name = "");
+
+  /// Creates a zero-initialised parameter (biases).
+  Tensor CreateZeros(int rows, int cols, std::string name = "");
+
+  /// Creates a parameter with an explicit initial value.
+  Tensor CreateFrom(Matrix init, std::string name = "");
+
+  const std::vector<Tensor>& params() const { return params_; }
+  const std::vector<std::string>& names() const { return names_; }
+
+  /// Total scalar parameter count.
+  int64_t NumParameters() const;
+
+  /// Sum of squared parameter values (for L2 regularisation reporting).
+  double SquaredNorm() const;
+
+ private:
+  std::vector<Tensor> params_;
+  std::vector<std::string> names_;
+};
+
+/// Affine layer y = x W + b with Xavier-initialised W.
+class Linear {
+ public:
+  Linear() = default;
+  Linear(int in_dim, int out_dim, ParamStore* store, Rng* rng,
+         const std::string& name = "linear");
+
+  /// Applies the layer.
+  Tensor Forward(const Tensor& x) const;
+
+  int in_dim() const { return in_dim_; }
+  int out_dim() const { return out_dim_; }
+  const Tensor& weight() const { return w_; }
+  const Tensor& bias() const { return b_; }
+
+ private:
+  int in_dim_ = 0;
+  int out_dim_ = 0;
+  Tensor w_;
+  Tensor b_;
+};
+
+}  // namespace bsg

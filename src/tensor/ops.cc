@@ -1,0 +1,554 @@
+#include "tensor/ops.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace bsg {
+
+SpMat MakeSpMat(Csr a) {
+  auto fwd = std::make_shared<Csr>(std::move(a));
+  auto bwd = std::make_shared<Csr>(fwd->Transposed());
+  return SpMat{fwd, bwd};
+}
+
+namespace ops {
+
+namespace {
+
+// Creates a result node wired to its parents with requires_grad propagated.
+Tensor NewNode(Matrix value, std::vector<Tensor> parents) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->parents = std::move(parents);
+  for (const Tensor& p : node->parents) {
+    BSG_CHECK(p != nullptr, "null parent tensor");
+    node->requires_grad = node->requires_grad || p->requires_grad;
+  }
+  return node;
+}
+
+// Raw SpMM: out += A * x using per-edge weights (unit if unweighted).
+void SpmmAccumulate(const Csr& a, const Matrix& x, Matrix* out) {
+  const int d = x.cols();
+  for (int u = 0; u < a.num_nodes(); ++u) {
+    double* o = out->row(u);
+    const int* nb = a.NeighborsBegin(u);
+    const int* ne = a.NeighborsEnd(u);
+    const double* w = a.WeightsBegin(u);
+    for (const int* p = nb; p != ne; ++p) {
+      double weight = w ? w[p - nb] : 1.0;
+      const double* xr = x.row(*p);
+      for (int c = 0; c < d; ++c) o[c] += weight * xr[c];
+    }
+  }
+}
+
+}  // namespace
+
+Tensor MatMul(const Tensor& a, const Tensor& b) {
+  BSG_CHECK(a->cols() == b->rows(), "MatMul shape mismatch");
+  Tensor out = NewNode(a->value.MatMul(b->value), {a, b});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* b = self->parents[1].get();
+    if (a->requires_grad) {
+      a->grad.Add(self->grad.MatMul(b->value.Transposed()));
+    }
+    if (b->requires_grad) {
+      b->grad.Add(a->value.Transposed().MatMul(self->grad));
+    }
+  };
+  return out;
+}
+
+Tensor Add(const Tensor& a, const Tensor& b) {
+  BSG_CHECK(a->value.SameShape(b->value), "Add shape mismatch");
+  Matrix v = a->value;
+  v.Add(b->value);
+  Tensor out = NewNode(std::move(v), {a, b});
+  out->backward_fn = [](TensorNode* self) {
+    for (int k = 0; k < 2; ++k) {
+      TensorNode* p = self->parents[k].get();
+      if (p->requires_grad) p->grad.Add(self->grad);
+    }
+  };
+  return out;
+}
+
+Tensor Sub(const Tensor& a, const Tensor& b) {
+  BSG_CHECK(a->value.SameShape(b->value), "Sub shape mismatch");
+  Matrix v = a->value;
+  v.Axpy(-1.0, b->value);
+  Tensor out = NewNode(std::move(v), {a, b});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* b = self->parents[1].get();
+    if (a->requires_grad) a->grad.Add(self->grad);
+    if (b->requires_grad) b->grad.Axpy(-1.0, self->grad);
+  };
+  return out;
+}
+
+Tensor Mul(const Tensor& a, const Tensor& b) {
+  BSG_CHECK(a->value.SameShape(b->value), "Mul shape mismatch");
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] *= b->value.data()[i];
+  Tensor out = NewNode(std::move(v), {a, b});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* b = self->parents[1].get();
+    if (a->requires_grad) {
+      for (size_t i = 0; i < a->grad.size(); ++i) {
+        a->grad.data()[i] += self->grad.data()[i] * b->value.data()[i];
+      }
+    }
+    if (b->requires_grad) {
+      for (size_t i = 0; i < b->grad.size(); ++i) {
+        b->grad.data()[i] += self->grad.data()[i] * a->value.data()[i];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor AddRowVec(const Tensor& a, const Tensor& bias) {
+  BSG_CHECK(bias->rows() == 1 && bias->cols() == a->cols(),
+            "AddRowVec shape mismatch");
+  Matrix v = a->value;
+  for (int i = 0; i < v.rows(); ++i) {
+    double* r = v.row(i);
+    const double* b = bias->value.row(0);
+    for (int c = 0; c < v.cols(); ++c) r[c] += b[c];
+  }
+  Tensor out = NewNode(std::move(v), {a, bias});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* bias = self->parents[1].get();
+    if (a->requires_grad) a->grad.Add(self->grad);
+    if (bias->requires_grad) {
+      double* g = bias->grad.row(0);
+      for (int i = 0; i < self->grad.rows(); ++i) {
+        const double* r = self->grad.row(i);
+        for (int c = 0; c < self->grad.cols(); ++c) g[c] += r[c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor Scale(const Tensor& a, double alpha) {
+  Matrix v = a->value;
+  v.Scale(alpha);
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [alpha](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (a->requires_grad) a->grad.Axpy(alpha, self->grad);
+  };
+  return out;
+}
+
+Tensor LeakyRelu(const Tensor& a, double slope) {
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (v.data()[i] < 0.0) v.data()[i] *= slope;
+  }
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [slope](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      double factor = a->value.data()[i] >= 0.0 ? 1.0 : slope;
+      a->grad.data()[i] += factor * self->grad.data()[i];
+    }
+  };
+  return out;
+}
+
+Tensor Relu(const Tensor& a) { return LeakyRelu(a, 0.0); }
+
+Tensor Tanh(const Tensor& a) {
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] = std::tanh(v.data()[i]);
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      double y = self->value.data()[i];
+      a->grad.data()[i] += (1.0 - y * y) * self->grad.data()[i];
+    }
+  };
+  return out;
+}
+
+Tensor Sigmoid(const Tensor& a) {
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) {
+    v.data()[i] = 1.0 / (1.0 + std::exp(-v.data()[i]));
+  }
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      double y = self->value.data()[i];
+      a->grad.data()[i] += y * (1.0 - y) * self->grad.data()[i];
+    }
+  };
+  return out;
+}
+
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
+  BSG_CHECK(p >= 0.0 && p < 1.0, "dropout probability out of range");
+  if (!training || p == 0.0) return a;
+  auto mask = std::make_shared<std::vector<double>>(a->value.size());
+  double keep_scale = 1.0 / (1.0 - p);
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) {
+    double m = rng->Bernoulli(p) ? 0.0 : keep_scale;
+    (*mask)[i] = m;
+    v.data()[i] *= m;
+  }
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [mask](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (size_t i = 0; i < a->grad.size(); ++i) {
+      a->grad.data()[i] += (*mask)[i] * self->grad.data()[i];
+    }
+  };
+  return out;
+}
+
+Tensor ConcatCols(const std::vector<Tensor>& parts) {
+  BSG_CHECK(!parts.empty(), "ConcatCols on empty list");
+  int rows = parts[0]->rows();
+  int total_cols = 0;
+  for (const Tensor& t : parts) {
+    BSG_CHECK(t->rows() == rows, "ConcatCols row mismatch");
+    total_cols += t->cols();
+  }
+  Matrix v(rows, total_cols);
+  int offset = 0;
+  for (const Tensor& t : parts) {
+    for (int i = 0; i < rows; ++i) {
+      std::copy(t->value.row(i), t->value.row(i) + t->cols(),
+                v.row(i) + offset);
+    }
+    offset += t->cols();
+  }
+  Tensor out = NewNode(std::move(v), parts);
+  out->backward_fn = [](TensorNode* self) {
+    int offset = 0;
+    for (auto& parent : self->parents) {
+      TensorNode* p = parent.get();
+      if (p->requires_grad) {
+        for (int i = 0; i < p->grad.rows(); ++i) {
+          const double* g = self->grad.row(i) + offset;
+          double* pg = p->grad.row(i);
+          for (int c = 0; c < p->cols(); ++c) pg[c] += g[c];
+        }
+      }
+      offset += p->cols();
+    }
+  };
+  return out;
+}
+
+Tensor SliceCols(const Tensor& a, int start, int len) {
+  BSG_CHECK(start >= 0 && len >= 0 && start + len <= a->cols(),
+            "SliceCols out of range");
+  Matrix v(a->rows(), len);
+  for (int i = 0; i < a->rows(); ++i) {
+    std::copy(a->value.row(i) + start, a->value.row(i) + start + len,
+              v.row(i));
+  }
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [start, len](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (int i = 0; i < self->grad.rows(); ++i) {
+      const double* g = self->grad.row(i);
+      double* ag = a->grad.row(i) + start;
+      for (int c = 0; c < len; ++c) ag[c] += g[c];
+    }
+  };
+  return out;
+}
+
+Tensor GatherRows(const Tensor& a, std::vector<int> indices) {
+  auto idx = std::make_shared<std::vector<int>>(std::move(indices));
+  Tensor out = NewNode(a->value.GatherRows(*idx), {a});
+  out->backward_fn = [idx](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (size_t i = 0; i < idx->size(); ++i) {
+      const double* g = self->grad.row(static_cast<int>(i));
+      double* ag = a->grad.row((*idx)[i]);
+      for (int c = 0; c < self->grad.cols(); ++c) ag[c] += g[c];
+    }
+  };
+  return out;
+}
+
+Tensor SpMM(const SpMat& a, const Tensor& x) {
+  BSG_CHECK(a.fwd != nullptr && a.bwd != nullptr, "SpMM null operand");
+  BSG_CHECK(a.fwd->num_nodes() == x->rows(), "SpMM shape mismatch");
+  Matrix v(a.fwd->num_nodes(), x->cols());
+  SpmmAccumulate(*a.fwd, x->value, &v);
+  Tensor out = NewNode(std::move(v), {x});
+  std::shared_ptr<const Csr> bwd = a.bwd;
+  out->backward_fn = [bwd](TensorNode* self) {
+    TensorNode* x = self->parents[0].get();
+    if (!x->requires_grad) return;
+    SpmmAccumulate(*bwd, self->grad, &x->grad);
+  };
+  return out;
+}
+
+Tensor SegmentSum(const Tensor& msgs,
+                  std::shared_ptr<const std::vector<int64_t>> seg_ptr) {
+  int num_segments = static_cast<int>(seg_ptr->size()) - 1;
+  BSG_CHECK(seg_ptr->back() == msgs->rows(), "SegmentSum seg_ptr mismatch");
+  Matrix v(num_segments, msgs->cols());
+  for (int s = 0; s < num_segments; ++s) {
+    double* o = v.row(s);
+    for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
+      const double* m = msgs->value.row(static_cast<int>(e));
+      for (int c = 0; c < msgs->cols(); ++c) o[c] += m[c];
+    }
+  }
+  Tensor out = NewNode(std::move(v), {msgs});
+  out->backward_fn = [seg_ptr](TensorNode* self) {
+    TensorNode* msgs = self->parents[0].get();
+    if (!msgs->requires_grad) return;
+    int num_segments = static_cast<int>(seg_ptr->size()) - 1;
+    for (int s = 0; s < num_segments; ++s) {
+      const double* g = self->grad.row(s);
+      for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
+        double* mg = msgs->grad.row(static_cast<int>(e));
+        for (int c = 0; c < msgs->grad.cols(); ++c) mg[c] += g[c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor SegmentSoftmax(const Tensor& scores,
+                      std::shared_ptr<const std::vector<int64_t>> seg_ptr) {
+  BSG_CHECK(scores->cols() == 1, "SegmentSoftmax expects a column vector");
+  BSG_CHECK(seg_ptr->back() == scores->rows(),
+            "SegmentSoftmax seg_ptr mismatch");
+  int num_segments = static_cast<int>(seg_ptr->size()) - 1;
+  Matrix v(scores->rows(), 1);
+  for (int s = 0; s < num_segments; ++s) {
+    int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
+    if (lo == hi) continue;
+    double mx = -1e300;
+    for (int64_t e = lo; e < hi; ++e) {
+      mx = std::max(mx, scores->value(static_cast<int>(e), 0));
+    }
+    double total = 0.0;
+    for (int64_t e = lo; e < hi; ++e) {
+      double z = std::exp(scores->value(static_cast<int>(e), 0) - mx);
+      v(static_cast<int>(e), 0) = z;
+      total += z;
+    }
+    for (int64_t e = lo; e < hi; ++e) v(static_cast<int>(e), 0) /= total;
+  }
+  Tensor out = NewNode(std::move(v), {scores});
+  out->backward_fn = [seg_ptr](TensorNode* self) {
+    TensorNode* scores = self->parents[0].get();
+    if (!scores->requires_grad) return;
+    int num_segments = static_cast<int>(seg_ptr->size()) - 1;
+    for (int s = 0; s < num_segments; ++s) {
+      int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
+      double dot = 0.0;
+      for (int64_t e = lo; e < hi; ++e) {
+        int i = static_cast<int>(e);
+        dot += self->grad(i, 0) * self->value(i, 0);
+      }
+      for (int64_t e = lo; e < hi; ++e) {
+        int i = static_cast<int>(e);
+        scores->grad(i, 0) += self->value(i, 0) * (self->grad(i, 0) - dot);
+      }
+    }
+  };
+  return out;
+}
+
+Tensor MulColVec(const Tensor& a, const Tensor& s) {
+  BSG_CHECK(s->cols() == 1 && s->rows() == a->rows(),
+            "MulColVec shape mismatch");
+  Matrix v = a->value;
+  for (int i = 0; i < v.rows(); ++i) {
+    double w = s->value(i, 0);
+    double* r = v.row(i);
+    for (int c = 0; c < v.cols(); ++c) r[c] *= w;
+  }
+  Tensor out = NewNode(std::move(v), {a, s});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* s = self->parents[1].get();
+    for (int i = 0; i < self->grad.rows(); ++i) {
+      const double* g = self->grad.row(i);
+      if (a->requires_grad) {
+        double w = s->value(i, 0);
+        double* ag = a->grad.row(i);
+        for (int c = 0; c < self->grad.cols(); ++c) ag[c] += w * g[c];
+      }
+      if (s->requires_grad) {
+        const double* ar = a->value.row(i);
+        double acc = 0.0;
+        for (int c = 0; c < self->grad.cols(); ++c) acc += g[c] * ar[c];
+        s->grad(i, 0) += acc;
+      }
+    }
+  };
+  return out;
+}
+
+Tensor SoftmaxRows(const Tensor& a) {
+  Tensor out = NewNode(SoftmaxRowsValue(a->value), {a});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    for (int i = 0; i < self->grad.rows(); ++i) {
+      const double* y = self->value.row(i);
+      const double* g = self->grad.row(i);
+      double dot = 0.0;
+      for (int c = 0; c < self->grad.cols(); ++c) dot += y[c] * g[c];
+      double* ag = a->grad.row(i);
+      for (int c = 0; c < self->grad.cols(); ++c) {
+        ag[c] += y[c] * (g[c] - dot);
+      }
+    }
+  };
+  return out;
+}
+
+Tensor MeanAll(const Tensor& a) {
+  Matrix v(1, 1);
+  v(0, 0) = a->value.Mean();
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    double g = self->grad(0, 0) / static_cast<double>(a->value.size());
+    for (size_t i = 0; i < a->grad.size(); ++i) a->grad.data()[i] += g;
+  };
+  return out;
+}
+
+Tensor SumAll(const Tensor& a) {
+  Matrix v(1, 1);
+  v(0, 0) = a->value.Sum();
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    double g = self->grad(0, 0);
+    for (size_t i = 0; i < a->grad.size(); ++i) a->grad.data()[i] += g;
+  };
+  return out;
+}
+
+Tensor ElementAt(const Tensor& a, int r, int c) {
+  Matrix v(1, 1);
+  v(0, 0) = a->value.At(r, c);
+  Tensor out = NewNode(std::move(v), {a});
+  out->backward_fn = [r, c](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    if (!a->requires_grad) return;
+    a->grad(r, c) += self->grad(0, 0);
+  };
+  return out;
+}
+
+Tensor ScaleByScalar(const Tensor& a, const Tensor& s) {
+  BSG_CHECK(s->rows() == 1 && s->cols() == 1, "ScaleByScalar needs 1x1");
+  Matrix v = a->value;
+  v.Scale(s->value(0, 0));
+  Tensor out = NewNode(std::move(v), {a, s});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* s = self->parents[1].get();
+    if (a->requires_grad) a->grad.Axpy(s->value(0, 0), self->grad);
+    if (s->requires_grad) {
+      double acc = 0.0;
+      for (size_t i = 0; i < self->grad.size(); ++i) {
+        acc += self->grad.data()[i] * a->value.data()[i];
+      }
+      s->grad(0, 0) += acc;
+    }
+  };
+  return out;
+}
+
+Tensor SoftmaxCrossEntropy(const Tensor& logits, std::vector<int> labels,
+                           std::vector<int> mask) {
+  BSG_CHECK(static_cast<int>(labels.size()) == logits->rows(),
+            "labels size mismatch");
+  BSG_CHECK(!mask.empty(), "empty loss mask");
+  auto labels_p = std::make_shared<std::vector<int>>(std::move(labels));
+  auto mask_p = std::make_shared<std::vector<int>>(std::move(mask));
+  auto probs = std::make_shared<Matrix>(SoftmaxRowsValue(logits->value));
+  double loss = 0.0;
+  for (int i : *mask_p) {
+    BSG_CHECK(i >= 0 && i < logits->rows(), "mask index out of range");
+    int y = (*labels_p)[i];
+    BSG_CHECK(y >= 0 && y < logits->cols(), "label out of range");
+    loss -= std::log(std::max(probs->At(i, y), 1e-300));
+  }
+  loss /= static_cast<double>(mask_p->size());
+  Matrix v(1, 1);
+  v(0, 0) = loss;
+  Tensor out = NewNode(std::move(v), {logits});
+  out->backward_fn = [labels_p, mask_p, probs](TensorNode* self) {
+    TensorNode* logits = self->parents[0].get();
+    if (!logits->requires_grad) return;
+    double scale = self->grad(0, 0) / static_cast<double>(mask_p->size());
+    for (int i : *mask_p) {
+      int y = (*labels_p)[i];
+      double* g = logits->grad.row(i);
+      const double* p = probs->row(i);
+      for (int c = 0; c < logits->cols(); ++c) {
+        g[c] += scale * (p[c] - (c == y ? 1.0 : 0.0));
+      }
+    }
+  };
+  return out;
+}
+
+}  // namespace ops
+
+Matrix SoftmaxRowsValue(const Matrix& logits) {
+  Matrix out = logits;
+  for (int i = 0; i < out.rows(); ++i) {
+    double* r = out.row(i);
+    double mx = r[0];
+    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, r[c]);
+    double total = 0.0;
+    for (int c = 0; c < out.cols(); ++c) {
+      r[c] = std::exp(r[c] - mx);
+      total += r[c];
+    }
+    for (int c = 0; c < out.cols(); ++c) r[c] /= total;
+  }
+  return out;
+}
+
+std::vector<int> ArgmaxRows(const Matrix& m) {
+  std::vector<int> out(m.rows(), 0);
+  for (int i = 0; i < m.rows(); ++i) {
+    const double* r = m.row(i);
+    int best = 0;
+    for (int c = 1; c < m.cols(); ++c) {
+      if (r[c] > r[best]) best = c;
+    }
+    out[i] = best;
+  }
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,59 @@
+#include "tensor/optim.h"
+
+#include <cmath>
+
+namespace bsg {
+
+void Optimizer::ZeroGrad() {
+  for (const Tensor& p : params_) {
+    if (!p->grad.empty()) p->grad.Zero();
+  }
+}
+
+void Sgd::Step() {
+  for (const Tensor& p : params_) {
+    if (p->grad.empty()) continue;
+    if (weight_decay_ > 0.0) p->value.Axpy(-lr_ * weight_decay_, p->value);
+    p->value.Axpy(-lr_, p->grad);
+  }
+}
+
+Adam::Adam(std::vector<Tensor> params, double lr, double weight_decay,
+           double beta1, double beta2, double eps)
+    : Optimizer(std::move(params)),
+      lr_(lr),
+      weight_decay_(weight_decay),
+      beta1_(beta1),
+      beta2_(beta2),
+      eps_(eps) {
+  m_.reserve(params_.size());
+  v_.reserve(params_.size());
+  for (const Tensor& p : params_) {
+    m_.emplace_back(p->rows(), p->cols(), 0.0);
+    v_.emplace_back(p->rows(), p->cols(), 0.0);
+  }
+}
+
+void Adam::Step() {
+  ++t_;
+  double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(t_));
+  double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(t_));
+  for (size_t k = 0; k < params_.size(); ++k) {
+    Tensor p = params_[k];
+    if (p->grad.empty()) continue;
+    Matrix& m = m_[k];
+    Matrix& v = v_[k];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double g = p->grad.data()[i];
+      m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * g;
+      v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * g * g;
+      double mhat = m.data()[i] / bc1;
+      double vhat = v.data()[i] / bc2;
+      double update = mhat / (std::sqrt(vhat) + eps_);
+      if (weight_decay_ > 0.0) update += weight_decay_ * p->value.data()[i];
+      p->value.data()[i] -= lr_ * update;
+    }
+  }
+}
+
+}  // namespace bsg

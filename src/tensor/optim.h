@@ -1,0 +1,54 @@
+// First-order optimisers over ParamStore parameters.
+//
+// Weight decay implements the L2 term of the paper's loss (Eq. 16) as
+// decoupled decay applied at each step.
+#pragma once
+
+#include <vector>
+
+#include "tensor/nn.h"
+#include "tensor/tensor.h"
+
+namespace bsg {
+
+/// Optimiser interface: consume `param->grad`, update `param->value`.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+  /// Applies one update step from the current gradients.
+  virtual void Step() = 0;
+  /// Clears gradients of all registered parameters.
+  void ZeroGrad();
+
+ protected:
+  explicit Optimizer(std::vector<Tensor> params) : params_(std::move(params)) {}
+  std::vector<Tensor> params_;
+};
+
+/// Plain SGD with optional weight decay.
+class Sgd : public Optimizer {
+ public:
+  Sgd(std::vector<Tensor> params, double lr, double weight_decay = 0.0)
+      : Optimizer(std::move(params)), lr_(lr), weight_decay_(weight_decay) {}
+  void Step() override;
+
+ private:
+  double lr_;
+  double weight_decay_;
+};
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+class Adam : public Optimizer {
+ public:
+  Adam(std::vector<Tensor> params, double lr, double weight_decay = 0.0,
+       double beta1 = 0.9, double beta2 = 0.999, double eps = 1e-8);
+  void Step() override;
+
+ private:
+  double lr_, weight_decay_, beta1_, beta2_, eps_;
+  int64_t t_ = 0;
+  std::vector<Matrix> m_;
+  std::vector<Matrix> v_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,70 @@
+#include "tensor/tensor.h"
+
+#include <unordered_set>
+
+namespace bsg {
+
+Tensor MakeTensor(Matrix value, bool requires_grad) {
+  auto node = std::make_shared<TensorNode>();
+  node->value = std::move(value);
+  node->requires_grad = requires_grad;
+  return node;
+}
+
+Tensor MakeConstant(int rows, int cols, double fill) {
+  return MakeTensor(Matrix(rows, cols, fill), false);
+}
+
+namespace {
+
+// Iterative post-order DFS producing a topological order (parents before
+// children in the returned vector's *reverse*).
+void TopoSort(const Tensor& root, std::vector<TensorNode*>* order) {
+  std::unordered_set<TensorNode*> visited;
+  struct Frame {
+    TensorNode* node;
+    size_t next_parent;
+  };
+  std::vector<Frame> stack;
+  if (visited.insert(root.get()).second) {
+    stack.push_back({root.get(), 0});
+  }
+  while (!stack.empty()) {
+    Frame& top = stack.back();
+    if (top.next_parent < top.node->parents.size()) {
+      TensorNode* parent = top.node->parents[top.next_parent++].get();
+      if (visited.insert(parent).second) {
+        stack.push_back({parent, 0});
+      }
+    } else {
+      order->push_back(top.node);
+      stack.pop_back();
+    }
+  }
+}
+
+}  // namespace
+
+void Backward(const Tensor& root) {
+  BSG_CHECK(root != nullptr, "Backward on null tensor");
+  std::vector<TensorNode*> order;  // post-order: parents precede children
+  TopoSort(root, &order);
+  // (Re)initialise gradients for every node in the reachable graph.
+  for (TensorNode* node : order) {
+    node->grad = Matrix(node->rows(), node->cols(), 0.0);
+  }
+  root->grad.Fill(1.0);
+  // Children first: iterate post-order in reverse.
+  for (auto it = order.rbegin(); it != order.rend(); ++it) {
+    TensorNode* node = *it;
+    if (node->backward_fn) node->backward_fn(node);
+  }
+}
+
+void ZeroGrad(const std::vector<Tensor>& tensors) {
+  for (const Tensor& t : tensors) {
+    if (!t->grad.empty()) t->grad.Zero();
+  }
+}
+
+}  // namespace bsg

@@ -1,0 +1,50 @@
+// Reverse-mode automatic differentiation over dense matrices.
+//
+// A `Tensor` is a shared handle to a node in a dynamically-built computation
+// graph. Ops (see tensor/ops.h) create new nodes whose `backward_fn`
+// accumulates gradients into their parents. `Backward(loss)` topologically
+// sorts the graph reachable from `loss`, seeds d(loss)/d(loss) = 1 and runs
+// the chain rule. One Backward call per optimisation step; gradients of every
+// node in the graph are (re)initialised to zero at the start of the call.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "tensor/matrix.h"
+
+namespace bsg {
+
+struct TensorNode;
+
+/// Shared handle to an autograd node.
+using Tensor = std::shared_ptr<TensorNode>;
+
+/// One node of the computation graph.
+struct TensorNode {
+  Matrix value;
+  Matrix grad;               // allocated lazily by Backward()
+  bool requires_grad = false;
+  std::vector<Tensor> parents;
+  std::function<void(TensorNode*)> backward_fn;  // accumulates into parents
+
+  int rows() const { return value.rows(); }
+  int cols() const { return value.cols(); }
+};
+
+/// Wraps a value as a leaf node. `requires_grad = true` marks a parameter.
+Tensor MakeTensor(Matrix value, bool requires_grad = false);
+
+/// Convenience: constant leaf from shape + fill.
+Tensor MakeConstant(int rows, int cols, double fill = 0.0);
+
+/// Runs reverse-mode differentiation from `root`. `root` is typically a 1x1
+/// loss; for non-scalar roots the seed gradient is all-ones.
+void Backward(const Tensor& root);
+
+/// Zeroes the gradients of the given tensors (used between optimiser steps
+/// when graphs are retained; normally Backward() handles initialisation).
+void ZeroGrad(const std::vector<Tensor>& tensors);
+
+}  // namespace bsg

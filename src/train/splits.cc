@@ -1,0 +1,57 @@
+#include "train/splits.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace bsg {
+
+Splits StratifiedSplit(const std::vector<int>& labels, double train_frac,
+                       double val_frac, Rng* rng) {
+  BSG_CHECK(train_frac >= 0 && val_frac >= 0 && train_frac + val_frac <= 1.0,
+            "invalid split fractions");
+  Splits out;
+  std::vector<std::vector<int>> by_class(2);
+  for (size_t i = 0; i < labels.size(); ++i) {
+    BSG_CHECK(labels[i] == 0 || labels[i] == 1, "non-binary label");
+    by_class[labels[i]].push_back(static_cast<int>(i));
+  }
+  for (auto& cls : by_class) {
+    rng->Shuffle(&cls);
+    size_t n_train = static_cast<size_t>(cls.size() * train_frac);
+    size_t n_val = static_cast<size_t>(cls.size() * val_frac);
+    for (size_t i = 0; i < cls.size(); ++i) {
+      if (i < n_train) {
+        out.train.push_back(cls[i]);
+      } else if (i < n_train + n_val) {
+        out.val.push_back(cls[i]);
+      } else {
+        out.test.push_back(cls[i]);
+      }
+    }
+  }
+  std::sort(out.train.begin(), out.train.end());
+  std::sort(out.val.begin(), out.val.end());
+  std::sort(out.test.begin(), out.test.end());
+  return out;
+}
+
+std::vector<int> SubsampleTrainFraction(const std::vector<int>& train,
+                                        const std::vector<int>& labels,
+                                        double fraction, Rng* rng) {
+  BSG_CHECK(fraction > 0.0 && fraction <= 1.0, "fraction out of range");
+  if (fraction >= 1.0) return train;
+  std::vector<std::vector<int>> by_class(2);
+  for (int v : train) by_class[labels[v]].push_back(v);
+  std::vector<int> out;
+  for (auto& cls : by_class) {
+    if (cls.empty()) continue;
+    rng->Shuffle(&cls);
+    size_t keep = std::max<size_t>(1, static_cast<size_t>(cls.size() * fraction));
+    for (size_t i = 0; i < keep; ++i) out.push_back(cls[i]);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+}  // namespace bsg

@@ -1,0 +1,29 @@
+// Train/validation/test split utilities (stratified by label), plus the
+// label-fraction subsampling used by the low-sample study (Fig. 7).
+#pragma once
+
+#include <vector>
+
+#include "util/rng.h"
+
+namespace bsg {
+
+/// Stratified split: within each class, nodes are shuffled and divided
+/// train/val/test by the given fractions (test gets the remainder).
+struct Splits {
+  std::vector<int> train;
+  std::vector<int> val;
+  std::vector<int> test;
+};
+
+/// Builds a stratified split over nodes [0, labels.size()).
+Splits StratifiedSplit(const std::vector<int>& labels, double train_frac,
+                       double val_frac, Rng* rng);
+
+/// Keeps a `fraction` of `train` (stratified by label, at least one node per
+/// class present in the original set). Used for the Fig. 7 sweep.
+std::vector<int> SubsampleTrainFraction(const std::vector<int>& train,
+                                        const std::vector<int>& labels,
+                                        double fraction, Rng* rng);
+
+}  // namespace bsg

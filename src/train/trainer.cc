@@ -1,0 +1,63 @@
+#include "train/trainer.h"
+
+#include "tensor/optim.h"
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace bsg {
+
+TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
+  const HeteroGraph& g = model->graph();
+  const std::vector<int>& train_idx =
+      cfg.train_override.empty() ? g.train_idx : cfg.train_override;
+  BSG_CHECK(!train_idx.empty(), "empty training set");
+  BSG_CHECK(!g.val_idx.empty(), "empty validation set");
+
+  Adam optimizer(model->Parameters(), cfg.lr, cfg.weight_decay);
+  TrainResult res;
+  double best_score = -1.0;
+  int since_best = 0;
+
+  WallTimer total_timer;
+  for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    model->OnEpochStart();
+    double epoch_loss = 0.0;
+    std::vector<Tensor> losses = model->BuildEpochLosses(train_idx);
+    for (Tensor& loss : losses) {
+      Backward(loss);
+      optimizer.Step();
+      epoch_loss += loss->value(0, 0);
+    }
+    if (!losses.empty()) epoch_loss /= static_cast<double>(losses.size());
+    res.loss_history.push_back(epoch_loss);
+    res.epochs_run = epoch + 1;
+
+    // Validation.
+    Tensor logits = model->Forward(/*training=*/false);
+    EvalResult val = Evaluate(logits->value, g.labels, g.val_idx);
+    double score = val.f1 + 1e-6 * val.accuracy;
+    if (score > best_score) {
+      best_score = score;
+      since_best = 0;
+      res.val = val;
+      res.best_logits = logits->value;
+    } else {
+      ++since_best;
+    }
+    if (cfg.verbose) {
+      BSG_LOG_INFO("[%s] epoch %d loss %.4f val acc %.4f f1 %.4f",
+                   model->name().c_str(), epoch, epoch_loss, val.accuracy,
+                   val.f1);
+    }
+    if (epoch + 1 >= cfg.min_epochs && since_best >= cfg.patience) break;
+  }
+  res.total_seconds = total_timer.Seconds();
+  res.seconds_per_epoch =
+      res.epochs_run > 0 ? res.total_seconds / res.epochs_run : 0.0;
+  if (!g.test_idx.empty()) {
+    res.test = Evaluate(res.best_logits, g.labels, g.test_idx);
+  }
+  return res;
+}
+
+}  // namespace bsg

@@ -1,0 +1,42 @@
+// Training loop with Adam, dropout and early stopping (the paper's §IV-A
+// protocol), plus per-epoch wall-time accounting for Table III.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "models/model.h"
+#include "train/metrics.h"
+
+namespace bsg {
+
+/// Loop hyperparameters.
+struct TrainConfig {
+  int max_epochs = 150;
+  int min_epochs = 15;       ///< no early stop before this many epochs
+  int patience = 12;         ///< epochs without val-F1 improvement
+  double lr = 0.01;
+  double weight_decay = 5e-4;
+  bool verbose = false;
+  /// Optional training-set override (Fig. 7 low-sample study); empty means
+  /// use graph.train_idx.
+  std::vector<int> train_override;
+};
+
+/// Everything the experiment harness needs from one training run.
+struct TrainResult {
+  EvalResult val;          ///< metrics at the best-validation epoch
+  EvalResult test;         ///< test metrics at the best-validation epoch
+  Matrix best_logits;      ///< full-graph logits at that epoch
+  int epochs_run = 0;      ///< epochs until early stop (or max)
+  double total_seconds = 0.0;
+  double seconds_per_epoch = 0.0;
+  std::vector<double> loss_history;
+};
+
+/// Trains `model` on its graph with early stopping on validation F1
+/// (accuracy as tie-breaker). Test metrics are reported at the best
+/// validation epoch, never tuned on test.
+TrainResult TrainModel(Model* model, const TrainConfig& cfg);
+
+}  // namespace bsg

@@ -1,0 +1,71 @@
+// Minimal command-line flag parsing for the example/CLI binaries.
+//
+//   FlagParser flags(argc, argv);
+//   int k = flags.GetInt("k", 32);
+//   std::string preset = flags.GetString("dataset", "twibot20");
+//   if (flags.Has("help")) ...
+//
+// Accepts --name=value and --name value; bare --name acts as boolean true.
+#pragma once
+
+#include <cstdlib>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace bsg {
+
+/// Tiny --flag=value parser; unknown positional args collected separately.
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        positional_.push_back(arg);
+        continue;
+      }
+      arg = arg.substr(2);
+      size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";
+      }
+    }
+  }
+
+  bool Has(const std::string& name) const { return values_.count(name) > 0; }
+
+  std::string GetString(const std::string& name,
+                        const std::string& fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : it->second;
+  }
+
+  int GetInt(const std::string& name, int fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atoi(it->second.c_str());
+  }
+
+  double GetDouble(const std::string& name, double fallback) const {
+    auto it = values_.find(name);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+
+  bool GetBool(const std::string& name, bool fallback) const {
+    auto it = values_.find(name);
+    if (it == values_.end()) return fallback;
+    return it->second != "false" && it->second != "0";
+  }
+
+  const std::vector<std::string>& positional() const { return positional_; }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,27 @@
+// Minimal leveled logger. Writes to stderr; level settable at runtime.
+#pragma once
+
+#include <string>
+
+namespace bsg {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Sets the global minimum level that will be emitted.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// printf-style logging entry point; prefer the BSG_LOG_* macros.
+void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
+                ...) __attribute__((format(printf, 4, 5)));
+
+}  // namespace bsg
+
+#define BSG_LOG_DEBUG(...) \
+  ::bsg::LogMessage(::bsg::LogLevel::kDebug, __FILE__, __LINE__, __VA_ARGS__)
+#define BSG_LOG_INFO(...) \
+  ::bsg::LogMessage(::bsg::LogLevel::kInfo, __FILE__, __LINE__, __VA_ARGS__)
+#define BSG_LOG_WARN(...) \
+  ::bsg::LogMessage(::bsg::LogLevel::kWarn, __FILE__, __LINE__, __VA_ARGS__)
+#define BSG_LOG_ERROR(...) \
+  ::bsg::LogMessage(::bsg::LogLevel::kError, __FILE__, __LINE__, __VA_ARGS__)

@@ -1,0 +1,47 @@
+// Wall-clock timing utilities for the experiment harness.
+#pragma once
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+
+namespace bsg {
+
+/// Simple monotonic wall timer.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Elapsed seconds since construction or last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Formats a duration in seconds as "XminYYs" or "Xh YYmin" like the paper's
+/// Table III.
+inline std::string FormatDuration(double seconds) {
+  char buf[64];
+  if (seconds < 60.0) {
+    std::snprintf(buf, sizeof(buf), "%.2fs", seconds);
+  } else if (seconds < 3600.0) {
+    int m = static_cast<int>(seconds) / 60;
+    double s = seconds - m * 60;
+    std::snprintf(buf, sizeof(buf), "%dmin%04.1fs", m, s);
+  } else {
+    int h = static_cast<int>(seconds) / 3600;
+    int m = (static_cast<int>(seconds) % 3600) / 60;
+    std::snprintf(buf, sizeof(buf), "%dh%02dmin", h, m);
+  }
+  return buf;
+}
+
+}  // namespace bsg

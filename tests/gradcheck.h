@@ -1,0 +1,54 @@
+// Numerical gradient checking for the autograd engine.
+//
+// For a scalar-valued builder L(params), compares the analytic gradient
+// from Backward() against central finite differences on every entry of
+// every parameter. Double precision makes tolerances of ~1e-6 achievable.
+#pragma once
+
+#include <cmath>
+#include <functional>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "tensor/tensor.h"
+
+namespace bsg::testing {
+
+/// Rebuilds the scalar loss from current parameter values.
+using LossBuilder = std::function<Tensor()>;
+
+/// Checks d(loss)/d(param) for every parameter entry against central
+/// differences. `eps` is the probe step, `tol` the max allowed
+/// |analytic - numeric| / max(1, |numeric|).
+inline void ExpectGradientsMatch(const std::vector<Tensor>& params,
+                                 const LossBuilder& build_loss,
+                                 double eps = 1e-5, double tol = 1e-5) {
+  // Analytic gradients.
+  Tensor loss = build_loss();
+  ASSERT_EQ(loss->rows(), 1);
+  ASSERT_EQ(loss->cols(), 1);
+  Backward(loss);
+  std::vector<Matrix> analytic;
+  for (const Tensor& p : params) analytic.push_back(p->grad);
+
+  // Numeric gradients.
+  for (size_t k = 0; k < params.size(); ++k) {
+    Tensor p = params[k];
+    for (size_t i = 0; i < p->value.size(); ++i) {
+      double orig = p->value.data()[i];
+      p->value.data()[i] = orig + eps;
+      double up = build_loss()->value(0, 0);
+      p->value.data()[i] = orig - eps;
+      double down = build_loss()->value(0, 0);
+      p->value.data()[i] = orig;
+      double numeric = (up - down) / (2.0 * eps);
+      double got = analytic[k].data()[i];
+      double denom = std::max(1.0, std::fabs(numeric));
+      EXPECT_NEAR(got / denom, numeric / denom, tol)
+          << "param " << k << " entry " << i;
+    }
+  }
+}
+
+}  // namespace bsg::testing

@@ -1,0 +1,94 @@
+// ROC-AUC metric: hand-computed cases, ties, invariances.
+#include <gtest/gtest.h>
+
+#include "train/metrics.h"
+#include "util/rng.h"
+
+namespace bsg {
+namespace {
+
+std::vector<int> AllOf(size_t n) {
+  std::vector<int> idx(n);
+  for (size_t i = 0; i < n; ++i) idx[i] = static_cast<int>(i);
+  return idx;
+}
+
+TEST(RocAuc, PerfectSeparationIsOne) {
+  std::vector<double> scores = {0.1, 0.2, 0.8, 0.9};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(4)), 1.0);
+}
+
+TEST(RocAuc, PerfectInversionIsZero) {
+  std::vector<double> scores = {0.9, 0.8, 0.2, 0.1};
+  std::vector<int> labels = {0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(4)), 0.0);
+}
+
+TEST(RocAuc, AllTiedIsHalf) {
+  std::vector<double> scores = {0.5, 0.5, 0.5, 0.5};
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(4)), 0.5);
+}
+
+TEST(RocAuc, HandComputedMixedCase) {
+  // scores: n1=0.1, p1=0.4, n2=0.35, p2=0.8 -> pairs: (p1>n1), (p1>n2),
+  // (p2>n1), (p2>n2) => all 4 of 4 correct minus (p1 vs n2: 0.4>0.35 ok).
+  std::vector<double> scores = {0.1, 0.4, 0.35, 0.8};
+  std::vector<int> labels = {0, 1, 0, 1};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(4)), 1.0);
+  // Now flip one pair: p1 below n2.
+  scores[1] = 0.3;
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(4)), 0.75);
+}
+
+TEST(RocAuc, SingleClassReturnsHalf) {
+  std::vector<double> scores = {0.1, 0.9};
+  EXPECT_DOUBLE_EQ(RocAuc(scores, {0, 0}, AllOf(2)), 0.5);
+  EXPECT_DOUBLE_EQ(RocAuc(scores, {1, 1}, AllOf(2)), 0.5);
+}
+
+TEST(RocAuc, SubsetRestrictionApplies) {
+  std::vector<double> scores = {0.9, 0.1, 0.8};
+  std::vector<int> labels = {0, 0, 1};  // node 0 is a high-scoring human
+  // Over everyone, the human at 0.9 costs a pair.
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, AllOf(3)), 0.5);
+  // Excluding it, separation is perfect.
+  EXPECT_DOUBLE_EQ(RocAuc(scores, labels, {1, 2}), 1.0);
+}
+
+TEST(RocAuc, InvariantUnderMonotoneTransform) {
+  Rng rng(7);
+  std::vector<double> scores(50);
+  std::vector<int> labels(50);
+  for (int i = 0; i < 50; ++i) {
+    labels[i] = static_cast<int>(rng.UniformInt(2));
+    scores[i] = rng.Normal(labels[i] * 1.0, 1.0);
+  }
+  double base = RocAuc(scores, labels, AllOf(50));
+  std::vector<double> warped(50);
+  for (int i = 0; i < 50; ++i) warped[i] = std::exp(3.0 * scores[i]) + 7.0;
+  EXPECT_NEAR(RocAuc(warped, labels, AllOf(50)), base, 1e-12);
+}
+
+TEST(RocAuc, BotScoresMonotoneInLogitGap) {
+  Matrix logits = Matrix::FromRows({{2.0, 1.0}, {0.0, 3.0}, {1.0, 1.0}});
+  std::vector<double> s = BotScores(logits);
+  EXPECT_DOUBLE_EQ(s[0], -1.0);
+  EXPECT_DOUBLE_EQ(s[1], 3.0);
+  EXPECT_DOUBLE_EQ(s[2], 0.0);
+}
+
+TEST(RocAuc, RandomScoresNearHalf) {
+  Rng rng(9);
+  std::vector<double> scores(4000);
+  std::vector<int> labels(4000);
+  for (int i = 0; i < 4000; ++i) {
+    scores[i] = rng.Uniform();
+    labels[i] = static_cast<int>(rng.UniformInt(2));
+  }
+  EXPECT_NEAR(RocAuc(scores, labels, AllOf(4000)), 0.5, 0.03);
+}
+
+}  // namespace
+}  // namespace bsg

@@ -1,0 +1,32 @@
+// Shared fixtures: a small benchmark graph built once per test binary.
+#pragma once
+
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "graph/hetero_graph.h"
+
+namespace bsg::testing {
+
+/// A ~500-user, 2-relation benchmark graph (cached across tests).
+inline const HeteroGraph& SmallGraph() {
+  static const HeteroGraph* graph = [] {
+    DatasetConfig cfg = Twibot20Sim();
+    cfg.num_users = 500;
+    cfg.tweets_per_user = 10;
+    return new HeteroGraph(BuildBenchmarkGraph(cfg));
+  }();
+  return *graph;
+}
+
+/// A ~400-user, 7-relation (MGTAB-style) graph.
+inline const HeteroGraph& MultiRelationGraph() {
+  static const HeteroGraph* graph = [] {
+    DatasetConfig cfg = MgtabSim();
+    cfg.num_users = 400;
+    cfg.tweets_per_user = 8;
+    return new HeteroGraph(BuildBenchmarkGraph(cfg));
+  }();
+  return *graph;
+}
+
+}  // namespace bsg::testing

@@ -1,0 +1,64 @@
+// Command-line flag parser.
+#include <gtest/gtest.h>
+
+#include "util/flags.h"
+
+namespace bsg {
+namespace {
+
+FlagParser Parse(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  static std::vector<char*> argv;
+  argv.clear();
+  for (auto& s : storage) argv.push_back(s.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Flags, EqualsSyntax) {
+  FlagParser f = Parse({"--k=32", "--name=bsg"});
+  EXPECT_EQ(f.GetInt("k", 0), 32);
+  EXPECT_EQ(f.GetString("name", ""), "bsg");
+}
+
+TEST(Flags, SpaceSyntax) {
+  FlagParser f = Parse({"--k", "16", "--rate", "0.5"});
+  EXPECT_EQ(f.GetInt("k", 0), 16);
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 0.5);
+}
+
+TEST(Flags, BareFlagIsBooleanTrue) {
+  FlagParser f = Parse({"--verbose"});
+  EXPECT_TRUE(f.Has("verbose"));
+  EXPECT_TRUE(f.GetBool("verbose", false));
+}
+
+TEST(Flags, ExplicitFalse) {
+  FlagParser f = Parse({"--verbose=false", "--debug=0"});
+  EXPECT_FALSE(f.GetBool("verbose", true));
+  EXPECT_FALSE(f.GetBool("debug", true));
+}
+
+TEST(Flags, FallbacksWhenAbsent) {
+  FlagParser f = Parse({});
+  EXPECT_EQ(f.GetInt("k", 7), 7);
+  EXPECT_EQ(f.GetString("s", "dft"), "dft");
+  EXPECT_FALSE(f.Has("k"));
+}
+
+TEST(Flags, PositionalCollected) {
+  FlagParser f = Parse({"input.tsv", "--k=1", "output.tsv"});
+  ASSERT_EQ(f.positional().size(), 2u);
+  EXPECT_EQ(f.positional()[0], "input.tsv");
+  EXPECT_EQ(f.positional()[1], "output.tsv");
+}
+
+TEST(Flags, BareFlagFollowedByFlag) {
+  FlagParser f = Parse({"--verbose", "--k=2"});
+  EXPECT_TRUE(f.GetBool("verbose", false));
+  EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+}  // namespace
+}  // namespace bsg

@@ -1,0 +1,174 @@
+// HeteroGraph, homophily metrics, and the partitioner.
+#include <gtest/gtest.h>
+
+#include "graph/hetero_graph.h"
+#include "graph/homophily.h"
+#include "graph/partition.h"
+
+namespace bsg {
+namespace {
+
+HeteroGraph TinyGraph() {
+  HeteroGraph g;
+  g.name = "tiny";
+  g.num_nodes = 6;
+  g.relation_names = {"follow", "mention"};
+  g.relations.push_back(
+      Csr::FromEdgesSymmetric(6, {{0, 1}, {1, 2}, {3, 4}, {4, 5}}));
+  g.relations.push_back(Csr::FromEdgesSymmetric(6, {{0, 3}, {2, 5}}));
+  g.features = Matrix(6, 4, 1.0);
+  g.labels = {0, 0, 0, 1, 1, 1};
+  g.community = {0, 0, 0, 1, 1, 1};
+  g.train_idx = {0, 3};
+  g.val_idx = {1, 4};
+  g.test_idx = {2, 5};
+  g.feature_blocks["all"] = FeatureBlock{0, 4};
+  return g;
+}
+
+TEST(HeteroGraph, ValidatesCleanGraph) {
+  EXPECT_TRUE(TinyGraph().Validate().ok());
+}
+
+TEST(HeteroGraph, CountsAndTotals) {
+  HeteroGraph g = TinyGraph();
+  EXPECT_EQ(g.num_relations(), 2);
+  EXPECT_EQ(g.NumBots(), 3);
+  EXPECT_EQ(g.NumHumans(), 3);
+  EXPECT_EQ(g.TotalEdges(), 8 + 4);
+}
+
+TEST(HeteroGraph, MergedGraphUnionsRelations) {
+  Csr merged = TinyGraph().MergedGraph();
+  EXPECT_TRUE(merged.HasEdge(0, 1));  // from follow
+  EXPECT_TRUE(merged.HasEdge(0, 3));  // from mention
+  EXPECT_TRUE(merged.HasEdge(3, 0));  // symmetric
+}
+
+TEST(HeteroGraph, ZeroFeatureBlockKeepsShape) {
+  HeteroGraph g = TinyGraph();
+  HeteroGraph z = g.WithFeatureBlockZeroed("all");
+  EXPECT_EQ(z.features.cols(), g.features.cols());
+  EXPECT_DOUBLE_EQ(z.features.AbsMax(), 0.0);
+  EXPECT_DOUBLE_EQ(g.features.AbsMax(), 1.0);  // original untouched
+}
+
+TEST(HeteroGraph, InducedSubgraphRemapsEverything) {
+  HeteroGraph g = TinyGraph();
+  HeteroGraph sub = g.InducedSubgraph({0, 1, 3});
+  EXPECT_EQ(sub.num_nodes, 3);
+  EXPECT_TRUE(sub.Validate().ok());
+  EXPECT_EQ(sub.labels, (std::vector<int>{0, 0, 1}));
+  EXPECT_TRUE(sub.relations[0].HasEdge(0, 1));   // 0-1 follow edge kept
+  EXPECT_TRUE(sub.relations[1].HasEdge(0, 2));   // 0-3 mention edge kept
+  // Splits filtered+remapped: train {0,3} -> {0, 2}.
+  EXPECT_EQ(sub.train_idx, (std::vector<int>{0, 2}));
+  EXPECT_EQ(sub.val_idx, (std::vector<int>{1}));  // node 4 dropped
+}
+
+TEST(HeteroGraph, ValidateCatchesBadLabel) {
+  HeteroGraph g = TinyGraph();
+  g.labels[0] = 7;
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(HeteroGraph, ValidateCatchesBadSplit) {
+  HeteroGraph g = TinyGraph();
+  g.test_idx.push_back(99);
+  EXPECT_FALSE(g.Validate().ok());
+}
+
+TEST(Homophily, PerNodeValuesMatchHandComputation) {
+  // 0-1-2 all label 0; 3-4-5 all label 1; cross edge 2-3.
+  Csr g = Csr::FromEdgesSymmetric(6, {{0, 1}, {1, 2}, {2, 3}, {3, 4}, {4, 5}});
+  std::vector<int> labels = {0, 0, 0, 1, 1, 1};
+  std::vector<double> h = NodeHomophily(g, labels);
+  EXPECT_DOUBLE_EQ(h[0], 1.0);
+  EXPECT_DOUBLE_EQ(h[2], 0.5);  // neighbours 1 (same) and 3 (diff)
+  EXPECT_DOUBLE_EQ(h[3], 0.5);
+  EXPECT_DOUBLE_EQ(h[5], 1.0);
+}
+
+TEST(Homophily, IsolatedNodeUndefined) {
+  Csr g = Csr::FromEdgesSymmetric(3, {{0, 1}});
+  std::vector<double> h = NodeHomophily(g, {0, 0, 1});
+  EXPECT_DOUBLE_EQ(h[2], -1.0);
+  // Graph homophily skips it.
+  EXPECT_DOUBLE_EQ(GraphHomophily(g, {0, 0, 1}), 1.0);
+}
+
+TEST(Homophily, ClassHomophilySeparatesClasses) {
+  // Bots (label 1) attach only to humans: bot homophily 0, human ~high.
+  Csr g = Csr::FromEdgesSymmetric(5, {{0, 1}, {1, 2}, {3, 0}, {4, 2}});
+  std::vector<int> labels = {0, 0, 0, 1, 1};
+  EXPECT_DOUBLE_EQ(ClassHomophily(g, labels, 1), 0.0);
+  EXPECT_GT(ClassHomophily(g, labels, 0), 0.5);
+}
+
+TEST(Homophily, HistogramAndBuckets) {
+  std::vector<double> h = {0.1, 0.3, 0.6, 0.95, 1.0, -1.0};
+  std::vector<int> hist = HomophilyHistogram(h, 4);
+  EXPECT_EQ(hist[0], 1);  // 0.1
+  EXPECT_EQ(hist[1], 1);  // 0.3
+  EXPECT_EQ(hist[2], 1);  // 0.6
+  EXPECT_EQ(hist[3], 2);  // 0.95, 1.0 (clamped)
+  std::vector<int> buckets = HomophilyBuckets(h, 4);
+  EXPECT_EQ(buckets[5], -1);
+  EXPECT_EQ(buckets[4], 3);
+}
+
+TEST(Partition, CoversAllNodesWithinBounds) {
+  Rng rng(5);
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 1; i < 200; ++i) {
+    edges.emplace_back(i, static_cast<int>(rng.UniformInt(i)));
+  }
+  Csr g = Csr::FromEdgesSymmetric(200, edges);
+  std::vector<int> part = PartitionGraph(g, 8, &rng);
+  for (int p : part) {
+    EXPECT_GE(p, 0);
+    EXPECT_LT(p, 8);
+  }
+  auto groups = GroupByPart(part, 8);
+  size_t total = 0;
+  for (const auto& grp : groups) {
+    total += grp.size();
+    EXPECT_LE(grp.size(), 200u / 8 + 8);  // rough balance
+  }
+  EXPECT_EQ(total, 200u);
+}
+
+TEST(Partition, HandlesIsolatedNodes) {
+  Csr g = Csr::FromEdgesSymmetric(10, {{0, 1}});  // 8 isolated nodes
+  Rng rng(6);
+  std::vector<int> part = PartitionGraph(g, 3, &rng);
+  auto groups = GroupByPart(part, 3);
+  EXPECT_EQ(groups[0].size() + groups[1].size() + groups[2].size(), 10u);
+}
+
+TEST(Partition, CutFractionLowOnSeparableGraph) {
+  // Two cliques joined by one edge: a 2-partition should cut little.
+  std::vector<std::pair<int, int>> edges;
+  for (int i = 0; i < 10; ++i) {
+    for (int j = i + 1; j < 10; ++j) {
+      edges.emplace_back(i, j);
+      edges.emplace_back(10 + i, 10 + j);
+    }
+  }
+  edges.emplace_back(0, 10);
+  Csr g = Csr::FromEdgesSymmetric(20, edges);
+  Rng rng(7);
+  std::vector<int> part = PartitionGraph(g, 2, &rng);
+  EXPECT_LT(EdgeCutFraction(g, part), 0.3);
+}
+
+TEST(Partition, SinglePartIsTrivial) {
+  Csr g = Csr::FromEdgesSymmetric(5, {{0, 1}, {2, 3}});
+  Rng rng(8);
+  std::vector<int> part = PartitionGraph(g, 1, &rng);
+  for (int p : part) EXPECT_EQ(p, 0);
+  EXPECT_DOUBLE_EQ(EdgeCutFraction(g, part), 0.0);
+}
+
+}  // namespace
+}  // namespace bsg

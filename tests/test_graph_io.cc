@@ -1,0 +1,80 @@
+// Graph serialisation round-trips and failure paths.
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "graph/graph_io.h"
+#include "test_common.h"
+
+namespace bsg {
+namespace {
+
+using bsg::testing::SmallGraph;
+
+std::string TempDir(const char* tag) {
+  return ::testing::TempDir() + "/bsg_io_" + tag;
+}
+
+TEST(GraphIo, RoundTripPreservesEverything) {
+  const HeteroGraph& g = SmallGraph();
+  std::string dir = TempDir("roundtrip");
+  ASSERT_TRUE(SaveGraph(g, dir).ok());
+  Result<HeteroGraph> loaded_r = LoadGraph(dir);
+  ASSERT_TRUE(loaded_r.ok()) << loaded_r.status().ToString();
+  const HeteroGraph& l = loaded_r.ValueOrDie();
+
+  EXPECT_EQ(l.name, g.name);
+  EXPECT_EQ(l.num_nodes, g.num_nodes);
+  EXPECT_EQ(l.labels, g.labels);
+  EXPECT_EQ(l.community, g.community);
+  EXPECT_EQ(l.train_idx, g.train_idx);
+  EXPECT_EQ(l.val_idx, g.val_idx);
+  EXPECT_EQ(l.test_idx, g.test_idx);
+  EXPECT_EQ(l.relation_names, g.relation_names);
+  ASSERT_EQ(l.features.size(), g.features.size());
+  for (size_t i = 0; i < g.features.size(); ++i) {
+    EXPECT_DOUBLE_EQ(l.features.data()[i], g.features.data()[i]);
+  }
+  ASSERT_EQ(l.relations.size(), g.relations.size());
+  for (size_t r = 0; r < g.relations.size(); ++r) {
+    EXPECT_EQ(l.relations[r].indices(), g.relations[r].indices());
+    EXPECT_EQ(l.relations[r].indptr(), g.relations[r].indptr());
+  }
+  EXPECT_EQ(l.feature_blocks.size(), g.feature_blocks.size());
+  for (const auto& [name, blk] : g.feature_blocks) {
+    ASSERT_TRUE(l.feature_blocks.count(name));
+    EXPECT_EQ(l.feature_blocks.at(name).start, blk.start);
+    EXPECT_EQ(l.feature_blocks.at(name).len, blk.len);
+  }
+}
+
+TEST(GraphIo, LoadedGraphValidates) {
+  std::string dir = TempDir("validate");
+  ASSERT_TRUE(SaveGraph(SmallGraph(), dir).ok());
+  Result<HeteroGraph> loaded = LoadGraph(dir);
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_TRUE(loaded.ValueOrDie().Validate().ok());
+}
+
+TEST(GraphIo, LoadMissingDirectoryFails) {
+  Result<HeteroGraph> r = LoadGraph("/nonexistent/bsg_path");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(GraphIo, LoadCorruptMetaFails) {
+  std::string dir = TempDir("corrupt");
+  ::mkdir(dir.c_str(), 0755);
+  FILE* f = std::fopen((dir + "/meta.txt").c_str(), "w");
+  ASSERT_NE(f, nullptr);
+  std::fputs("garbage\n", f);
+  std::fclose(f);
+  Result<HeteroGraph> r = LoadGraph(dir);
+  EXPECT_FALSE(r.ok());
+}
+
+}  // namespace
+}  // namespace bsg

@@ -1,0 +1,123 @@
+// Linear layers, ParamStore bookkeeping, and optimisers.
+#include <gtest/gtest.h>
+
+#include "tensor/nn.h"
+#include "tensor/optim.h"
+
+namespace bsg {
+namespace {
+
+TEST(ParamStore, TracksParamsAndCounts) {
+  Rng rng(1);
+  ParamStore store;
+  store.CreateXavier(3, 4, &rng, "w");
+  store.CreateZeros(1, 4, "b");
+  EXPECT_EQ(store.params().size(), 2u);
+  EXPECT_EQ(store.NumParameters(), 12 + 4);
+  EXPECT_EQ(store.names()[0], "w");
+  for (const Tensor& p : store.params()) EXPECT_TRUE(p->requires_grad);
+}
+
+TEST(ParamStore, SquaredNorm) {
+  ParamStore store;
+  store.CreateFrom(Matrix::FromRows({{3.0, 4.0}}), "v");
+  EXPECT_DOUBLE_EQ(store.SquaredNorm(), 25.0);
+}
+
+TEST(Linear, ShapesAndAffineBehaviour) {
+  Rng rng(2);
+  ParamStore store;
+  Linear layer(3, 2, &store, &rng);
+  Tensor x = MakeTensor(Matrix::FromRows({{1, 0, 0}, {0, 0, 0}}));
+  Tensor y = layer.Forward(x);
+  EXPECT_EQ(y->rows(), 2);
+  EXPECT_EQ(y->cols(), 2);
+  // Row of zeros maps to the bias (zero-initialised).
+  EXPECT_DOUBLE_EQ(y->value(1, 0), 0.0);
+  EXPECT_DOUBLE_EQ(y->value(1, 1), 0.0);
+  // Row e0 maps to W[0,:].
+  EXPECT_DOUBLE_EQ(y->value(0, 0), layer.weight()->value(0, 0));
+}
+
+TEST(Sgd, StepMovesAgainstGradient) {
+  ParamStore store;
+  Tensor p = store.CreateFrom(Matrix::FromRows({{1.0}}), "p");
+  Sgd opt(store.params(), /*lr=*/0.1);
+  // loss = p^2 => dp = 2p = 2.
+  Tensor loss = ops::MeanAll(ops::Mul(p, p));
+  Backward(loss);
+  opt.Step();
+  EXPECT_NEAR(p->value(0, 0), 1.0 - 0.1 * 2.0, 1e-12);
+}
+
+TEST(Sgd, WeightDecayShrinksParams) {
+  ParamStore store;
+  Tensor p = store.CreateFrom(Matrix::FromRows({{2.0}}), "p");
+  Sgd opt(store.params(), /*lr=*/0.1, /*weight_decay=*/0.5);
+  p->grad = Matrix(1, 1, 0.0);  // zero gradient: only decay acts
+  opt.Step();
+  EXPECT_NEAR(p->value(0, 0), 2.0 - 0.1 * 0.5 * 2.0, 1e-12);
+}
+
+TEST(Adam, ConvergesOnQuadratic) {
+  ParamStore store;
+  Tensor p = store.CreateFrom(Matrix::FromRows({{5.0, -3.0}}), "p");
+  Adam opt(store.params(), /*lr=*/0.2);
+  for (int step = 0; step < 300; ++step) {
+    Tensor loss = ops::MeanAll(ops::Mul(p, p));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(p->value(0, 0), 0.0, 1e-3);
+  EXPECT_NEAR(p->value(0, 1), 0.0, 1e-3);
+}
+
+TEST(Adam, FirstStepIsLrSizedRegardlessOfGradScale) {
+  // Bias correction makes the first Adam step ~= lr * sign(grad).
+  for (double scale : {1e-3, 1.0, 1e3}) {
+    ParamStore store;
+    Tensor p = store.CreateFrom(Matrix::FromRows({{0.0}}), "p");
+    Adam opt(store.params(), /*lr=*/0.1);
+    p->grad = Matrix(1, 1, scale);
+    opt.Step();
+    EXPECT_NEAR(p->value(0, 0), -0.1, 1e-6) << "scale " << scale;
+  }
+}
+
+TEST(Adam, LinearRegressionRecoversWeights) {
+  // y = x * [2, -1]^T; a 1-layer linear net must recover the weights.
+  Rng rng(4);
+  Matrix x_data = Matrix::RandomNormal(64, 2, 1.0, &rng);
+  Matrix y_data(64, 1);
+  for (int i = 0; i < 64; ++i) {
+    y_data(i, 0) = 2.0 * x_data(i, 0) - 1.0 * x_data(i, 1);
+  }
+  ParamStore store;
+  Linear layer(2, 1, &store, &rng);
+  Adam opt(store.params(), 0.05);
+  Tensor x = MakeTensor(x_data);
+  Tensor y = MakeTensor(y_data);
+  for (int step = 0; step < 400; ++step) {
+    Tensor err = ops::Sub(layer.Forward(x), y);
+    Tensor loss = ops::MeanAll(ops::Mul(err, err));
+    Backward(loss);
+    opt.Step();
+  }
+  EXPECT_NEAR(layer.weight()->value(0, 0), 2.0, 1e-2);
+  EXPECT_NEAR(layer.weight()->value(1, 0), -1.0, 1e-2);
+  EXPECT_NEAR(layer.bias()->value(0, 0), 0.0, 1e-2);
+}
+
+TEST(Optimizer, ZeroGradClears) {
+  ParamStore store;
+  Tensor p = store.CreateFrom(Matrix::FromRows({{1.0}}), "p");
+  Sgd opt(store.params(), 0.1);
+  Tensor loss = ops::MeanAll(p);
+  Backward(loss);
+  EXPECT_NE(p->grad.AbsMax(), 0.0);
+  opt.ZeroGrad();
+  EXPECT_EQ(p->grad.AbsMax(), 0.0);
+}
+
+}  // namespace
+}  // namespace bsg

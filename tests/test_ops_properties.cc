@@ -1,0 +1,156 @@
+// Parameterised property tests over the tensor ops: algebraic identities
+// that must hold for random shapes and seeds.
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "graph/csr.h"
+#include "tensor/ops.h"
+#include "util/rng.h"
+
+namespace bsg {
+namespace {
+
+class OpsProperty : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  Rng rng_{GetParam()};
+};
+
+TEST_P(OpsProperty, SpMMMatchesDenseMatMul) {
+  const int n = 12 + static_cast<int>(rng_.UniformInt(10));
+  const int d = 3 + static_cast<int>(rng_.UniformInt(6));
+  std::vector<std::pair<int, int>> edges;
+  for (int e = 0; e < 4 * n; ++e) {
+    edges.emplace_back(static_cast<int>(rng_.UniformInt(n)),
+                       static_cast<int>(rng_.UniformInt(n)));
+  }
+  Csr adj = Csr::FromEdgesSymmetric(n, edges).Normalized(CsrNorm::kSym);
+  // Densify the adjacency.
+  Matrix dense(n, n);
+  for (int u = 0; u < n; ++u) {
+    const int* nb = adj.NeighborsBegin(u);
+    const double* w = adj.WeightsBegin(u);
+    for (int e = 0; e < adj.Degree(u); ++e) dense(u, nb[e]) = w[e];
+  }
+  Tensor x = MakeTensor(Matrix::RandomNormal(n, d, 1.0, &rng_));
+  Tensor sparse_out = ops::SpMM(MakeSpMat(adj), x);
+  Matrix dense_out = dense.MatMul(x->value);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < d; ++c) {
+      EXPECT_NEAR(sparse_out->value(i, c), dense_out(i, c), 1e-10);
+    }
+  }
+}
+
+TEST_P(OpsProperty, ConcatThenSliceIsIdentity) {
+  const int n = 4 + static_cast<int>(rng_.UniformInt(5));
+  Tensor a = MakeTensor(Matrix::RandomNormal(n, 3, 1.0, &rng_));
+  Tensor b = MakeTensor(Matrix::RandomNormal(n, 5, 1.0, &rng_));
+  Tensor cc = ops::ConcatCols({a, b});
+  Tensor a2 = ops::SliceCols(cc, 0, 3);
+  Tensor b2 = ops::SliceCols(cc, 3, 5);
+  for (int i = 0; i < n; ++i) {
+    for (int c = 0; c < 3; ++c) {
+      EXPECT_DOUBLE_EQ(a2->value(i, c), a->value(i, c));
+    }
+    for (int c = 0; c < 5; ++c) {
+      EXPECT_DOUBLE_EQ(b2->value(i, c), b->value(i, c));
+    }
+  }
+}
+
+TEST_P(OpsProperty, GatherSegmentSumAdjoint) {
+  // <Gather(x), y> == <x, SegmentScatter(y)>: verified via autograd — the
+  // gradient of sum(Gather(x) * y) wrt x must equal the scatter of y.
+  const int n = 6 + static_cast<int>(rng_.UniformInt(4));
+  const int m = 10 + static_cast<int>(rng_.UniformInt(6));
+  std::vector<int> idx(m);
+  for (int i = 0; i < m; ++i) idx[i] = static_cast<int>(rng_.UniformInt(n));
+  Tensor x = MakeTensor(Matrix::RandomNormal(n, 2, 1.0, &rng_), true);
+  Matrix y = Matrix::RandomNormal(m, 2, 1.0, &rng_);
+  Tensor loss = ops::SumAll(ops::Mul(ops::GatherRows(x, idx), MakeTensor(y)));
+  Backward(loss);
+  Matrix expect(n, 2);
+  for (int i = 0; i < m; ++i) {
+    expect(idx[i], 0) += y(i, 0);
+    expect(idx[i], 1) += y(i, 1);
+  }
+  for (int i = 0; i < n; ++i) {
+    EXPECT_NEAR(x->grad(i, 0), expect(i, 0), 1e-12);
+    EXPECT_NEAR(x->grad(i, 1), expect(i, 1), 1e-12);
+  }
+}
+
+TEST_P(OpsProperty, SoftmaxRowsIsDistribution) {
+  const int n = 3 + static_cast<int>(rng_.UniformInt(5));
+  const int c = 2 + static_cast<int>(rng_.UniformInt(6));
+  Tensor a = MakeTensor(Matrix::RandomNormal(n, c, 3.0, &rng_));
+  Tensor y = ops::SoftmaxRows(a);
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int j = 0; j < c; ++j) {
+      EXPECT_GE(y->value(i, j), 0.0);
+      total += y->value(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST_P(OpsProperty, SoftmaxRowsShiftInvariant) {
+  const int c = 4;
+  Tensor a = MakeTensor(Matrix::RandomNormal(3, c, 1.0, &rng_));
+  Matrix shifted = a->value;
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < c; ++j) shifted(i, j) += 100.0;
+  }
+  Tensor y1 = ops::SoftmaxRows(a);
+  Tensor y2 = ops::SoftmaxRows(MakeTensor(shifted));
+  for (int i = 0; i < 3; ++i) {
+    for (int j = 0; j < c; ++j) {
+      EXPECT_NEAR(y1->value(i, j), y2->value(i, j), 1e-12);
+    }
+  }
+}
+
+TEST_P(OpsProperty, ScaleComposesWithScalars) {
+  Tensor a = MakeTensor(Matrix::RandomNormal(4, 4, 1.0, &rng_));
+  Tensor s = MakeTensor(Matrix::FromRows({{2.5}}));
+  Tensor via_scalar = ops::ScaleByScalar(a, s);
+  Tensor via_const = ops::Scale(a, 2.5);
+  for (size_t i = 0; i < a->value.size(); ++i) {
+    EXPECT_DOUBLE_EQ(via_scalar->value.data()[i], via_const->value.data()[i]);
+  }
+}
+
+TEST_P(OpsProperty, CrossEntropyNonNegativeAndCalibrated) {
+  const int n = 8;
+  Tensor logits = MakeTensor(Matrix::RandomNormal(n, 2, 1.5, &rng_), true);
+  std::vector<int> labels(n);
+  std::vector<int> mask(n);
+  for (int i = 0; i < n; ++i) {
+    labels[i] = static_cast<int>(rng_.UniformInt(2));
+    mask[i] = i;
+  }
+  Tensor loss = ops::SoftmaxCrossEntropy(logits, labels, mask);
+  EXPECT_GE(loss->value(0, 0), 0.0);
+  // Perfectly confident correct logits drive the loss to ~0.
+  Matrix perfect(n, 2);
+  for (int i = 0; i < n; ++i) perfect(i, labels[i]) = 50.0;
+  Tensor zero_loss =
+      ops::SoftmaxCrossEntropy(MakeTensor(perfect), labels, mask);
+  EXPECT_NEAR(zero_loss->value(0, 0), 0.0, 1e-9);
+}
+
+TEST_P(OpsProperty, MeanAllMatchesSumAll) {
+  const int n = 3 + static_cast<int>(rng_.UniformInt(4));
+  const int c = 2 + static_cast<int>(rng_.UniformInt(4));
+  Tensor a = MakeTensor(Matrix::RandomNormal(n, c, 1.0, &rng_));
+  EXPECT_NEAR(ops::MeanAll(a)->value(0, 0) * n * c,
+              ops::SumAll(a)->value(0, 0), 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OpsProperty,
+                         ::testing::Values(11, 22, 33, 44, 55, 66));
+
+}  // namespace
+}  // namespace bsg

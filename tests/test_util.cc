@@ -1,0 +1,186 @@
+// Status/Result, RNG, string and timer utilities.
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/timer.h"
+
+namespace bsg {
+namespace {
+
+TEST(Status, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(s.ToString().find("INVALID_ARGUMENT"), std::string::npos);
+  EXPECT_NE(s.ToString().find("bad k"), std::string::npos);
+}
+
+TEST(Result, HoldsValue) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.ValueOrDie(), 42);
+}
+
+TEST(Result, HoldsError) {
+  Result<int> r(Status::NotFound("nope"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.NextU64(), b.NextU64());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 50; ++i) {
+    if (a.NextU64() == b.NextU64()) ++same;
+  }
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIntUnbiasedCoverage) {
+  Rng rng(6);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 300; ++i) seen.insert(rng.UniformInt(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, NormalMomentsApproximate) {
+  Rng rng(7);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    double x = rng.Normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Rng, PoissonMeanApproximatesLambda) {
+  Rng rng(8);
+  double total = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += rng.Poisson(4.5);
+  EXPECT_NEAR(total / n, 4.5, 0.15);
+}
+
+TEST(Rng, PoissonLargeLambdaNormalApprox) {
+  Rng rng(9);
+  double total = 0.0;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) total += rng.Poisson(60.0);
+  EXPECT_NEAR(total / n, 60.0, 1.0);
+}
+
+TEST(Rng, DirichletSumsToOne) {
+  Rng rng(10);
+  for (double alpha : {0.05, 0.5, 2.0}) {
+    auto v = rng.Dirichlet(20, alpha);
+    double total = 0.0;
+    for (double x : v) {
+      EXPECT_GE(x, 0.0);
+      total += x;
+    }
+    EXPECT_NEAR(total, 1.0, 1e-9);
+  }
+}
+
+TEST(Rng, SmallAlphaDirichletIsPeaky) {
+  Rng rng(11);
+  double max_small = 0.0, max_large = 0.0;
+  for (int rep = 0; rep < 50; ++rep) {
+    auto s = rng.Dirichlet(20, 0.05);
+    auto l = rng.Dirichlet(20, 2.0);
+    max_small += *std::max_element(s.begin(), s.end());
+    max_large += *std::max_element(l.begin(), l.end());
+  }
+  EXPECT_GT(max_small / 50, max_large / 50);  // concentration ordering
+}
+
+TEST(Rng, CategoricalRespectsWeights) {
+  Rng rng(12);
+  std::vector<double> w = {0.0, 1.0, 3.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 4000; ++i) counts[rng.Categorical(w)]++;
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_GT(counts[2], counts[1] * 2);
+}
+
+TEST(Rng, ShufflePreservesMultiset) {
+  Rng rng(13);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(Rng, SplitStreamsAreIndependentlySeeded) {
+  Rng parent(99);
+  Rng a = parent.Split();
+  Rng b = parent.Split();
+  EXPECT_NE(a.NextU64(), b.NextU64());
+}
+
+TEST(StringUtil, StrFormat) {
+  EXPECT_EQ(StrFormat("%d-%s-%.2f", 7, "x", 1.5), "7-x-1.50");
+}
+
+TEST(StringUtil, StrJoin) {
+  EXPECT_EQ(StrJoin({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(StrJoin({}, ","), "");
+}
+
+TEST(StringUtil, TablePrinterAlignsColumns) {
+  TablePrinter t({"Model", "Acc"});
+  t.AddRow({"GCN", "77.52"});
+  t.AddRow({"BSG4Bot", "89.15"});
+  std::string out = t.ToString();
+  EXPECT_NE(out.find("| Model  "), std::string::npos);
+  EXPECT_NE(out.find("| BSG4Bot"), std::string::npos);
+  EXPECT_NE(out.find("|--"), std::string::npos);
+}
+
+TEST(Timer, FormatDuration) {
+  EXPECT_EQ(FormatDuration(30.0), "30.00s");
+  EXPECT_EQ(FormatDuration(262.0), "4min22.0s");
+  EXPECT_EQ(FormatDuration(4 * 3600 + 52 * 60), "4h52min");
+}
+
+TEST(Timer, MeasuresElapsedTime) {
+  WallTimer t;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
+  EXPECT_GE(t.Seconds(), 0.0);
+  EXPECT_GE(t.Millis(), t.Seconds() * 1000.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace bsg
