@@ -1,0 +1,195 @@
+// Thread-scaling bench for the util/parallel.h substrates: dense MatMul,
+// SpMM, biased-subgraph construction and the k-means assignment step.
+//
+// For each substrate the serial (1-thread) run is the baseline; every other
+// thread count reports wall-clock speedup AND verifies bit-identical output
+// against the baseline (the substrate's determinism contract).
+//
+//   bench_parallel_scaling [--threads=T] [--reps=R]
+//       [--matmul_n=N] [--spmm_nodes=N] [--spmm_deg=D] [--spmm_cols=C]
+//       [--users=N] [--kmeans_points=N]
+//
+// --threads caps the sweep {1, 2, 4, 8}; the CI smoke uses --threads=2 with
+// small sizes so build or determinism regressions surface in seconds.
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/biased_subgraph.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "features/kmeans.h"
+#include "tensor/ops.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bsg;
+
+namespace {
+
+std::vector<int> ThreadSweep(int cap) {
+  std::vector<int> out;
+  for (int t : {1, 2, 4, 8}) {
+    if (t <= cap) out.push_back(t);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+template <typename Fn>
+double TimeBest(int reps, const Fn& fn) {
+  double best = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    WallTimer timer;
+    fn();
+    best = std::min(best, timer.Seconds());
+  }
+  return best;
+}
+
+bool SameBits(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0;
+}
+
+bool SameSubgraphs(const std::vector<BiasedSubgraph>& a,
+                   const std::vector<BiasedSubgraph>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].center != b[i].center ||
+        a[i].per_relation.size() != b[i].per_relation.size()) {
+      return false;
+    }
+    for (size_t r = 0; r < a[i].per_relation.size(); ++r) {
+      const RelationSubgraph& x = a[i].per_relation[r];
+      const RelationSubgraph& y = b[i].per_relation[r];
+      if (x.nodes != y.nodes || x.adj.indptr() != y.adj.indptr() ||
+          x.adj.indices() != y.adj.indices()) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+void PrintRow(int threads, double seconds, double baseline, bool identical) {
+  std::printf("  threads=%d  %9.4fs  speedup=%.2fx  bit-identical=%s\n",
+              threads, seconds, baseline / seconds, identical ? "yes" : "NO");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int cap = flags.GetInt("threads", 8);
+  const int reps = flags.GetInt("reps", 3);
+  const std::vector<int> sweep = ThreadSweep(cap);
+
+  // --- dense MatMul -------------------------------------------------------
+  {
+    const int n = flags.GetInt("matmul_n", 512);
+    Rng rng(7);
+    Matrix a = Matrix::RandomNormal(n, n, 1.0, &rng);
+    Matrix b = Matrix::RandomNormal(n, n, 1.0, &rng);
+    std::printf("=== MatMul %dx%dx%d ===\n", n, n, n);
+    Matrix ref;
+    double baseline = 0.0;
+    for (int t : sweep) {
+      SetNumThreads(t);
+      Matrix out;
+      double secs = TimeBest(reps, [&] { out = a.MatMul(b); });
+      if (t == 1) {
+        ref = out;
+        baseline = secs;
+      }
+      PrintRow(t, secs, baseline, SameBits(out, ref));
+    }
+  }
+
+  // --- SpMM ---------------------------------------------------------------
+  {
+    const int n = flags.GetInt("spmm_nodes", 20000);
+    const int deg = flags.GetInt("spmm_deg", 16);
+    const int cols = flags.GetInt("spmm_cols", 32);
+    Rng rng(11);
+    std::vector<std::pair<int, int>> edges;
+    edges.reserve(static_cast<size_t>(n) * deg);
+    for (int u = 0; u < n; ++u) {
+      for (int e = 0; e < deg; ++e) {
+        edges.emplace_back(u, static_cast<int>(rng.UniformInt(n)));
+      }
+    }
+    SpMat adj = MakeSpMat(
+        Csr::FromEdgesSymmetric(n, edges).Normalized(CsrNorm::kSym));
+    Tensor x = MakeTensor(Matrix::RandomNormal(n, cols, 1.0, &rng));
+    std::printf("=== SpMM %d nodes x deg %d x %d cols ===\n", n, deg, cols);
+    Matrix ref;
+    double baseline = 0.0;
+    for (int t : sweep) {
+      SetNumThreads(t);
+      Tensor y;
+      double secs = TimeBest(reps, [&] { y = ops::SpMM(adj, x); });
+      if (t == 1) {
+        ref = y->value;
+        baseline = secs;
+      }
+      PrintRow(t, secs, baseline, SameBits(y->value, ref));
+    }
+  }
+
+  // --- biased subgraph construction --------------------------------------
+  {
+    const int users = flags.GetInt("users", 1200);
+    DatasetConfig dc = Twibot20Sim();
+    dc.num_users = users;
+    dc.tweets_per_user = 8;
+    HeteroGraph g = BuildBenchmarkGraph(dc);
+    Rng rng(13);
+    Matrix reps_m = Matrix::RandomNormal(g.num_nodes, 32, 1.0, &rng);
+    BiasedSubgraphConfig cfg;
+    cfg.k = 32;
+    std::printf("=== BuildAllSubgraphs over %d centers ===\n", g.num_nodes);
+    std::vector<BiasedSubgraph> ref;
+    double baseline = 0.0;
+    for (int t : sweep) {
+      SetNumThreads(t);
+      std::vector<BiasedSubgraph> subs;
+      double secs =
+          TimeBest(reps, [&] { subs = BuildAllSubgraphs(g, reps_m, cfg); });
+      if (t == 1) {
+        ref = subs;
+        baseline = secs;
+      }
+      PrintRow(t, secs, baseline, SameSubgraphs(subs, ref));
+    }
+  }
+
+  // --- k-means assignment -------------------------------------------------
+  {
+    const int n = flags.GetInt("kmeans_points", 20000);
+    Rng rng(17);
+    Matrix points = Matrix::RandomNormal(n, 16, 1.0, &rng);
+    Matrix centers = Matrix::RandomNormal(20, 16, 1.0, &rng);
+    std::printf("=== k-means assignment %d points x 16 dims x 20 centers ===\n",
+                n);
+    std::vector<int> ref;
+    double baseline = 0.0;
+    for (int t : sweep) {
+      SetNumThreads(t);
+      std::vector<int> assign;
+      double secs =
+          TimeBest(reps, [&] { assign = AssignToCenters(points, centers); });
+      if (t == 1) {
+        ref = assign;
+        baseline = secs;
+      }
+      PrintRow(t, secs, baseline, assign == ref);
+    }
+  }
+
+  SetNumThreads(0);
+  return 0;
+}

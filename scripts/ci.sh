@@ -1,0 +1,28 @@
+#!/usr/bin/env bash
+# Tier-1 verify plus a determinism/threading smoke, suitable for CI.
+#
+#   scripts/ci.sh [build_dir]
+#
+# 1. configure + build (Release)
+# 2. ctest with BSG_NUM_THREADS=1 and BSG_NUM_THREADS=4 — the suite asserts
+#    bit-identical results, so a green run at both settings catches both
+#    build and determinism regressions
+# 3. smoke run of bench_parallel_scaling at --threads=2 on small sizes
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+BUILD_DIR="${1:-build}"
+JOBS="$(nproc)"
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$JOBS"
+
+echo "=== ctest (BSG_NUM_THREADS=1) ==="
+(cd "$BUILD_DIR" && BSG_NUM_THREADS=1 ctest --output-on-failure -j "$JOBS")
+
+echo "=== ctest (BSG_NUM_THREADS=4) ==="
+(cd "$BUILD_DIR" && BSG_NUM_THREADS=4 ctest --output-on-failure -j "$JOBS")
+
+echo "=== bench_parallel_scaling smoke (--threads=2) ==="
+"$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
+  --spmm_nodes=4000 --users=300 --kmeans_points=4000 --reps=1

@@ -4,6 +4,7 @@
 #include <set>
 
 #include "core/pretrain.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace bsg {
@@ -15,11 +16,13 @@ namespace {
 Csr BuildSubgraphAdjacency(const Csr& relation,
                            const std::vector<int>& nodes) {
   const int m = static_cast<int>(nodes.size());
+  Csr induced = relation.InducedSubgraph(nodes);
   std::vector<std::pair<int, int>> edges;
+  edges.reserve(static_cast<size_t>(m > 0 ? m - 1 : 0) +
+                static_cast<size_t>(induced.num_edges()));
   // Star: every selected node connects to the centre (local id 0).
   for (int i = 1; i < m; ++i) edges.emplace_back(0, i);
   // Induced original edges.
-  Csr induced = relation.InducedSubgraph(nodes);
   for (int u = 0; u < induced.num_nodes(); ++u) {
     for (const int* p = induced.NeighborsBegin(u); p != induced.NeighborsEnd(u);
          ++p) {
@@ -81,11 +84,15 @@ BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
 std::vector<BiasedSubgraph> BuildAllSubgraphs(
     const HeteroGraph& g, const Matrix& hidden_reps,
     const BiasedSubgraphConfig& cfg) {
-  std::vector<BiasedSubgraph> out;
-  out.reserve(g.num_nodes);
-  for (int v = 0; v < g.num_nodes; ++v) {
-    out.push_back(BuildBiasedSubgraph(g, hidden_reps, v, cfg));
-  }
+  // Embarrassingly parallel over centre nodes: every centre runs its own
+  // PPR + scoring against read-only inputs and writes a pre-sized slot, so
+  // the output order (and every subgraph) is identical to the serial loop.
+  std::vector<BiasedSubgraph> out(g.num_nodes);
+  ParallelFor(0, g.num_nodes, 1, [&](int64_t v0, int64_t v1) {
+    for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
+      out[v] = BuildBiasedSubgraph(g, hidden_reps, v, cfg);
+    }
+  });
   return out;
 }
 

@@ -6,24 +6,31 @@
 #include "features/zscore.h"
 #include "train/splits.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace bsg {
 
 namespace {
 
+// User-range grain for the per-user feature loops (each user owns its own
+// output rows, so the loops are conflict-free and thread-count invariant).
+constexpr int kUserGrain = 64;
+
 // Numerical metadata, log-scaled before standardisation (heavy tails).
 Matrix NumericalMetadata(const RawDataset& raw) {
   const int n = raw.num_users();
   Matrix m(n, 5);
-  for (int u = 0; u < n; ++u) {
-    const UserMetadata& md = raw.metadata[u];
-    m(u, 0) = std::log1p(md.followers);
-    m(u, 1) = std::log1p(md.friends);
-    m(u, 2) = std::log1p(md.listed);
-    m(u, 3) = std::log1p(md.account_age_days);
-    m(u, 4) = std::log1p(md.total_tweets);
-  }
+  ParallelFor(0, n, kUserGrain, [&](int64_t u0, int64_t u1) {
+    for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+      const UserMetadata& md = raw.metadata[u];
+      m(u, 0) = std::log1p(md.followers);
+      m(u, 1) = std::log1p(md.friends);
+      m(u, 2) = std::log1p(md.listed);
+      m(u, 3) = std::log1p(md.account_age_days);
+      m(u, 4) = std::log1p(md.total_tweets);
+    }
+  });
   return m;
 }
 
@@ -44,16 +51,18 @@ Matrix MeanTweetEmbedding(const RawDataset& raw) {
   const int n = raw.num_users();
   const int d = raw.tweet_embeddings.cols();
   Matrix m(n, d);
-  for (int u = 0; u < n; ++u) {
-    int64_t lo = raw.tweet_offsets[u], hi = raw.tweet_offsets[u + 1];
-    if (lo == hi) continue;
-    double* out = m.row(u);
-    for (int64_t e = lo; e < hi; ++e) {
-      const double* t = raw.tweet_embeddings.row(static_cast<int>(e));
-      for (int c = 0; c < d; ++c) out[c] += t[c];
+  ParallelFor(0, n, kUserGrain, [&](int64_t u0, int64_t u1) {
+    for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+      int64_t lo = raw.tweet_offsets[u], hi = raw.tweet_offsets[u + 1];
+      if (lo == hi) continue;
+      double* out = m.row(u);
+      for (int64_t e = lo; e < hi; ++e) {
+        const double* t = raw.tweet_embeddings.row(static_cast<int>(e));
+        for (int c = 0; c < d; ++c) out[c] += t[c];
+      }
+      for (int c = 0; c < d; ++c) out[c] /= static_cast<double>(hi - lo);
     }
-    for (int c = 0; c < d; ++c) out[c] /= static_cast<double>(hi - lo);
-  }
+  });
   return m;
 }
 
@@ -73,22 +82,24 @@ HeteroGraph BuildGraph(const RawDataset& raw, const FeaturePipelineConfig& cfg,
   Matrix category_pct(n, k);
   Matrix category_count(n, 1);
   std::vector<int> num_categories(n, 0);
-  for (int u = 0; u < n; ++u) {
-    int64_t lo = raw.tweet_offsets[u], hi = raw.tweet_offsets[u + 1];
-    std::set<int> distinct;
-    for (int64_t e = lo; e < hi; ++e) {
-      int c = km.assignment[static_cast<size_t>(e)];
-      distinct.insert(c);
-      category_pct(u, c) += 1.0;
-    }
-    if (hi > lo) {
-      for (int c = 0; c < k; ++c) {
-        category_pct(u, c) /= static_cast<double>(hi - lo);
+  ParallelFor(0, n, kUserGrain, [&](int64_t u0, int64_t u1) {
+    for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+      int64_t lo = raw.tweet_offsets[u], hi = raw.tweet_offsets[u + 1];
+      std::set<int> distinct;
+      for (int64_t e = lo; e < hi; ++e) {
+        int c = km.assignment[static_cast<size_t>(e)];
+        distinct.insert(c);
+        category_pct(u, c) += 1.0;
       }
+      if (hi > lo) {
+        for (int c = 0; c < k; ++c) {
+          category_pct(u, c) /= static_cast<double>(hi - lo);
+        }
+      }
+      num_categories[u] = static_cast<int>(distinct.size());
+      category_count(u, 0) = num_categories[u];
     }
-    num_categories[u] = static_cast<int>(distinct.size());
-    category_count(u, 0) = num_categories[u];
-  }
+  });
   ZScoreScaler count_scaler;
   Matrix category_count_z = count_scaler.FitTransform(category_count);
 
@@ -96,16 +107,18 @@ HeteroGraph BuildGraph(const RawDataset& raw, const FeaturePipelineConfig& cfg,
   int months = cfg.temporal_months;
   BSG_CHECK(months <= raw.config.months, "temporal feature window too long");
   Matrix temporal(n, months);
-  for (int u = 0; u < n; ++u) {
-    const std::vector<int>& counts = raw.monthly_counts[u];
-    int start = raw.config.months - months;
-    double total = 0.0;
-    for (int m = start; m < raw.config.months; ++m) total += counts[m];
-    for (int m = 0; m < months; ++m) {
-      temporal(u, m) =
-          total > 0.0 ? counts[start + m] / total : 1.0 / months;
+  ParallelFor(0, n, kUserGrain, [&](int64_t u0, int64_t u1) {
+    for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+      const std::vector<int>& counts = raw.monthly_counts[u];
+      int start = raw.config.months - months;
+      double total = 0.0;
+      for (int m = start; m < raw.config.months; ++m) total += counts[m];
+      for (int m = 0; m < months; ++m) {
+        temporal(u, m) =
+            total > 0.0 ? counts[start + m] / total : 1.0 / months;
+      }
     }
-  }
+  });
 
   // --- metadata ---
   ZScoreScaler num_scaler;

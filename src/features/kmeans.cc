@@ -4,11 +4,16 @@
 #include <cmath>
 #include <limits>
 
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace bsg {
 
 namespace {
+
+// Point-range grain for the parallel assignment step. Fixed (independent of
+// thread count) so the chunk-ordered inertia reduction is deterministic.
+constexpr int kAssignGrain = 256;
 
 double SqDist(const double* a, const double* b, int d) {
   double s = 0.0;
@@ -17,6 +22,29 @@ double SqDist(const double* a, const double* b, int d) {
     s += diff * diff;
   }
   return s;
+}
+
+// Nearest-centre scan for points [lo, hi): writes assignments, returns the
+// summed squared distance of the range. Shared by the Lloyd assignment
+// step and AssignToCenters so the assignment rule lives in one place.
+double AssignRange(const Matrix& points, const Matrix& centers, int64_t lo,
+                   int64_t hi, std::vector<int>* assignment) {
+  const int d = points.cols(), k = centers.rows();
+  double inertia = 0.0;
+  for (int i = static_cast<int>(lo); i < static_cast<int>(hi); ++i) {
+    int best = 0;
+    double best_d = SqDist(points.row(i), centers.row(0), d);
+    for (int c = 1; c < k; ++c) {
+      double d2 = SqDist(points.row(i), centers.row(c), d);
+      if (d2 < best_d) {
+        best_d = d2;
+        best = c;
+      }
+    }
+    (*assignment)[i] = best;
+    inertia += best_d;
+  }
+  return inertia;
 }
 
 // k-means++ seeding: first centre uniform, next centres proportional to
@@ -64,21 +92,12 @@ KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& cfg,
   res.assignment.assign(n, 0);
 
   for (int it = 0; it < cfg.max_iters; ++it) {
-    // Assignment step.
-    res.inertia = 0.0;
-    for (int i = 0; i < n; ++i) {
-      int best = 0;
-      double best_d = SqDist(points.row(i), res.centers.row(0), d);
-      for (int c = 1; c < k; ++c) {
-        double d2 = SqDist(points.row(i), res.centers.row(c), d);
-        if (d2 < best_d) {
-          best_d = d2;
-          best = c;
-        }
-      }
-      res.assignment[i] = best;
-      res.inertia += best_d;
-    }
+    // Assignment step: parallel over point ranges (each point's slot is
+    // written by exactly one chunk); the inertia is reduced in chunk order,
+    // so it is bit-identical at any thread count.
+    res.inertia = ParallelSum(0, n, kAssignGrain, [&](int64_t i0, int64_t i1) {
+      return AssignRange(points, res.centers, i0, i1, &res.assignment);
+    });
     // Update step.
     Matrix next(k, d);
     std::vector<int> counts(k, 0);
@@ -113,20 +132,11 @@ KMeansResult RunKMeans(const Matrix& points, const KMeansConfig& cfg,
 
 std::vector<int> AssignToCenters(const Matrix& points, const Matrix& centers) {
   BSG_CHECK(points.cols() == centers.cols(), "dimension mismatch");
-  const int n = points.rows(), d = points.cols(), k = centers.rows();
+  const int n = points.rows();
   std::vector<int> out(n, 0);
-  for (int i = 0; i < n; ++i) {
-    int best = 0;
-    double best_d = SqDist(points.row(i), centers.row(0), d);
-    for (int c = 1; c < k; ++c) {
-      double d2 = SqDist(points.row(i), centers.row(c), d);
-      if (d2 < best_d) {
-        best_d = d2;
-        best = c;
-      }
-    }
-    out[i] = best;
-  }
+  ParallelFor(0, n, kAssignGrain, [&](int64_t i0, int64_t i1) {
+    AssignRange(points, centers, i0, i1, &out);
+  });
   return out;
 }
 

@@ -1,8 +1,17 @@
 #include "features/zscore.h"
 
+#include "util/parallel.h"
 #include "util/status.h"
 
 namespace bsg {
+
+namespace {
+
+// Row-range grain for the parallel transform. Fixed (never derived from
+// the thread count) so the chunk layout stays thread-count invariant.
+constexpr int kRowGrain = 256;
+
+}  // namespace
 
 void ZScoreScaler::Fit(const Matrix& data) {
   means_ = data.ColMeans();
@@ -16,12 +25,15 @@ Matrix ZScoreScaler::Transform(const Matrix& data) const {
   BSG_CHECK(static_cast<size_t>(data.cols()) == means_.size(),
             "ZScoreScaler column mismatch (was Fit called?)");
   Matrix out = data;
-  for (int i = 0; i < out.rows(); ++i) {
-    double* r = out.row(i);
-    for (int c = 0; c < out.cols(); ++c) {
-      r[c] = (r[c] - means_[c]) / stddevs_[c];
+  // Elementwise, parallel over row ranges (each row written by one chunk).
+  ParallelFor(0, out.rows(), kRowGrain, [&](int64_t i0, int64_t i1) {
+    for (int i = static_cast<int>(i0); i < static_cast<int>(i1); ++i) {
+      double* r = out.row(i);
+      for (int c = 0; c < out.cols(); ++c) {
+        r[c] = (r[c] - means_[c]) / stddevs_[c];
+      }
     }
-  }
+  });
   return out;
 }
 

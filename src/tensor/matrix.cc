@@ -3,9 +3,23 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
 #include "util/string_util.h"
 
 namespace bsg {
+
+namespace {
+
+// Row-block grain for parallel MatMul / Transposed and the k-tile edge of
+// the MatMul kernel. The grain is fixed (never derived from the thread
+// count) so the static chunk layout — and therefore every bit of the
+// result — is identical at any thread count.
+constexpr int kRowGrain = 16;
+constexpr int kKTile = 64;
+// Column-range grain for the per-column statistics.
+constexpr int kColGrain = 8;
+
+}  // namespace
 
 Matrix Matrix::FromRows(const std::vector<std::vector<double>>& rows) {
   if (rows.empty()) return Matrix();
@@ -57,25 +71,41 @@ void Matrix::Scale(double alpha) {
 Matrix Matrix::MatMul(const Matrix& other) const {
   BSG_CHECK(cols_ == other.rows_, "MatMul inner dimension mismatch");
   Matrix out(rows_, other.cols_);
-  // i-k-j loop order: streaming access over both operands.
-  for (int i = 0; i < rows_; ++i) {
-    const double* a_row = row(i);
-    double* o_row = out.row(i);
-    for (int k = 0; k < cols_; ++k) {
-      double a = a_row[k];
-      if (a == 0.0) continue;
-      const double* b_row = other.row(k);
-      for (int j = 0; j < other.cols_; ++j) o_row[j] += a * b_row[j];
+  const int inner = cols_;
+  const int out_cols = other.cols_;
+  // Row-blocked and k-tiled i-k-j kernel: each chunk owns a block of output
+  // rows (no write conflicts), and the k-tile keeps a slab of `other` hot
+  // in cache while the block's rows stream over it. Per output element the
+  // accumulation order is k-ascending regardless of tiling or threads, so
+  // the product is bit-identical to the plain serial triple loop.
+  ParallelFor(0, rows_, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int k0 = 0; k0 < inner; k0 += kKTile) {
+      const int k1 = std::min(inner, k0 + kKTile);
+      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+        const double* a_row = row(i);
+        double* o_row = out.row(i);
+        for (int k = k0; k < k1; ++k) {
+          double a = a_row[k];
+          if (a == 0.0) continue;
+          const double* b_row = other.row(k);
+          for (int j = 0; j < out_cols; ++j) o_row[j] += a * b_row[j];
+        }
+      }
     }
-  }
+  });
   return out;
 }
 
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
-  for (int i = 0; i < rows_; ++i) {
-    for (int j = 0; j < cols_; ++j) out(j, i) = (*this)(i, j);
-  }
+  // Parallel over output rows: chunk j writes rows [j0, j1) of the result
+  // (contiguous stores, strided loads).
+  ParallelFor(0, cols_, 2 * kRowGrain, [&](int64_t j0, int64_t j1) {
+    for (int j = static_cast<int>(j0); j < static_cast<int>(j1); ++j) {
+      double* o_row = out.row(j);
+      for (int i = 0; i < rows_; ++i) o_row[i] = (*this)(i, j);
+    }
+  });
   return out;
 }
 
@@ -133,10 +163,21 @@ Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
 std::vector<double> Matrix::ColMeans() const {
   std::vector<double> means(cols_, 0.0);
   if (rows_ == 0) return means;
-  for (int i = 0; i < rows_; ++i) {
-    const double* p = row(i);
-    for (int c = 0; c < cols_; ++c) means[c] += p[c];
-  }
+  // Parallel over column ranges: each chunk accumulates its columns over
+  // all rows in row order, so every column's sum is bit-identical to the
+  // serial row-major scan at any thread count. Sums build in a chunk-local
+  // buffer and store once — adjacent chunks' output slots can share a
+  // cache line, and repeated read-modify-writes there would ping-pong it.
+  ParallelFor(0, cols_, kColGrain, [&](int64_t c0, int64_t c1) {
+    const int w = static_cast<int>(c1 - c0);
+    double acc[kColGrain] = {0.0};  // w <= kColGrain: grain above bounds it
+    BSG_CHECK(w <= kColGrain, "column chunk wider than grain");
+    for (int i = 0; i < rows_; ++i) {
+      const double* p = row(i) + c0;
+      for (int c = 0; c < w; ++c) acc[c] += p[c];
+    }
+    for (int c = 0; c < w; ++c) means[c0 + c] = acc[c];
+  });
   for (auto& m : means) m /= rows_;
   return means;
 }
@@ -145,13 +186,19 @@ std::vector<double> Matrix::ColStddevs() const {
   std::vector<double> sd(cols_, 0.0);
   if (rows_ == 0) return sd;
   std::vector<double> means = ColMeans();
-  for (int i = 0; i < rows_; ++i) {
-    const double* p = row(i);
-    for (int c = 0; c < cols_; ++c) {
-      double d = p[c] - means[c];
-      sd[c] += d * d;
+  ParallelFor(0, cols_, kColGrain, [&](int64_t c0, int64_t c1) {
+    const int w = static_cast<int>(c1 - c0);
+    double acc[kColGrain] = {0.0};  // w <= kColGrain: grain above bounds it
+    BSG_CHECK(w <= kColGrain, "column chunk wider than grain");
+    for (int i = 0; i < rows_; ++i) {
+      const double* p = row(i) + c0;
+      for (int c = 0; c < w; ++c) {
+        double d = p[c] - means[c0 + c];
+        acc[c] += d * d;
+      }
     }
-  }
+    for (int c = 0; c < w; ++c) sd[c0 + c] = acc[c];
+  });
   for (auto& v : sd) v = std::sqrt(v / rows_);
   return sd;
 }

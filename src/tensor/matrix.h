@@ -1,9 +1,10 @@
 // Dense row-major matrix of doubles: the storage type underlying the autograd
 // engine and all feature pipelines.
 //
-// Kept deliberately simple (plain loops, no BLAS): experiment scales in this
-// repository are <= ~12k x 128, where straightforward O(n*m*k) loops are more
-// than fast enough and trivially portable.
+// Kept deliberately dependency-free (no BLAS): kernels are plain loops,
+// row-blocked/cache-tiled and run over the util/parallel.h thread pool.
+// Results are bit-identical at any thread count (each output row is owned
+// by one chunk; see util/parallel.h for the determinism contract).
 #pragma once
 
 #include <cstddef>

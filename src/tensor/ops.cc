@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace bsg {
 
 SpMat MakeSpMat(Csr a) {
@@ -27,20 +29,29 @@ Tensor NewNode(Matrix value, std::vector<Tensor> parents) {
   return node;
 }
 
+// Destination-row grain for SpMM / segment ops: each chunk owns a range of
+// output rows, so there are no write conflicts by construction and results
+// are bit-identical at any thread count.
+constexpr int kSpRowGrain = 64;
+
 // Raw SpMM: out += A * x using per-edge weights (unit if unweighted).
+// Parallel over destination rows u; per-row edge accumulation keeps CSR
+// order, so the result matches the serial loop bit for bit.
 void SpmmAccumulate(const Csr& a, const Matrix& x, Matrix* out) {
   const int d = x.cols();
-  for (int u = 0; u < a.num_nodes(); ++u) {
-    double* o = out->row(u);
-    const int* nb = a.NeighborsBegin(u);
-    const int* ne = a.NeighborsEnd(u);
-    const double* w = a.WeightsBegin(u);
-    for (const int* p = nb; p != ne; ++p) {
-      double weight = w ? w[p - nb] : 1.0;
-      const double* xr = x.row(*p);
-      for (int c = 0; c < d; ++c) o[c] += weight * xr[c];
+  ParallelFor(0, a.num_nodes(), kSpRowGrain, [&](int64_t u0, int64_t u1) {
+    for (int u = static_cast<int>(u0); u < static_cast<int>(u1); ++u) {
+      double* o = out->row(u);
+      const int* nb = a.NeighborsBegin(u);
+      const int* ne = a.NeighborsEnd(u);
+      const double* w = a.WeightsBegin(u);
+      for (const int* p = nb; p != ne; ++p) {
+        double weight = w ? w[p - nb] : 1.0;
+        const double* xr = x.row(*p);
+        for (int c = 0; c < d; ++c) o[c] += weight * xr[c];
+      }
     }
-  }
+  });
 }
 
 }  // namespace
@@ -311,25 +322,32 @@ Tensor SegmentSum(const Tensor& msgs,
   int num_segments = static_cast<int>(seg_ptr->size()) - 1;
   BSG_CHECK(seg_ptr->back() == msgs->rows(), "SegmentSum seg_ptr mismatch");
   Matrix v(num_segments, msgs->cols());
-  for (int s = 0; s < num_segments; ++s) {
-    double* o = v.row(s);
-    for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
-      const double* m = msgs->value.row(static_cast<int>(e));
-      for (int c = 0; c < msgs->cols(); ++c) o[c] += m[c];
+  // Parallel over segments: segment s owns output row s, and the edge rows
+  // of distinct segments are disjoint (seg_ptr is a monotone partition of
+  // [0, E)), so both directions are conflict-free.
+  ParallelFor(0, num_segments, kSpRowGrain, [&](int64_t s0, int64_t s1) {
+    for (int s = static_cast<int>(s0); s < static_cast<int>(s1); ++s) {
+      double* o = v.row(s);
+      for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
+        const double* m = msgs->value.row(static_cast<int>(e));
+        for (int c = 0; c < msgs->cols(); ++c) o[c] += m[c];
+      }
     }
-  }
+  });
   Tensor out = NewNode(std::move(v), {msgs});
   out->backward_fn = [seg_ptr](TensorNode* self) {
     TensorNode* msgs = self->parents[0].get();
     if (!msgs->requires_grad) return;
     int num_segments = static_cast<int>(seg_ptr->size()) - 1;
-    for (int s = 0; s < num_segments; ++s) {
-      const double* g = self->grad.row(s);
-      for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
-        double* mg = msgs->grad.row(static_cast<int>(e));
-        for (int c = 0; c < msgs->grad.cols(); ++c) mg[c] += g[c];
+    ParallelFor(0, num_segments, kSpRowGrain, [&](int64_t s0, int64_t s1) {
+      for (int s = static_cast<int>(s0); s < static_cast<int>(s1); ++s) {
+        const double* g = self->grad.row(s);
+        for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
+          double* mg = msgs->grad.row(static_cast<int>(e));
+          for (int c = 0; c < msgs->grad.cols(); ++c) mg[c] += g[c];
+        }
       }
-    }
+    });
   };
   return out;
 }

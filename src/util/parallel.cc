@@ -1,0 +1,205 @@
+#include "util/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bsg {
+
+namespace {
+
+thread_local bool tl_in_worker = false;
+
+// Persistent pool of N-1 workers; the caller of Run() is the Nth executor.
+// Workers pull chunk indices from a shared atomic counter, so a slow chunk
+// never stalls the others (dynamic scheduling over a static partition —
+// determinism comes from the partition, not the schedule).
+class ThreadPool {
+ public:
+  ~ThreadPool() { Shutdown(); }
+
+  // Ensures exactly `workers` background threads (callers pass threads-1).
+  // Only ever called from the orchestrating thread between regions.
+  void Resize(int workers) {
+    if (static_cast<int>(threads_.size()) == workers) return;
+    Shutdown();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = false;
+    }
+    threads_.reserve(workers);
+    for (int i = 0; i < workers; ++i) {
+      threads_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  // Executes fn(c) for every chunk c in [0, chunks); returns when all
+  // chunks are done and no worker still references the task state.
+  void Run(int64_t chunks, const std::function<void(int64_t)>& fn) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      // A worker notified for the previous region can wake late and still
+      // be inside Drain() (it found no chunks, but it reads the counters);
+      // rearming the task state under it would be a data race that can
+      // lose a done_ increment. Wait for stragglers to retire first.
+      done_cv_.wait(lock, [this] { return active_ == 0; });
+      fn_ = &fn;
+      total_ = chunks;
+      next_.store(0, std::memory_order_relaxed);
+      done_.store(0, std::memory_order_relaxed);
+      ++epoch_;
+    }
+    work_cv_.notify_all();
+    Drain(&fn, chunks);
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock, [this] {
+      return done_.load(std::memory_order_acquire) == total_ && active_ == 0;
+    });
+    fn_ = nullptr;
+  }
+
+ private:
+  void Drain(const std::function<void(int64_t)>* fn, int64_t total) {
+    int64_t c;
+    while ((c = next_.fetch_add(1, std::memory_order_relaxed)) < total) {
+      (*fn)(c);
+      done_.fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  void WorkerLoop() {
+    tl_in_worker = true;
+    uint64_t seen = 0;
+    std::unique_lock<std::mutex> lock(mu_);
+    for (;;) {
+      work_cv_.wait(lock, [&] { return stop_ || epoch_ != seen; });
+      if (stop_) return;
+      seen = epoch_;
+      // Snapshot the task under the lock: the fields observed together
+      // with this epoch are consistent, and Run() cannot rearm them while
+      // active_ > 0. fn is null only on a stale wake of an already-drained
+      // region, where next_ >= total keeps it undereferenced.
+      const std::function<void(int64_t)>* fn = fn_;
+      const int64_t total = total_;
+      ++active_;
+      lock.unlock();
+      Drain(fn, total);
+      lock.lock();
+      --active_;
+      if (active_ == 0) done_cv_.notify_all();
+    }
+  }
+
+  void Shutdown() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    work_cv_.notify_all();
+    for (auto& t : threads_) t.join();
+    threads_.clear();
+  }
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  std::vector<std::thread> threads_;
+  uint64_t epoch_ = 0;
+  bool stop_ = false;
+  int active_ = 0;  // workers currently executing the task (guarded by mu_)
+  const std::function<void(int64_t)>* fn_ = nullptr;
+  int64_t total_ = 0;
+  std::atomic<int64_t> next_{0};
+  std::atomic<int64_t> done_{0};
+};
+
+ThreadPool& Pool() {
+  static ThreadPool* pool = new ThreadPool();  // leaked: outlives main
+  return *pool;
+}
+
+std::mutex g_config_mu;
+int g_threads = 0;  // 0 = not yet resolved
+
+int DefaultThreads() {
+  const char* env = std::getenv("BSG_NUM_THREADS");
+  if (env != nullptr && *env != '\0') {
+    int v = std::atoi(env);
+    if (v >= 1) return v;
+  }
+  return HardwareThreads();
+}
+
+}  // namespace
+
+int HardwareThreads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+int NumThreads() {
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  if (g_threads == 0) g_threads = DefaultThreads();
+  return g_threads;
+}
+
+void SetNumThreads(int n) {
+  BSG_CHECK(!tl_in_worker, "SetNumThreads inside a parallel region");
+  std::lock_guard<std::mutex> lock(g_config_mu);
+  g_threads = n <= 0 ? DefaultThreads() : n;
+}
+
+bool InParallelRegion() { return tl_in_worker; }
+
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+  auto run_chunk = [&](int64_t c) {
+    int64_t lo = begin + c * grain;
+    int64_t hi = std::min<int64_t>(end, lo + grain);
+    fn(lo, hi);
+  };
+  const int threads = NumThreads();
+  if (threads <= 1 || chunks <= 1 || tl_in_worker) {
+    for (int64_t c = 0; c < chunks; ++c) run_chunk(c);
+    return;
+  }
+  // One orchestrator at a time: the pool's task state is single-slot, so
+  // regions launched from distinct threads serialize here. Nested calls on
+  // this thread never reach this lock (tl_in_worker short-circuits above),
+  // so the non-recursive mutex cannot self-deadlock.
+  static std::mutex run_mu;
+  std::lock_guard<std::mutex> run_lock(run_mu);
+  ThreadPool& pool = Pool();
+  pool.Resize(threads - 1);
+  // The orchestrating thread executes chunks too: flag it as inside the
+  // region so a nested ParallelFor reached from run_chunk degrades to the
+  // serial path instead of re-entering the pool mid-task.
+  tl_in_worker = true;
+  pool.Run(chunks, run_chunk);
+  tl_in_worker = false;
+}
+
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t, int64_t)>& fn) {
+  if (end <= begin) return 0.0;
+  if (grain < 1) grain = 1;
+  const int64_t chunks = (end - begin + grain - 1) / grain;
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(begin, end, grain, [&](int64_t lo, int64_t hi) {
+    partial[static_cast<size_t>((lo - begin) / grain)] = fn(lo, hi);
+  });
+  double total = 0.0;
+  for (double v : partial) total += v;
+  return total;
+}
+
+}  // namespace bsg

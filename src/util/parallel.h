@@ -1,0 +1,71 @@
+// Shared-memory parallel execution substrate: a lazily-initialized
+// persistent thread pool behind a ParallelFor primitive.
+//
+// Design goals, in order:
+//   1. Determinism. Results must be bit-identical no matter how many
+//      threads run. ParallelFor statically partitions [begin, end) into
+//      chunks of `grain` indices — the chunk layout depends only on the
+//      range and the grain, never on the thread count — and callers keep
+//      all cross-chunk reductions in chunk-index order (ParallelSum does
+//      this for the common scalar case). Each output slot is written by
+//      exactly one chunk, so scheduling order cannot change any bit.
+//   2. Zero dependencies. Plain <thread> + <condition_variable>; no TBB,
+//      no OpenMP, so the library stays as portable as the rest of bsg.
+//   3. Cheap when off. With one configured thread (the default on a
+//      single-core host) every call degrades to an inline serial loop over
+//      the same chunks; no pool is ever spawned.
+//
+// Thread count resolution: SetNumThreads(n) wins; otherwise the
+// BSG_NUM_THREADS environment variable (read once, lazily); otherwise
+// std::thread::hardware_concurrency(). CLI binaries expose this as a
+// --threads flag.
+//
+// The loop body must not throw: the library's error idiom is BSG_CHECK
+// (abort), and an exception escaping a worker thread terminates the
+// process. Calls nested inside a worker run serially inline, so library
+// code may use ParallelFor freely without tracking caller context.
+//
+// Concurrency: the pool has a single task slot, so parallel regions
+// launched from distinct application threads are serialized against each
+// other (an internal mutex; each region is still multi-threaded inside).
+// Nested regions on the orchestrating thread bypass the lock and run
+// serially inline.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+namespace bsg {
+
+/// Number of hardware threads (>= 1).
+int HardwareThreads();
+
+/// Threads used by subsequent parallel regions. Resolved lazily on first
+/// use: BSG_NUM_THREADS env var if set and >= 1, else HardwareThreads().
+int NumThreads();
+
+/// Overrides the thread count; n <= 0 restores the default resolution
+/// (env var / hardware). Takes effect on the next parallel region. Must
+/// not be called from inside a parallel region.
+void SetNumThreads(int n);
+
+/// True while executing on a pool worker thread (used internally to run
+/// nested parallel regions serially).
+bool InParallelRegion();
+
+/// Runs fn(lo, hi) over a static partition of [begin, end) into chunks of
+/// at most `grain` indices: [begin, begin+grain), [begin+grain, ...), ...
+/// Chunks execute concurrently (or in ascending order when serial); each
+/// index belongs to exactly one chunk. fn must write only state owned by
+/// its chunk and must not throw. No-op when end <= begin.
+void ParallelFor(int64_t begin, int64_t end, int64_t grain,
+                 const std::function<void(int64_t, int64_t)>& fn);
+
+/// Deterministic parallel reduction: fn(lo, hi) returns a partial sum per
+/// chunk; partials are combined in ascending chunk order, so the result is
+/// bit-identical for any thread count (for a fixed grain). Returns 0 when
+/// end <= begin.
+double ParallelSum(int64_t begin, int64_t end, int64_t grain,
+                   const std::function<double(int64_t, int64_t)>& fn);
+
+}  // namespace bsg
