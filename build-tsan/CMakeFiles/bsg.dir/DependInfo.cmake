@@ -1,0 +1,60 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/biased_subgraph.cc" "CMakeFiles/bsg.dir/src/core/biased_subgraph.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/biased_subgraph.cc.o.d"
+  "/root/repo/src/core/bsg4bot.cc" "CMakeFiles/bsg.dir/src/core/bsg4bot.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/bsg4bot.cc.o.d"
+  "/root/repo/src/core/plugin.cc" "CMakeFiles/bsg.dir/src/core/plugin.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/plugin.cc.o.d"
+  "/root/repo/src/core/pretrain.cc" "CMakeFiles/bsg.dir/src/core/pretrain.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/pretrain.cc.o.d"
+  "/root/repo/src/core/semantic_attention.cc" "CMakeFiles/bsg.dir/src/core/semantic_attention.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/semantic_attention.cc.o.d"
+  "/root/repo/src/core/subgraph_batch.cc" "CMakeFiles/bsg.dir/src/core/subgraph_batch.cc.o" "gcc" "CMakeFiles/bsg.dir/src/core/subgraph_batch.cc.o.d"
+  "/root/repo/src/datagen/generator.cc" "CMakeFiles/bsg.dir/src/datagen/generator.cc.o" "gcc" "CMakeFiles/bsg.dir/src/datagen/generator.cc.o.d"
+  "/root/repo/src/datagen/tweet_model.cc" "CMakeFiles/bsg.dir/src/datagen/tweet_model.cc.o" "gcc" "CMakeFiles/bsg.dir/src/datagen/tweet_model.cc.o.d"
+  "/root/repo/src/features/feature_pipeline.cc" "CMakeFiles/bsg.dir/src/features/feature_pipeline.cc.o" "gcc" "CMakeFiles/bsg.dir/src/features/feature_pipeline.cc.o.d"
+  "/root/repo/src/features/kmeans.cc" "CMakeFiles/bsg.dir/src/features/kmeans.cc.o" "gcc" "CMakeFiles/bsg.dir/src/features/kmeans.cc.o.d"
+  "/root/repo/src/features/zscore.cc" "CMakeFiles/bsg.dir/src/features/zscore.cc.o" "gcc" "CMakeFiles/bsg.dir/src/features/zscore.cc.o.d"
+  "/root/repo/src/graph/csr.cc" "CMakeFiles/bsg.dir/src/graph/csr.cc.o" "gcc" "CMakeFiles/bsg.dir/src/graph/csr.cc.o.d"
+  "/root/repo/src/graph/graph_io.cc" "CMakeFiles/bsg.dir/src/graph/graph_io.cc.o" "gcc" "CMakeFiles/bsg.dir/src/graph/graph_io.cc.o.d"
+  "/root/repo/src/graph/hetero_graph.cc" "CMakeFiles/bsg.dir/src/graph/hetero_graph.cc.o" "gcc" "CMakeFiles/bsg.dir/src/graph/hetero_graph.cc.o.d"
+  "/root/repo/src/graph/homophily.cc" "CMakeFiles/bsg.dir/src/graph/homophily.cc.o" "gcc" "CMakeFiles/bsg.dir/src/graph/homophily.cc.o.d"
+  "/root/repo/src/graph/partition.cc" "CMakeFiles/bsg.dir/src/graph/partition.cc.o" "gcc" "CMakeFiles/bsg.dir/src/graph/partition.cc.o.d"
+  "/root/repo/src/models/botmoe.cc" "CMakeFiles/bsg.dir/src/models/botmoe.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/botmoe.cc.o.d"
+  "/root/repo/src/models/botrgcn.cc" "CMakeFiles/bsg.dir/src/models/botrgcn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/botrgcn.cc.o.d"
+  "/root/repo/src/models/clustergcn.cc" "CMakeFiles/bsg.dir/src/models/clustergcn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/clustergcn.cc.o.d"
+  "/root/repo/src/models/gat.cc" "CMakeFiles/bsg.dir/src/models/gat.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/gat.cc.o.d"
+  "/root/repo/src/models/gcn.cc" "CMakeFiles/bsg.dir/src/models/gcn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/gcn.cc.o.d"
+  "/root/repo/src/models/gprgnn.cc" "CMakeFiles/bsg.dir/src/models/gprgnn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/gprgnn.cc.o.d"
+  "/root/repo/src/models/h2gcn.cc" "CMakeFiles/bsg.dir/src/models/h2gcn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/h2gcn.cc.o.d"
+  "/root/repo/src/models/mlp.cc" "CMakeFiles/bsg.dir/src/models/mlp.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/mlp.cc.o.d"
+  "/root/repo/src/models/model.cc" "CMakeFiles/bsg.dir/src/models/model.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/model.cc.o.d"
+  "/root/repo/src/models/model_factory.cc" "CMakeFiles/bsg.dir/src/models/model_factory.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/model_factory.cc.o.d"
+  "/root/repo/src/models/rgt.cc" "CMakeFiles/bsg.dir/src/models/rgt.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/rgt.cc.o.d"
+  "/root/repo/src/models/sage.cc" "CMakeFiles/bsg.dir/src/models/sage.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/sage.cc.o.d"
+  "/root/repo/src/models/slimg.cc" "CMakeFiles/bsg.dir/src/models/slimg.cc.o" "gcc" "CMakeFiles/bsg.dir/src/models/slimg.cc.o.d"
+  "/root/repo/src/ppr/ppr.cc" "CMakeFiles/bsg.dir/src/ppr/ppr.cc.o" "gcc" "CMakeFiles/bsg.dir/src/ppr/ppr.cc.o.d"
+  "/root/repo/src/tensor/matrix.cc" "CMakeFiles/bsg.dir/src/tensor/matrix.cc.o" "gcc" "CMakeFiles/bsg.dir/src/tensor/matrix.cc.o.d"
+  "/root/repo/src/tensor/nn.cc" "CMakeFiles/bsg.dir/src/tensor/nn.cc.o" "gcc" "CMakeFiles/bsg.dir/src/tensor/nn.cc.o.d"
+  "/root/repo/src/tensor/ops.cc" "CMakeFiles/bsg.dir/src/tensor/ops.cc.o" "gcc" "CMakeFiles/bsg.dir/src/tensor/ops.cc.o.d"
+  "/root/repo/src/tensor/optim.cc" "CMakeFiles/bsg.dir/src/tensor/optim.cc.o" "gcc" "CMakeFiles/bsg.dir/src/tensor/optim.cc.o.d"
+  "/root/repo/src/tensor/tensor.cc" "CMakeFiles/bsg.dir/src/tensor/tensor.cc.o" "gcc" "CMakeFiles/bsg.dir/src/tensor/tensor.cc.o.d"
+  "/root/repo/src/train/experiment.cc" "CMakeFiles/bsg.dir/src/train/experiment.cc.o" "gcc" "CMakeFiles/bsg.dir/src/train/experiment.cc.o.d"
+  "/root/repo/src/train/metrics.cc" "CMakeFiles/bsg.dir/src/train/metrics.cc.o" "gcc" "CMakeFiles/bsg.dir/src/train/metrics.cc.o.d"
+  "/root/repo/src/train/splits.cc" "CMakeFiles/bsg.dir/src/train/splits.cc.o" "gcc" "CMakeFiles/bsg.dir/src/train/splits.cc.o.d"
+  "/root/repo/src/train/trainer.cc" "CMakeFiles/bsg.dir/src/train/trainer.cc.o" "gcc" "CMakeFiles/bsg.dir/src/train/trainer.cc.o.d"
+  "/root/repo/src/util/logging.cc" "CMakeFiles/bsg.dir/src/util/logging.cc.o" "gcc" "CMakeFiles/bsg.dir/src/util/logging.cc.o.d"
+  "/root/repo/src/util/parallel.cc" "CMakeFiles/bsg.dir/src/util/parallel.cc.o" "gcc" "CMakeFiles/bsg.dir/src/util/parallel.cc.o.d"
+  "/root/repo/src/util/string_util.cc" "CMakeFiles/bsg.dir/src/util/string_util.cc.o" "gcc" "CMakeFiles/bsg.dir/src/util/string_util.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bsg4bot_demo.dir/examples/bsg4bot_demo.cc.o"
+  "CMakeFiles/bsg4bot_demo.dir/examples/bsg4bot_demo.cc.o.d"
+  "examples/bsg4bot_demo"
+  "examples/bsg4bot_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bsg4bot_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/detect_cli.dir/examples/detect_cli.cpp.o"
+  "CMakeFiles/detect_cli.dir/examples/detect_cli.cpp.o.d"
+  "examples/detect_cli"
+  "examples/detect_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/detect_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

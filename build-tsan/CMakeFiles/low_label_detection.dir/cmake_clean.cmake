@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/low_label_detection.dir/examples/low_label_detection.cpp.o"
+  "CMakeFiles/low_label_detection.dir/examples/low_label_detection.cpp.o.d"
+  "examples/low_label_detection"
+  "examples/low_label_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/low_label_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

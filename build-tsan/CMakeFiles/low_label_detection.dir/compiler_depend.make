@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for low_label_detection.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/plugin_rewiring.dir/examples/plugin_rewiring.cpp.o"
+  "CMakeFiles/plugin_rewiring.dir/examples/plugin_rewiring.cpp.o.d"
+  "examples/plugin_rewiring"
+  "examples/plugin_rewiring.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/plugin_rewiring.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

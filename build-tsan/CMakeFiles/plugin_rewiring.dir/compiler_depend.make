@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for plugin_rewiring.
+# This may be replaced when dependencies are built.

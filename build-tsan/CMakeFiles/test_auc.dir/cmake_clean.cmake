@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_auc.dir/tests/test_auc.cc.o"
+  "CMakeFiles/test_auc.dir/tests/test_auc.cc.o.d"
+  "test_auc"
+  "test_auc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_auc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_bsg_extra.dir/tests/test_bsg_extra.cc.o"
+  "CMakeFiles/test_bsg_extra.dir/tests/test_bsg_extra.cc.o.d"
+  "test_bsg_extra"
+  "test_bsg_extra.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_bsg_extra.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

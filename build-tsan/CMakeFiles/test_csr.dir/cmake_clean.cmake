@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_csr.dir/tests/test_csr.cc.o"
+  "CMakeFiles/test_csr.dir/tests/test_csr.cc.o.d"
+  "test_csr"
+  "test_csr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_csr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

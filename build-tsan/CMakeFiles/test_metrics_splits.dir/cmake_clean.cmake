@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_metrics_splits.dir/tests/test_metrics_splits.cc.o"
+  "CMakeFiles/test_metrics_splits.dir/tests/test_metrics_splits.cc.o.d"
+  "test_metrics_splits"
+  "test_metrics_splits.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_metrics_splits.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_nn_optim.dir/tests/test_nn_optim.cc.o"
+  "CMakeFiles/test_nn_optim.dir/tests/test_nn_optim.cc.o.d"
+  "test_nn_optim"
+  "test_nn_optim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_nn_optim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

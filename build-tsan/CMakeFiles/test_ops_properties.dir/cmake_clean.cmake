@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ops_properties.dir/tests/test_ops_properties.cc.o"
+  "CMakeFiles/test_ops_properties.dir/tests/test_ops_properties.cc.o.d"
+  "test_ops_properties"
+  "test_ops_properties.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ops_properties.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ppr.dir/tests/test_ppr.cc.o"
+  "CMakeFiles/test_ppr.dir/tests/test_ppr.cc.o.d"
+  "test_ppr"
+  "test_ppr.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ppr.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/unseen_communities.dir/examples/unseen_communities.cpp.o"
+  "CMakeFiles/unseen_communities.dir/examples/unseen_communities.cpp.o.d"
+  "examples/unseen_communities"
+  "examples/unseen_communities.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/unseen_communities.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
