@@ -1,0 +1,85 @@
+// End-to-end epoch time of the mini-batch training pipeline: synchronous
+// (cached batches, the reference oracle) vs async double-buffered prefetch,
+// at 1/2/4 pool threads.
+//
+//   bench_async_pipeline [--threads=T] [--users=N] [--epochs=E]
+//       [--batch_size=B] [--depth=D]
+//
+// Every run's loss history is checked against the 1-thread synchronous
+// reference — the pipeline's bit-identity contract — so the bench doubles
+// as a determinism smoke at realistic sizes.
+#include <cstdio>
+#include <vector>
+
+#include "core/bsg4bot.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+
+using namespace bsg;
+
+namespace {
+
+std::vector<int> ThreadSweep(int cap) {
+  std::vector<int> out;
+  for (int t : {1, 2, 4}) {
+    if (t <= cap) out.push_back(t);
+  }
+  if (out.empty()) out.push_back(1);
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const int cap = flags.GetInt("threads", 4);
+  const int users = flags.GetInt("users", 600);
+  const int epochs = flags.GetInt("epochs", 8);
+  const int batch_size = flags.GetInt("batch_size", 64);
+  const int depth = flags.GetInt("depth", 2);
+
+  DatasetConfig dc = Twibot20Sim();
+  dc.num_users = users;
+  dc.tweets_per_user = 10;
+  HeteroGraph graph = BuildBenchmarkGraph(dc);
+  std::printf("graph: %d nodes, %d relations; %d epochs, batch_size=%d\n",
+              graph.num_nodes, graph.num_relations(), epochs, batch_size);
+
+  auto base_cfg = [&] {
+    Bsg4BotConfig cfg;
+    cfg.batch_size = batch_size;
+    cfg.max_epochs = epochs;
+    cfg.min_epochs = epochs;  // fixed-length runs: pure epoch-time measure
+    cfg.patience = epochs;
+    cfg.prefetch_depth = depth;
+    cfg.seed = 29;
+    return cfg;
+  };
+
+  std::vector<double> ref_history;
+  std::printf("%-28s %8s %14s %10s %s\n", "pipeline", "threads", "s/epoch",
+              "speedup", "loss-bit-identical");
+  double baseline = 0.0;
+  for (int t : ThreadSweep(cap)) {
+    for (bool async : {false, true}) {
+      SetNumThreads(t);
+      Bsg4BotConfig cfg = base_cfg();
+      cfg.async_prefetch = async;
+      Bsg4Bot model(graph, cfg);
+      TrainResult res = model.Fit();
+      if (ref_history.empty()) {
+        ref_history = res.loss_history;
+        baseline = res.seconds_per_epoch;
+      }
+      std::printf("%-28s %8d %13.4fs %9.2fx %s\n",
+                  async ? "async (double-buffered)" : "sync (cached oracle)", t,
+                  res.seconds_per_epoch, baseline / res.seconds_per_epoch,
+                  res.loss_history == ref_history ? "yes" : "NO");
+    }
+  }
+
+  SetNumThreads(0);
+  return 0;
+}

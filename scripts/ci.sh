@@ -7,11 +7,16 @@
 # 2. ctest with BSG_NUM_THREADS=1 and BSG_NUM_THREADS=4 — the suite asserts
 #    bit-identical results, so a green run at both settings catches both
 #    build and determinism regressions
-# 3. smoke run of bench_parallel_scaling at --threads=2 on small sizes
+# 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
+#    test_parallel) so data races in the producer/consumer pipeline and the
+#    thread pool fail CI
+# 4. smoke runs of bench_parallel_scaling and bench_async_pipeline at small
+#    sizes
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
 BUILD_DIR="${1:-build}"
+TSAN_BUILD_DIR="${BUILD_DIR}-tsan"
 JOBS="$(nproc)"
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
@@ -23,6 +28,23 @@ echo "=== ctest (BSG_NUM_THREADS=1) ==="
 echo "=== ctest (BSG_NUM_THREADS=4) ==="
 (cd "$BUILD_DIR" && BSG_NUM_THREADS=4 ctest --output-on-failure -j "$JOBS")
 
+echo "=== ThreadSanitizer: concurrent suites ==="
+cmake -B "$TSAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=thread -O1 -g -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
+  -DBSG_BUILD_BENCHES=OFF
+cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
+  --target test_prefetcher test_parallel
+# halt_on_error: the first race aborts the test binary, so CI goes red.
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_prefetcher"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_parallel"
+
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
   --spmm_nodes=4000 --users=300 --kmeans_points=4000 --reps=1
+
+echo "=== bench_async_pipeline smoke (--threads=2) ==="
+"$BUILD_DIR/bench/bench_async_pipeline" --threads=2 --users=300 --epochs=3

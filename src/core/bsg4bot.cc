@@ -1,9 +1,11 @@
 #include "core/bsg4bot.h"
 
 #include <algorithm>
+#include <numeric>
 
 #include "tensor/optim.h"
 #include "util/logging.h"
+#include "util/parallel.h"
 #include "util/timer.h"
 
 namespace bsg {
@@ -51,36 +53,55 @@ void Bsg4Bot::Prepare() {
 
 Tensor Bsg4Bot::ForwardBatch(const SubgraphBatch& batch, bool training) {
   const int R = graph_.num_relations();
-  std::vector<Tensor> per_relation;
-  per_relation.reserve(R);
-  for (int r = 0; r < R; ++r) {
-    // Gather stacked node features and apply the shared input transform.
-    Tensor x = ops::GatherRows(features_, batch.rel_node_ids[r]);
-    x = ops::Dropout(x, cfg_.dropout, training, &rng_);
-    Tensor h = ops::LeakyRelu(input_.Forward(x), cfg_.leaky_slope);  // Eq. 9
-
-    std::vector<Tensor> layer_outputs{h};
-    Tensor cur = h;
-    for (int l = 0; l < cfg_.gnn_layers; ++l) {
-      cur = ops::LeakyRelu(
-          gcn_[r][l].Forward(ops::SpMM(batch.rel_adjs[r], cur)),
-          cfg_.leaky_slope);  // Eq. 10
-      layer_outputs.push_back(cur);
-    }
-    // Eq. 11: COMBINE — gather the centre rows from each layer and concat.
-    std::vector<Tensor> center_layers;
-    center_layers.reserve(layer_outputs.size());
-    if (cfg_.use_intermediate_concat) {
-      for (const Tensor& lo : layer_outputs) {
-        center_layers.push_back(
-            ops::GatherRows(lo, batch.rel_center_rows[r]));
-      }
-      per_relation.push_back(ops::ConcatCols(center_layers));
-    } else {
-      per_relation.push_back(
-          ops::GatherRows(layer_outputs.back(), batch.rel_center_rows[r]));
+  // Pre-draw the per-tower dropout masks in relation order on this thread:
+  // the RNG stream is consumed exactly as in a serial tower loop, so the
+  // parallel towers below cannot perturb it (bit-identical at any thread
+  // count, and to the serial reference).
+  const bool dropout_on = training && cfg_.dropout > 0.0;
+  std::vector<std::shared_ptr<const std::vector<double>>> masks(R);
+  if (dropout_on) {
+    for (int r = 0; r < R; ++r) {
+      masks[r] = ops::MakeDropoutMask(
+          batch.rel_node_ids[r].size() *
+              static_cast<size_t>(graph_.feature_dim()),
+          cfg_.dropout, &rng_);
     }
   }
+  // Per-relation GNN towers as parallel tasks: tower r writes only
+  // per_relation[r], and the fusion below reduces in ascending relation
+  // order, so the result is deterministic. Ops inside a tower still call
+  // ParallelFor; nested regions degrade to serial inline on pool workers.
+  std::vector<Tensor> per_relation(R);
+  ParallelFor(0, R, 1, [&](int64_t r0, int64_t r1) {
+    for (int r = static_cast<int>(r0); r < static_cast<int>(r1); ++r) {
+      // Gather stacked node features and apply the shared input transform.
+      Tensor x = ops::GatherRows(features_, batch.rel_node_ids[r]);
+      if (dropout_on) x = ops::DropoutWithMask(x, masks[r]);
+      Tensor h = ops::LeakyRelu(input_.Forward(x), cfg_.leaky_slope);  // Eq. 9
+
+      std::vector<Tensor> layer_outputs{h};
+      Tensor cur = h;
+      for (int l = 0; l < cfg_.gnn_layers; ++l) {
+        cur = ops::LeakyRelu(
+            gcn_[r][l].Forward(ops::SpMM(batch.rel_adjs[r], cur)),
+            cfg_.leaky_slope);  // Eq. 10
+        layer_outputs.push_back(cur);
+      }
+      // Eq. 11: COMBINE — gather the centre rows from each layer and concat.
+      if (cfg_.use_intermediate_concat) {
+        std::vector<Tensor> center_layers;
+        center_layers.reserve(layer_outputs.size());
+        for (const Tensor& lo : layer_outputs) {
+          center_layers.push_back(
+              ops::GatherRows(lo, batch.rel_center_rows[r]));
+        }
+        per_relation[r] = ops::ConcatCols(center_layers);
+      } else {
+        per_relation[r] =
+            ops::GatherRows(layer_outputs.back(), batch.rel_center_rows[r]);
+      }
+    }
+  });
   // Eq. 12-14 (or the mean-pooling ablation).
   Tensor fused = cfg_.use_semantic_attention ? fuse_.Forward(per_relation)
                                              : MeanPoolRelations(per_relation);
@@ -88,118 +109,93 @@ Tensor Bsg4Bot::ForwardBatch(const SubgraphBatch& batch, bool training) {
   return head_.Forward(fused);  // Eq. 15
 }
 
-std::vector<Matrix> Bsg4Bot::SnapshotParams() const {
-  std::vector<Matrix> snap;
-  snap.reserve(store_.params().size());
-  for (const Tensor& p : store_.params()) snap.push_back(p->value);
-  return snap;
+void Bsg4Bot::EnsureBatchComposition() {
+  if (!train_batch_centers_.empty()) return;
+  const int R = graph_.num_relations();
+  std::vector<int> train_nodes = graph_.train_idx;
+  rng_.Shuffle(&train_nodes);
+  for (size_t b = 0; b < train_nodes.size();
+       b += static_cast<size_t>(cfg_.batch_size)) {
+    train_batch_centers_.emplace_back(
+        train_nodes.begin() + b,
+        train_nodes.begin() +
+            std::min(train_nodes.size(),
+                     b + static_cast<size_t>(cfg_.batch_size)));
+  }
+  for (size_t b = 0; b < graph_.val_idx.size();
+       b += static_cast<size_t>(cfg_.batch_size)) {
+    std::vector<int> centers(
+        graph_.val_idx.begin() + b,
+        graph_.val_idx.begin() +
+            std::min(graph_.val_idx.size(),
+                     b + static_cast<size_t>(cfg_.batch_size)));
+    val_batches_.push_back(MakeSubgraphBatch(subgraphs_, centers, R));
+  }
 }
 
-void Bsg4Bot::RestoreParams(const std::vector<Matrix>& snapshot) {
-  BSG_CHECK(snapshot.size() == store_.params().size(), "snapshot mismatch");
-  for (size_t i = 0; i < snapshot.size(); ++i) {
-    store_.params()[i]->value = snapshot[i];
+int Bsg4Bot::NumTrainBatches() const {
+  return static_cast<int>(train_batch_centers_.size());
+}
+
+SubgraphBatch Bsg4Bot::AssembleTrainBatch(int index) const {
+  return MakeSubgraphBatch(subgraphs_, train_batch_centers_[index],
+                           graph_.num_relations());
+}
+
+std::vector<int> Bsg4Bot::EpochBatchOrder(int /*epoch*/) {
+  rng_.Shuffle(&batch_order_);
+  return batch_order_;
+}
+
+Tensor Bsg4Bot::BatchLoss(const SubgraphBatch& batch) {
+  Tensor logits = ForwardBatch(batch, /*training=*/true);
+  // Local labels + full mask over the batch.
+  std::vector<int> labels(batch.centers.size());
+  std::vector<int> mask(batch.centers.size());
+  for (size_t i = 0; i < batch.centers.size(); ++i) {
+    labels[i] = graph_.labels[batch.centers[i]];
+    mask[i] = static_cast<int>(i);
   }
+  return ops::SoftmaxCrossEntropy(logits, labels, mask);  // Eq. 16
+}
+
+EvalResult Bsg4Bot::Validate() {
+  std::vector<int> preds, val_labels;
+  for (const SubgraphBatch& batch : val_batches_) {
+    Tensor logits = ForwardBatch(batch, /*training=*/false);
+    std::vector<int> batch_preds = ArgmaxRows(logits->value);
+    preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
+    for (int c : batch.centers) val_labels.push_back(graph_.labels[c]);
+  }
+  std::vector<int> all(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) all[i] = static_cast<int>(i);
+  Confusion conf = ConfusionOn(preds, val_labels, all);
+  return EvalResult{Accuracy(conf), F1Score(conf)};
+}
+
+const std::vector<Tensor>& Bsg4Bot::Parameters() const {
+  return store_.params();
 }
 
 TrainResult Bsg4Bot::Fit() {
   Prepare();
-  const int R = graph_.num_relations();
-  Adam optimizer(store_.params(), cfg_.lr, cfg_.weight_decay);
+  EnsureBatchComposition();
 
-  TrainResult res;
-  double best_score = -1.0;
-  int since_best = 0;
-  std::vector<Matrix> best_params;
+  // The epoch-order shuffle starts from the identity permutation each Fit
+  // and then evolves in place across epochs.
+  batch_order_.resize(train_batch_centers_.size());
+  std::iota(batch_order_.begin(), batch_order_.end(), 0);
 
-  // Assemble train/val batches once (composition fixed across epochs).
-  if (train_batches_.empty()) {
-    std::vector<int> train_nodes = graph_.train_idx;
-    rng_.Shuffle(&train_nodes);
-    for (size_t b = 0; b < train_nodes.size();
-         b += static_cast<size_t>(cfg_.batch_size)) {
-      std::vector<int> centers(
-          train_nodes.begin() + b,
-          train_nodes.begin() +
-              std::min(train_nodes.size(),
-                       b + static_cast<size_t>(cfg_.batch_size)));
-      train_batches_.push_back(MakeSubgraphBatch(subgraphs_, centers, R));
-    }
-    for (size_t b = 0; b < graph_.val_idx.size();
-         b += static_cast<size_t>(cfg_.batch_size)) {
-      std::vector<int> centers(
-          graph_.val_idx.begin() + b,
-          graph_.val_idx.begin() +
-              std::min(graph_.val_idx.size(),
-                       b + static_cast<size_t>(cfg_.batch_size)));
-      val_batches_.push_back(MakeSubgraphBatch(subgraphs_, centers, R));
-    }
-  }
-
-  std::vector<int> batch_order(train_batches_.size());
-  for (size_t i = 0; i < batch_order.size(); ++i) {
-    batch_order[i] = static_cast<int>(i);
-  }
-
-  WallTimer total_timer;
-  for (int epoch = 0; epoch < cfg_.max_epochs; ++epoch) {
-    rng_.Shuffle(&batch_order);
-    double epoch_loss = 0.0;
-    int batches = 0;
-    for (int bi : batch_order) {
-      const SubgraphBatch& batch = train_batches_[bi];
-      Tensor logits = ForwardBatch(batch, /*training=*/true);
-      // Local labels + full mask over the batch.
-      std::vector<int> labels(batch.centers.size());
-      std::vector<int> mask(batch.centers.size());
-      for (size_t i = 0; i < batch.centers.size(); ++i) {
-        labels[i] = graph_.labels[batch.centers[i]];
-        mask[i] = static_cast<int>(i);
-      }
-      Tensor loss = ops::SoftmaxCrossEntropy(logits, labels, mask);  // Eq. 16
-      Backward(loss);
-      optimizer.Step();
-      epoch_loss += loss->value(0, 0);
-      ++batches;
-    }
-    if (batches > 0) epoch_loss /= batches;
-    res.loss_history.push_back(epoch_loss);
-    res.epochs_run = epoch + 1;
-
-    // Validation over the cached subgraph batches.
-    EvalResult val;
-    {
-      std::vector<int> preds, val_labels;
-      for (const SubgraphBatch& batch : val_batches_) {
-        Tensor logits = ForwardBatch(batch, /*training=*/false);
-        std::vector<int> batch_preds = ArgmaxRows(logits->value);
-        preds.insert(preds.end(), batch_preds.begin(), batch_preds.end());
-        for (int c : batch.centers) val_labels.push_back(graph_.labels[c]);
-      }
-      std::vector<int> all(preds.size());
-      for (size_t i = 0; i < preds.size(); ++i) all[i] = static_cast<int>(i);
-      Confusion conf = ConfusionOn(preds, val_labels, all);
-      val = EvalResult{Accuracy(conf), F1Score(conf)};
-    }
-    double score = val.f1 + 1e-6 * val.accuracy;
-    if (score > best_score) {
-      best_score = score;
-      since_best = 0;
-      res.val = val;
-      best_params = SnapshotParams();
-    } else {
-      ++since_best;
-    }
-    if (cfg_.verbose) {
-      BSG_LOG_INFO("[BSG4Bot] epoch %d loss %.4f val acc %.4f f1 %.4f", epoch,
-                   epoch_loss, val.accuracy, val.f1);
-    }
-    if (epoch + 1 >= cfg_.min_epochs && since_best >= cfg_.patience) break;
-  }
-  res.total_seconds = total_timer.Seconds();
-  res.seconds_per_epoch =
-      res.epochs_run > 0 ? res.total_seconds / res.epochs_run : 0.0;
-  if (!best_params.empty()) RestoreParams(best_params);
+  TrainConfig tc;
+  tc.max_epochs = cfg_.max_epochs;
+  tc.min_epochs = cfg_.min_epochs;
+  tc.patience = cfg_.patience;
+  tc.lr = cfg_.lr;
+  tc.weight_decay = cfg_.weight_decay;
+  tc.verbose = cfg_.verbose;
+  tc.async_prefetch = cfg_.async_prefetch;
+  tc.prefetch_depth = cfg_.prefetch_depth;
+  TrainResult res = TrainMiniBatch(this, tc);
 
   if (!graph_.test_idx.empty()) {
     Matrix test_logits = PredictLogits(graph_.test_idx);

@@ -39,6 +39,13 @@ struct Bsg4BotConfig {
   double lr = 0.01;
   double weight_decay = 5e-4;
 
+  /// Stream training batches through the async double-buffered prefetcher
+  /// (assembly on a producer thread overlaps the optimiser) instead of
+  /// caching every assembled batch. Loss history and metrics are
+  /// bit-identical either way, at any thread count.
+  bool async_prefetch = false;
+  int prefetch_depth = 2;  ///< assembled batches held at once (2 = double buffer)
+
   bool use_intermediate_concat = true;  ///< Eq. 11 (Table V ablation)
   bool use_semantic_attention = true;   ///< Eq. 12-14 vs mean pooling
 
@@ -48,7 +55,12 @@ struct Bsg4BotConfig {
 
 /// The trained system. Construction is cheap; Prepare() runs phases 1-2,
 /// Fit() trains the GNN, Predict*() runs inference over biased subgraphs.
-class Bsg4Bot {
+///
+/// Training is driven by TrainMiniBatch (train/trainer.h): Bsg4Bot
+/// implements MiniBatchProgram privately — fixed batch composition, pure
+/// per-index assembly (prefetchable from a producer thread), per-batch loss
+/// and batched validation.
+class Bsg4Bot : private MiniBatchProgram {
  public:
   Bsg4Bot(const HeteroGraph& graph, Bsg4BotConfig cfg);
 
@@ -82,10 +94,23 @@ class Bsg4Bot {
 
  private:
   void BuildNetwork();
-  /// Logits (|centers| x 2) for one assembled batch.
+  /// Fixes batch composition (one shuffle of train_idx) and assembles the
+  /// validation batches. Idempotent.
+  void EnsureBatchComposition();
+  /// Logits (|centers| x 2) for one assembled batch. Per-relation towers
+  /// run as parallel pool tasks; dropout masks are pre-drawn in relation
+  /// order on the calling thread, so results are bit-identical at any
+  /// thread count.
   Tensor ForwardBatch(const SubgraphBatch& batch, bool training);
-  std::vector<Matrix> SnapshotParams() const;
-  void RestoreParams(const std::vector<Matrix>& snapshot);
+
+  // MiniBatchProgram (the TrainMiniBatch driver's view of this model).
+  int NumTrainBatches() const override;
+  SubgraphBatch AssembleTrainBatch(int index) const override;
+  std::vector<int> EpochBatchOrder(int epoch) override;
+  Tensor BatchLoss(const SubgraphBatch& batch) override;
+  EvalResult Validate() override;
+  const std::vector<Tensor>& Parameters() const override;
+  std::string ProgramName() const override { return "BSG4Bot"; }
 
   const HeteroGraph& graph_;
   Bsg4BotConfig cfg_;
@@ -96,11 +121,13 @@ class Bsg4Bot {
   std::vector<BiasedSubgraph> subgraphs_;
   double prepare_seconds_ = 0.0;
 
-  // Batch assembly is expensive relative to the GNN math at our scales, so
-  // train/validation batches are assembled once and reused: composition is
-  // fixed, only the visit order is reshuffled per epoch (the paper stores
-  // constructed subgraphs and composes batches from them, §III-F).
-  std::vector<SubgraphBatch> train_batches_;
+  // Batch composition is fixed after one shuffle of train_idx; only the
+  // visit order reshuffles per epoch (the paper stores constructed
+  // subgraphs and composes batches from them, §III-F). Whether assembled
+  // batches are cached (sync) or streamed through the prefetcher (async)
+  // is the trainer's choice; validation batches are always cached.
+  std::vector<std::vector<int>> train_batch_centers_;
+  std::vector<int> batch_order_;  ///< persistent per-epoch shuffle state
   std::vector<SubgraphBatch> val_batches_;
 
   ParamStore store_;

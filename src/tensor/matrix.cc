@@ -96,6 +96,59 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MatMulTN(const Matrix& other) const {
+  BSG_CHECK(rows_ == other.rows_, "MatMulTN inner dimension mismatch");
+  Matrix out(cols_, other.cols_);
+  const int inner = rows_;
+  const int out_cols = other.cols_;
+  // Same blocked i-k-j structure as MatMul, but A is read down its column i
+  // (A^T's row i). Per output element the accumulation order is k-ascending
+  // with the identical zero-skip, so the product matches
+  // Transposed().MatMul(other) bit for bit.
+  ParallelFor(0, cols_, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int k0 = 0; k0 < inner; k0 += kKTile) {
+      const int k1 = std::min(inner, k0 + kKTile);
+      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+        double* o_row = out.row(i);
+        for (int k = k0; k < k1; ++k) {
+          double a = (*this)(k, i);
+          if (a == 0.0) continue;
+          const double* b_row = other.row(k);
+          for (int j = 0; j < out_cols; ++j) o_row[j] += a * b_row[j];
+        }
+      }
+    }
+  });
+  return out;
+}
+
+Matrix Matrix::MatMulNT(const Matrix& other) const {
+  BSG_CHECK(cols_ == other.cols_, "MatMulNT inner dimension mismatch");
+  Matrix out(rows_, other.rows_);
+  const int inner = cols_;
+  const int out_cols = other.rows_;
+  // Row-dot-row kernel: output (i, j) is <this.row(i), other.row(j)>, two
+  // contiguous streams. The k-ascending accumulation with the zero-skip on
+  // this(i, k) reproduces MatMul(other.Transposed()) bit for bit.
+  ParallelFor(0, rows_, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      const double* a_row = row(i);
+      double* o_row = out.row(i);
+      for (int j = 0; j < out_cols; ++j) {
+        const double* b_row = other.row(j);
+        double acc = 0.0;
+        for (int k = 0; k < inner; ++k) {
+          double a = a_row[k];
+          if (a == 0.0) continue;
+          acc += a * b_row[k];
+        }
+        o_row[j] = acc;
+      }
+    }
+  });
+  return out;
+}
+
 Matrix Matrix::Transposed() const {
   Matrix out(cols_, rows_);
   // Parallel over output rows: chunk j writes rows [j0, j1) of the result

@@ -83,6 +83,12 @@ class Matrix {
 
   /// Dense matrix product: returns this * other.
   Matrix MatMul(const Matrix& other) const;
+  /// Transpose-aware product: returns this^T * other without materialising
+  /// the transpose. Bit-identical to Transposed().MatMul(other).
+  Matrix MatMulTN(const Matrix& other) const;
+  /// Transpose-aware product: returns this * other^T without materialising
+  /// the transpose. Bit-identical to MatMul(other.Transposed()).
+  Matrix MatMulNT(const Matrix& other) const;
   /// Returns the transpose.
   Matrix Transposed() const;
 

@@ -62,11 +62,13 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   out->backward_fn = [](TensorNode* self) {
     TensorNode* a = self->parents[0].get();
     TensorNode* b = self->parents[1].get();
+    // Transpose-aware kernels: dL/dA = G B^T, dL/dB = A^T G, with no
+    // Transposed() materialisation on the backward hot path.
     if (a->requires_grad) {
-      a->grad.Add(self->grad.MatMul(b->value.Transposed()));
+      a->grad.Add(self->grad.MatMulNT(b->value));
     }
     if (b->requires_grad) {
-      b->grad.Add(a->value.Transposed().MatMul(self->grad));
+      b->grad.Add(a->value.MatMulTN(self->grad));
     }
   };
   return out;
@@ -209,17 +211,23 @@ Tensor Sigmoid(const Tensor& a) {
   return out;
 }
 
-Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
+std::shared_ptr<std::vector<double>> MakeDropoutMask(size_t n, double p,
+                                                     Rng* rng) {
   BSG_CHECK(p >= 0.0 && p < 1.0, "dropout probability out of range");
-  if (!training || p == 0.0) return a;
-  auto mask = std::make_shared<std::vector<double>>(a->value.size());
+  auto mask = std::make_shared<std::vector<double>>(n);
   double keep_scale = 1.0 / (1.0 - p);
-  Matrix v = a->value;
-  for (size_t i = 0; i < v.size(); ++i) {
-    double m = rng->Bernoulli(p) ? 0.0 : keep_scale;
-    (*mask)[i] = m;
-    v.data()[i] *= m;
+  for (size_t i = 0; i < n; ++i) {
+    (*mask)[i] = rng->Bernoulli(p) ? 0.0 : keep_scale;
   }
+  return mask;
+}
+
+Tensor DropoutWithMask(const Tensor& a,
+                       std::shared_ptr<const std::vector<double>> mask) {
+  BSG_CHECK(mask != nullptr && mask->size() == a->value.size(),
+            "dropout mask size mismatch");
+  Matrix v = a->value;
+  for (size_t i = 0; i < v.size(); ++i) v.data()[i] *= (*mask)[i];
   Tensor out = NewNode(std::move(v), {a});
   out->backward_fn = [mask](TensorNode* self) {
     TensorNode* a = self->parents[0].get();
@@ -229,6 +237,12 @@ Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
     }
   };
   return out;
+}
+
+Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng) {
+  BSG_CHECK(p >= 0.0 && p < 1.0, "dropout probability out of range");
+  if (!training || p == 0.0) return a;
+  return DropoutWithMask(a, MakeDropoutMask(a->value.size(), p, rng));
 }
 
 Tensor ConcatCols(const std::vector<Tensor>& parts) {
@@ -359,38 +373,45 @@ Tensor SegmentSoftmax(const Tensor& scores,
             "SegmentSoftmax seg_ptr mismatch");
   int num_segments = static_cast<int>(seg_ptr->size()) - 1;
   Matrix v(scores->rows(), 1);
-  for (int s = 0; s < num_segments; ++s) {
-    int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
-    if (lo == hi) continue;
-    double mx = -1e300;
-    for (int64_t e = lo; e < hi; ++e) {
-      mx = std::max(mx, scores->value(static_cast<int>(e), 0));
+  // Parallel over segments: a segment owns its edge rows (seg_ptr is a
+  // monotone partition of [0, E)), so chunks never share an output slot and
+  // the result is bit-identical at any thread count.
+  ParallelFor(0, num_segments, kSpRowGrain, [&](int64_t s0, int64_t s1) {
+    for (int s = static_cast<int>(s0); s < static_cast<int>(s1); ++s) {
+      int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
+      if (lo == hi) continue;
+      double mx = -1e300;
+      for (int64_t e = lo; e < hi; ++e) {
+        mx = std::max(mx, scores->value(static_cast<int>(e), 0));
+      }
+      double total = 0.0;
+      for (int64_t e = lo; e < hi; ++e) {
+        double z = std::exp(scores->value(static_cast<int>(e), 0) - mx);
+        v(static_cast<int>(e), 0) = z;
+        total += z;
+      }
+      for (int64_t e = lo; e < hi; ++e) v(static_cast<int>(e), 0) /= total;
     }
-    double total = 0.0;
-    for (int64_t e = lo; e < hi; ++e) {
-      double z = std::exp(scores->value(static_cast<int>(e), 0) - mx);
-      v(static_cast<int>(e), 0) = z;
-      total += z;
-    }
-    for (int64_t e = lo; e < hi; ++e) v(static_cast<int>(e), 0) /= total;
-  }
+  });
   Tensor out = NewNode(std::move(v), {scores});
   out->backward_fn = [seg_ptr](TensorNode* self) {
     TensorNode* scores = self->parents[0].get();
     if (!scores->requires_grad) return;
     int num_segments = static_cast<int>(seg_ptr->size()) - 1;
-    for (int s = 0; s < num_segments; ++s) {
-      int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
-      double dot = 0.0;
-      for (int64_t e = lo; e < hi; ++e) {
-        int i = static_cast<int>(e);
-        dot += self->grad(i, 0) * self->value(i, 0);
+    ParallelFor(0, num_segments, kSpRowGrain, [&](int64_t s0, int64_t s1) {
+      for (int s = static_cast<int>(s0); s < static_cast<int>(s1); ++s) {
+        int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
+        double dot = 0.0;
+        for (int64_t e = lo; e < hi; ++e) {
+          int i = static_cast<int>(e);
+          dot += self->grad(i, 0) * self->value(i, 0);
+        }
+        for (int64_t e = lo; e < hi; ++e) {
+          int i = static_cast<int>(e);
+          scores->grad(i, 0) += self->value(i, 0) * (self->grad(i, 0) - dot);
+        }
       }
-      for (int64_t e = lo; e < hi; ++e) {
-        int i = static_cast<int>(e);
-        scores->grad(i, 0) += self->value(i, 0) * (self->grad(i, 0) - dot);
-      }
-    }
+    });
   };
   return out;
 }
@@ -431,16 +452,19 @@ Tensor SoftmaxRows(const Tensor& a) {
   out->backward_fn = [](TensorNode* self) {
     TensorNode* a = self->parents[0].get();
     if (!a->requires_grad) return;
-    for (int i = 0; i < self->grad.rows(); ++i) {
-      const double* y = self->value.row(i);
-      const double* g = self->grad.row(i);
-      double dot = 0.0;
-      for (int c = 0; c < self->grad.cols(); ++c) dot += y[c] * g[c];
-      double* ag = a->grad.row(i);
-      for (int c = 0; c < self->grad.cols(); ++c) {
-        ag[c] += y[c] * (g[c] - dot);
+    // Parallel over rows: each row's Jacobian-vector product is independent.
+    ParallelFor(0, self->grad.rows(), kSpRowGrain, [&](int64_t r0, int64_t r1) {
+      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+        const double* y = self->value.row(i);
+        const double* g = self->grad.row(i);
+        double dot = 0.0;
+        for (int c = 0; c < self->grad.cols(); ++c) dot += y[c] * g[c];
+        double* ag = a->grad.row(i);
+        for (int c = 0; c < self->grad.cols(); ++c) {
+          ag[c] += y[c] * (g[c] - dot);
+        }
       }
-    }
+    });
   };
   return out;
 }
@@ -542,17 +566,22 @@ Tensor SoftmaxCrossEntropy(const Tensor& logits, std::vector<int> labels,
 
 Matrix SoftmaxRowsValue(const Matrix& logits) {
   Matrix out = logits;
-  for (int i = 0; i < out.rows(); ++i) {
-    double* r = out.row(i);
-    double mx = r[0];
-    for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, r[c]);
-    double total = 0.0;
-    for (int c = 0; c < out.cols(); ++c) {
-      r[c] = std::exp(r[c] - mx);
-      total += r[c];
+  if (out.cols() == 0) return out;
+  // Parallel over rows: each row normalises independently, so chunks never
+  // share an output slot and the result is thread-count invariant.
+  ParallelFor(0, out.rows(), 64, [&](int64_t r0, int64_t r1) {
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      double* r = out.row(i);
+      double mx = r[0];
+      for (int c = 1; c < out.cols(); ++c) mx = std::max(mx, r[c]);
+      double total = 0.0;
+      for (int c = 0; c < out.cols(); ++c) {
+        r[c] = std::exp(r[c] - mx);
+        total += r[c];
+      }
+      for (int c = 0; c < out.cols(); ++c) r[c] /= total;
     }
-    for (int c = 0; c < out.cols(); ++c) r[c] /= total;
-  }
+  });
   return out;
 }
 

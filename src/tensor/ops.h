@@ -55,6 +55,16 @@ Tensor Sigmoid(const Tensor& a);
 /// survivors by 1/(1-p); identity at eval time.
 Tensor Dropout(const Tensor& a, double p, bool training, Rng* rng);
 
+/// Pre-drawn inverted-dropout mask over n entries: each is 0 w.p. p, else
+/// 1/(1-p). Lets callers consume the RNG stream in a fixed order on the
+/// orchestrating thread and apply the mask from a parallel task later.
+std::shared_ptr<std::vector<double>> MakeDropoutMask(size_t n, double p,
+                                                     Rng* rng);
+
+/// Applies a pre-drawn dropout mask (mask->size() == a's entry count).
+Tensor DropoutWithMask(const Tensor& a,
+                       std::shared_ptr<const std::vector<double>> mask);
+
 /// Horizontal concatenation of tensors with equal row counts.
 Tensor ConcatCols(const std::vector<Tensor>& parts);
 /// Column slice [start, start+len).

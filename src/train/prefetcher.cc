@@ -1,0 +1,88 @@
+#include "train/prefetcher.h"
+
+#include <utility>
+
+#include "util/status.h"
+
+namespace bsg {
+
+BatchPrefetcher::BatchPrefetcher(Assembler assemble, int depth)
+    : assemble_(std::move(assemble)),
+      depth_(static_cast<size_t>(depth < 1 ? 1 : depth)),
+      producer_([this] { ProducerLoop(); }) {
+  BSG_CHECK(assemble_ != nullptr, "null batch assembler");
+}
+
+BatchPrefetcher::~BatchPrefetcher() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  producer_cv_.notify_all();
+  producer_.join();
+}
+
+void BatchPrefetcher::StartEpoch(std::vector<int> order) {
+  CancelEpoch();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    order_ = std::move(order);
+    next_produce_ = 0;
+    next_consume_ = 0;
+  }
+  producer_cv_.notify_all();
+}
+
+SubgraphBatch BatchPrefetcher::Next() {
+  std::unique_lock<std::mutex> lock(mu_);
+  BSG_CHECK(next_consume_ < order_.size(), "Next() past the epoch end");
+  consumer_cv_.wait(lock, [this] { return !ready_.empty(); });
+  SubgraphBatch batch = std::move(ready_.front());
+  ready_.pop_front();
+  ++next_consume_;
+  producer_cv_.notify_all();  // a buffer slot freed up
+  return batch;
+}
+
+bool BatchPrefetcher::EpochDrained() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_consume_ == order_.size();
+}
+
+void BatchPrefetcher::CancelEpoch() {
+  std::unique_lock<std::mutex> lock(mu_);
+  ++epoch_;  // a batch in flight is discarded when the producer re-locks
+  order_.clear();
+  next_produce_ = 0;
+  next_consume_ = 0;
+  ready_.clear();
+  consumer_cv_.wait(lock, [this] { return !producing_; });
+}
+
+void BatchPrefetcher::ProducerLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    producer_cv_.wait(lock, [this] {
+      // Start the next assembly only while a buffer slot is free, so at
+      // most `depth` finished batches are ever held (double buffer at 2).
+      return stop_ || (next_produce_ < order_.size() &&
+                       ready_.size() < depth_);
+    });
+    if (stop_) return;
+    const int index = order_[next_produce_];
+    const uint64_t epoch = epoch_;
+    producing_ = true;
+    lock.unlock();
+    SubgraphBatch batch = assemble_(index);
+    lock.lock();
+    producing_ = false;
+    if (epoch == epoch_) {
+      // Commit: the epoch was not cancelled/rearmed while assembling.
+      ready_.push_back(std::move(batch));
+      ++next_produce_;
+    }
+    consumer_cv_.notify_all();  // batch ready, or CancelEpoch waiting on us
+  }
+}
+
+}  // namespace bsg

@@ -1,0 +1,88 @@
+// Double-buffered mini-batch prefetch for subgraph training (paper §III-F).
+//
+// A BatchPrefetcher owns one background producer thread that assembles
+// SubgraphBatches (MakeSubgraphBatch is pure and thread-safe) ahead of the
+// consumer, keeping at most `depth` finished batches buffered — depth 2 is
+// classic double buffering: the trainer consumes batch i while batch i+1 is
+// assembled concurrently.
+//
+// Determinism contract: the consumer fixes the epoch order up front
+// (StartEpoch), the producer assembles exactly that sequence, and Next()
+// returns it in order. Assembly takes no RNG and touches no shared mutable
+// state, so the batches — and any loss history computed from them — are
+// bit-identical to a synchronous loop that assembles each batch inline,
+// at any thread count.
+//
+// The producer is a dedicated thread, not a util/parallel.h pool worker:
+// pool regions are blocking, and the whole point here is to overlap
+// assembly with the trainer's own (pool-parallel) numeric work. Assembly
+// code may still call ParallelFor; regions launched from the producer
+// serialize against the trainer's regions inside the pool (safe, just
+// contended).
+//
+// Early stopping: CancelEpoch() (or destruction) drops unconsumed work and
+// drains the producer cleanly; it is always safe to destroy a prefetcher
+// mid-epoch.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/subgraph_batch.h"
+
+namespace bsg {
+
+class BatchPrefetcher {
+ public:
+  /// Assembles the train batch with the given index. Called only from the
+  /// producer thread; must be pure (thread-safe, no RNG).
+  using Assembler = std::function<SubgraphBatch(int batch_index)>;
+
+  explicit BatchPrefetcher(Assembler assemble, int depth = 2);
+  ~BatchPrefetcher();
+
+  BatchPrefetcher(const BatchPrefetcher&) = delete;
+  BatchPrefetcher& operator=(const BatchPrefetcher&) = delete;
+
+  /// Arms one epoch: the producer starts assembling `order` front to back.
+  /// Any previous epoch's unconsumed work is cancelled first.
+  void StartEpoch(std::vector<int> order);
+
+  /// Next batch in epoch order; blocks until the producer has it. Must not
+  /// be called more times than the current epoch's order length.
+  SubgraphBatch Next();
+
+  /// True when every batch of the current epoch has been handed out.
+  bool EpochDrained() const;
+
+  /// Drops unassembled and unconsumed batches of the current epoch and
+  /// waits for the producer to go idle (early stopping).
+  void CancelEpoch();
+
+ private:
+  void ProducerLoop();
+
+  const Assembler assemble_;
+  const size_t depth_;
+
+  mutable std::mutex mu_;
+  std::condition_variable producer_cv_;  // signals: work available / space
+  std::condition_variable consumer_cv_;  // signals: batch ready / idle
+  std::vector<int> order_;               // epoch order, fixed by StartEpoch
+  size_t next_produce_ = 0;              // index into order_ to assemble next
+  size_t next_consume_ = 0;              // index into order_ to hand out next
+  std::deque<SubgraphBatch> ready_;      // assembled, not yet consumed
+  uint64_t epoch_ = 0;                   // bumped by StartEpoch/CancelEpoch
+  bool producing_ = false;               // producer is inside assemble_()
+  bool stop_ = false;
+
+  std::thread producer_;  // last member: starts after state is initialised
+};
+
+}  // namespace bsg

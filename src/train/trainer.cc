@@ -1,10 +1,62 @@
 #include "train/trainer.h"
 
+#include <memory>
+
 #include "tensor/optim.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
 namespace bsg {
+
+namespace {
+
+// Per-epoch bookkeeping shared by both drivers: loss history, the
+// early-stopping score (val F1 with accuracy as tie-break), patience and
+// the verbose log line. Keeping it in one place keeps the two loops'
+// model-selection behaviour from diverging.
+class EpochTracker {
+ public:
+  explicit EpochTracker(const TrainConfig& cfg) : cfg_(cfg) {}
+
+  /// Records one epoch; returns true when it is the new best (callers
+  /// snapshot whatever "best" means for them — logits or parameters).
+  bool Record(const std::string& tag, int epoch, double epoch_loss,
+              const EvalResult& val, TrainResult* res) {
+    res->loss_history.push_back(epoch_loss);
+    res->epochs_run = epoch + 1;
+    double score = val.f1 + 1e-6 * val.accuracy;
+    bool improved = score > best_score_;
+    if (improved) {
+      best_score_ = score;
+      since_best_ = 0;
+      res->val = val;
+    } else {
+      ++since_best_;
+    }
+    if (cfg_.verbose) {
+      BSG_LOG_INFO("[%s] epoch %d loss %.4f val acc %.4f f1 %.4f",
+                   tag.c_str(), epoch, epoch_loss, val.accuracy, val.f1);
+    }
+    return improved;
+  }
+
+  bool ShouldStop(int epoch) const {
+    return epoch + 1 >= cfg_.min_epochs && since_best_ >= cfg_.patience;
+  }
+
+ private:
+  const TrainConfig& cfg_;
+  double best_score_ = -1.0;
+  int since_best_ = 0;
+};
+
+void FinalizeTiming(const WallTimer& timer, TrainResult* res) {
+  res->total_seconds = timer.Seconds();
+  res->seconds_per_epoch =
+      res->epochs_run > 0 ? res->total_seconds / res->epochs_run : 0.0;
+}
+
+}  // namespace
 
 TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
   const HeteroGraph& g = model->graph();
@@ -15,8 +67,7 @@ TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
 
   Adam optimizer(model->Parameters(), cfg.lr, cfg.weight_decay);
   TrainResult res;
-  double best_score = -1.0;
-  int since_best = 0;
+  EpochTracker tracker(cfg);
 
   WallTimer total_timer;
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
@@ -29,33 +80,98 @@ TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
       epoch_loss += loss->value(0, 0);
     }
     if (!losses.empty()) epoch_loss /= static_cast<double>(losses.size());
-    res.loss_history.push_back(epoch_loss);
-    res.epochs_run = epoch + 1;
 
     // Validation.
     Tensor logits = model->Forward(/*training=*/false);
     EvalResult val = Evaluate(logits->value, g.labels, g.val_idx);
-    double score = val.f1 + 1e-6 * val.accuracy;
-    if (score > best_score) {
-      best_score = score;
-      since_best = 0;
-      res.val = val;
+    if (tracker.Record(model->name(), epoch, epoch_loss, val, &res)) {
       res.best_logits = logits->value;
-    } else {
-      ++since_best;
     }
-    if (cfg.verbose) {
-      BSG_LOG_INFO("[%s] epoch %d loss %.4f val acc %.4f f1 %.4f",
-                   model->name().c_str(), epoch, epoch_loss, val.accuracy,
-                   val.f1);
-    }
-    if (epoch + 1 >= cfg.min_epochs && since_best >= cfg.patience) break;
+    if (tracker.ShouldStop(epoch)) break;
   }
-  res.total_seconds = total_timer.Seconds();
-  res.seconds_per_epoch =
-      res.epochs_run > 0 ? res.total_seconds / res.epochs_run : 0.0;
+  FinalizeTiming(total_timer, &res);
   if (!g.test_idx.empty()) {
     res.test = Evaluate(res.best_logits, g.labels, g.test_idx);
+  }
+  return res;
+}
+
+TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
+  BSG_CHECK(program != nullptr, "null mini-batch program");
+  // The training-set override knob belongs to the full-graph driver; batch
+  // composition is the program's job, so silently ignoring it would be a
+  // trap (e.g. a low-sample study that secretly trains on everything).
+  BSG_CHECK(cfg.train_override.empty(),
+            "train_override is not supported by the mini-batch driver");
+  const int num_batches = program->NumTrainBatches();
+  BSG_CHECK(num_batches > 0, "program has no train batches");
+
+  Adam optimizer(program->Parameters(), cfg.lr, cfg.weight_decay);
+  TrainResult res;
+  EpochTracker tracker(cfg);
+  std::vector<Matrix> best_params;
+
+  // Synchronous reference path: assemble every batch once and reuse it
+  // across epochs (composition is fixed). Async path: stream each epoch
+  // through the double-buffered prefetcher instead — O(prefetch_depth)
+  // batches resident, assembly overlapped with the optimiser, and the same
+  // bits either way because assembly is pure and order is fixed.
+  std::vector<SubgraphBatch> cached;
+  std::unique_ptr<BatchPrefetcher> prefetcher;
+  if (cfg.async_prefetch) {
+    prefetcher = std::make_unique<BatchPrefetcher>(
+        [program](int index) { return program->AssembleTrainBatch(index); },
+        cfg.prefetch_depth);
+  } else {
+    cached.reserve(num_batches);
+    for (int i = 0; i < num_batches; ++i) {
+      cached.push_back(program->AssembleTrainBatch(i));
+    }
+  }
+
+  WallTimer total_timer;
+  for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
+    std::vector<int> order = program->EpochBatchOrder(epoch);
+    BSG_CHECK(static_cast<int>(order.size()) == num_batches,
+              "epoch order length mismatch");
+    if (prefetcher != nullptr) prefetcher->StartEpoch(order);
+
+    double epoch_loss = 0.0;
+    int batches = 0;
+    for (int bi : order) {
+      Tensor loss;
+      if (prefetcher != nullptr) {
+        SubgraphBatch batch = prefetcher->Next();
+        loss = program->BatchLoss(batch);
+      } else {
+        loss = program->BatchLoss(cached[bi]);
+      }
+      Backward(loss);
+      optimizer.Step();
+      epoch_loss += loss->value(0, 0);
+      ++batches;
+    }
+    if (batches > 0) epoch_loss /= batches;
+
+    EvalResult val = program->Validate();
+    if (tracker.Record(program->ProgramName(), epoch, epoch_loss, val,
+                       &res)) {
+      best_params.clear();
+      for (const Tensor& p : program->Parameters()) {
+        best_params.push_back(p->value);
+      }
+    }
+    if (tracker.ShouldStop(epoch)) break;
+  }
+  FinalizeTiming(total_timer, &res);
+  if (prefetcher != nullptr) prefetcher->CancelEpoch();
+
+  if (!best_params.empty()) {
+    const std::vector<Tensor>& params = program->Parameters();
+    BSG_CHECK(best_params.size() == params.size(), "snapshot mismatch");
+    for (size_t i = 0; i < params.size(); ++i) {
+      params[i]->value = best_params[i];
+    }
   }
   return res;
 }

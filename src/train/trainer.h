@@ -1,5 +1,16 @@
-// Training loop with Adam, dropout and early stopping (the paper's §IV-A
+// Training loops with Adam, dropout and early stopping (the paper's §IV-A
 // protocol), plus per-epoch wall-time accounting for Table III.
+//
+// Two drivers share TrainConfig:
+//   - TrainModel: the full-graph loop over Model::BuildEpochLosses.
+//   - TrainMiniBatch: the paper's §III-F mini-batch loop over subgraph
+//     batches supplied by a MiniBatchProgram. With cfg.async_prefetch the
+//     batches stream through a double-buffered BatchPrefetcher (assembly on
+//     a producer thread overlaps training); the synchronous path assembles
+//     every batch up front and is the bit-exact reference oracle — both
+//     paths produce identical loss histories and metrics at any thread
+//     count, because assembly is a pure function of the batch index and the
+//     consumption order is fixed per epoch.
 #pragma once
 
 #include <string>
@@ -7,6 +18,7 @@
 
 #include "models/model.h"
 #include "train/metrics.h"
+#include "train/prefetcher.h"
 
 namespace bsg {
 
@@ -18,6 +30,13 @@ struct TrainConfig {
   double lr = 0.01;
   double weight_decay = 5e-4;
   bool verbose = false;
+  /// Mini-batch driver only: stream batches through the async double-
+  /// buffered prefetcher instead of caching them all up front. Results are
+  /// bit-identical either way; async trades recomputed assembly for O(depth)
+  /// resident batches and overlaps assembly with the optimiser.
+  bool async_prefetch = false;
+  /// Prefetch lookahead (assembled batches held at once); 2 = double buffer.
+  int prefetch_depth = 2;
   /// Optional training-set override (Fig. 7 low-sample study); empty means
   /// use graph.train_idx.
   std::vector<int> train_override;
@@ -38,5 +57,47 @@ struct TrainResult {
 /// (accuracy as tie-breaker). Test metrics are reported at the best
 /// validation epoch, never tuned on test.
 TrainResult TrainModel(Model* model, const TrainConfig& cfg);
+
+/// A mini-batch training program: fixed batch composition, pure assembly,
+/// per-batch loss and validation supplied by the implementation; epoch
+/// order, optimisation, prefetching and early stopping owned by
+/// TrainMiniBatch.
+class MiniBatchProgram {
+ public:
+  virtual ~MiniBatchProgram() = default;
+
+  /// Number of train batches; composition must be fixed across epochs.
+  virtual int NumTrainBatches() const = 0;
+
+  /// Assembles train batch `index`. Must be a pure function of the index
+  /// (no RNG, no shared mutable state): the async pipeline calls it from
+  /// the prefetcher's producer thread.
+  virtual SubgraphBatch AssembleTrainBatch(int index) const = 0;
+
+  /// Visit order over [0, NumTrainBatches()) for this epoch. Runs on the
+  /// training thread before any batch of the epoch; this is where epoch
+  /// shuffling consumes the program's RNG (identically for the sync and
+  /// async paths).
+  virtual std::vector<int> EpochBatchOrder(int epoch) = 0;
+
+  /// Loss (1x1) for one assembled batch, training mode. Training thread.
+  virtual Tensor BatchLoss(const SubgraphBatch& batch) = 0;
+
+  /// Validation metrics at the current parameters.
+  virtual EvalResult Validate() = 0;
+
+  /// Trainable parameters (snapshotted/restored around the best epoch).
+  virtual const std::vector<Tensor>& Parameters() const = 0;
+
+  /// Optional human-readable tag for verbose logging.
+  virtual std::string ProgramName() const { return "minibatch"; }
+};
+
+/// Drives mini-batch epochs over `program` with Adam and early stopping on
+/// validation F1. Behind cfg.async_prefetch the epoch's batches stream
+/// through a BatchPrefetcher; otherwise they are assembled once and cached
+/// (the synchronous reference). Restores the best-epoch parameters before
+/// returning. TrainResult.test/best_logits are left to the caller.
+TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg);
 
 }  // namespace bsg

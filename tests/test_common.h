@@ -1,11 +1,29 @@
-// Shared fixtures: a small benchmark graph built once per test binary.
+// Shared fixtures: a small benchmark graph built once per test binary, plus
+// helpers for the determinism suites (bitwise comparison, thread-count
+// restoration).
 #pragma once
+
+#include <cstring>
 
 #include "datagen/config.h"
 #include "features/feature_pipeline.h"
 #include "graph/hetero_graph.h"
+#include "tensor/matrix.h"
+#include "util/parallel.h"
 
 namespace bsg::testing {
+
+/// Restores the default thread resolution when a test scope exits.
+struct ThreadGuard {
+  ~ThreadGuard() { SetNumThreads(0); }
+};
+
+/// Bitwise matrix equality (the determinism contract's notion of "same").
+inline bool SameBits(const Matrix& a, const Matrix& b) {
+  return a.rows() == b.rows() && a.cols() == b.cols() &&
+         (a.size() == 0 ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
 
 /// A ~500-user, 2-relation benchmark graph (cached across tests).
 inline const HeteroGraph& SmallGraph() {

@@ -1,0 +1,158 @@
+// Transpose-aware dense kernels: MatMulTN (A^T B) and MatMulNT (A B^T)
+// must match the materialised Transposed().MatMul(...) reference bit for
+// bit across shapes and thread counts, and the MatMul autograd backward —
+// which now runs on these kernels with no Transposed() call — must pass
+// gradcheck.
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "gradcheck.h"
+#include "tensor/ops.h"
+#include "test_common.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+
+namespace bsg {
+namespace {
+
+using bsg::testing::SameBits;
+using bsg::testing::ThreadGuard;
+
+// Shapes as (rows_a, cols_a): deliberately non-square, 1-row, 1-col, tall,
+// wide, and larger than the row grain (16) / k-tile (64) so chunking and
+// tiling edges are all exercised.
+const std::vector<std::pair<int, int>> kShapes = {
+    {3, 5}, {1, 7}, {7, 1}, {1, 1}, {19, 4}, {4, 19}, {70, 33}, {33, 70}};
+
+TEST(MatMulTransposed, TNMatchesMaterialisedTransposeBitwise) {
+  ThreadGuard guard;
+  Rng rng(101);
+  for (const auto& [n, m] : kShapes) {
+    const int k = 1 + static_cast<int>(rng.UniformInt(40));
+    Matrix a = Matrix::RandomNormal(n, m, 1.0, &rng);  // A^T is m x n
+    Matrix b = Matrix::RandomNormal(n, k, 1.0, &rng);
+    Matrix ref = a.Transposed().MatMul(b);
+    for (int threads : {1, 2, 4}) {
+      SetNumThreads(threads);
+      EXPECT_TRUE(SameBits(a.MatMulTN(b), ref))
+          << "shape " << n << "x" << m << " * " << n << "x" << k
+          << " threads=" << threads;
+    }
+  }
+}
+
+TEST(MatMulTransposed, NTMatchesMaterialisedTransposeBitwise) {
+  ThreadGuard guard;
+  Rng rng(202);
+  for (const auto& [n, m] : kShapes) {
+    const int k = 1 + static_cast<int>(rng.UniformInt(40));
+    Matrix a = Matrix::RandomNormal(n, m, 1.0, &rng);
+    Matrix b = Matrix::RandomNormal(k, m, 1.0, &rng);  // B^T is m x k
+    Matrix ref = a.MatMul(b.Transposed());
+    for (int threads : {1, 2, 4}) {
+      SetNumThreads(threads);
+      EXPECT_TRUE(SameBits(a.MatMulNT(b), ref))
+          << "shape " << n << "x" << m << " * (" << k << "x" << m
+          << ")^T threads=" << threads;
+    }
+  }
+}
+
+TEST(MatMulTransposed, HandlesExactZeroEntries) {
+  // The kernels skip a == 0.0 terms exactly like the reference; a sparse-ish
+  // operand with explicit zeros must still match bitwise.
+  ThreadGuard guard;
+  Rng rng(303);
+  Matrix a = Matrix::RandomNormal(37, 21, 1.0, &rng);
+  Matrix b = Matrix::RandomNormal(37, 9, 1.0, &rng);
+  for (size_t i = 0; i < a.size(); i += 3) a.data()[i] = 0.0;
+  EXPECT_TRUE(SameBits(a.MatMulTN(b), a.Transposed().MatMul(b)));
+  Matrix c = Matrix::RandomNormal(9, 21, 1.0, &rng);
+  EXPECT_TRUE(SameBits(a.MatMulNT(c), a.MatMul(c.Transposed())));
+}
+
+TEST(MatMulTransposed, BackwardMatchesMaterialisedFormulasBitwise) {
+  // The rewritten MatMul backward (dA = G B^T, dB = A^T G via the new
+  // kernels) must reproduce the old Transposed()-materialising gradients
+  // exactly.
+  ThreadGuard guard;
+  Rng rng(404);
+  for (const auto& [n, m] : kShapes) {
+    const int k = 1 + static_cast<int>(rng.UniformInt(24));
+    Tensor a = MakeTensor(Matrix::RandomNormal(n, m, 1.0, &rng), true);
+    Tensor b = MakeTensor(Matrix::RandomNormal(m, k, 1.0, &rng), true);
+    Tensor c = MakeTensor(Matrix::RandomNormal(n, k, 1.0, &rng));
+    Tensor y = ops::MatMul(a, b);
+    Backward(ops::SumAll(ops::Mul(y, c)));
+    // Seed gradient of y is exactly c's value here (d sum(y*c)/dy = c).
+    Matrix want_da = c->value.MatMul(b->value.Transposed());
+    Matrix want_db = a->value.Transposed().MatMul(c->value);
+    EXPECT_TRUE(SameBits(a->grad, want_da)) << "dA " << n << "x" << m;
+    EXPECT_TRUE(SameBits(b->grad, want_db)) << "dB " << m << "x" << k;
+  }
+}
+
+TEST(MatMulTransposed, GradcheckThroughMatMulBackward) {
+  ThreadGuard guard;
+  Rng rng(505);
+  for (const auto& [n, m] : {std::pair<int, int>{4, 6},
+                             std::pair<int, int>{1, 5},
+                             std::pair<int, int>{5, 1}}) {
+    const int k = 3;
+    Tensor a = MakeTensor(Matrix::RandomNormal(n, m, 0.7, &rng), true);
+    Tensor b = MakeTensor(Matrix::RandomNormal(m, k, 0.7, &rng), true);
+    Tensor c = MakeTensor(Matrix::RandomNormal(n, k, 0.7, &rng));
+    bsg::testing::ExpectGradientsMatch({a, b}, [&] {
+      return ops::MeanAll(ops::Mul(ops::MatMul(a, b), c));
+    });
+  }
+}
+
+TEST(MatMulTransposed, GradcheckChainedMatMuls) {
+  // Two chained products: the inner result is both a child and a parent, so
+  // both backward formulas run against a non-trivial upstream gradient.
+  ThreadGuard guard;
+  Rng rng(606);
+  Tensor a = MakeTensor(Matrix::RandomNormal(3, 7, 0.5, &rng), true);
+  Tensor b = MakeTensor(Matrix::RandomNormal(7, 4, 0.5, &rng), true);
+  Tensor c = MakeTensor(Matrix::RandomNormal(4, 2, 0.5, &rng), true);
+  bsg::testing::ExpectGradientsMatch({a, b, c}, [&] {
+    return ops::MeanAll(ops::Tanh(ops::MatMul(ops::MatMul(a, b), c)));
+  });
+}
+
+TEST(MatMulTransposed, GradcheckAtHigherThreadCounts) {
+  ThreadGuard guard;
+  Rng rng(707);
+  Tensor a = MakeTensor(Matrix::RandomNormal(20, 17, 0.5, &rng), true);
+  Tensor b = MakeTensor(Matrix::RandomNormal(17, 6, 0.5, &rng), true);
+  for (int threads : {2, 4}) {
+    SetNumThreads(threads);
+    bsg::testing::ExpectGradientsMatch({a, b}, [&] {
+      return ops::MeanAll(ops::MatMul(a, b));
+    });
+  }
+}
+
+TEST(MatMulTransposed, EmptyInnerDimensionYieldsZeros) {
+  // n = 0 inner dimension: both kernels must return an all-zero product of
+  // the right shape (and not touch out-of-range memory).
+  Matrix a(0, 4);
+  Matrix b(0, 3);
+  Matrix tn = a.MatMulTN(b);
+  EXPECT_EQ(tn.rows(), 4);
+  EXPECT_EQ(tn.cols(), 3);
+  for (size_t i = 0; i < tn.size(); ++i) EXPECT_EQ(tn.data()[i], 0.0);
+
+  Matrix c(5, 0);
+  Matrix d(2, 0);
+  Matrix nt = c.MatMulNT(d);
+  EXPECT_EQ(nt.rows(), 5);
+  EXPECT_EQ(nt.cols(), 2);
+  for (size_t i = 0; i < nt.size(); ++i) EXPECT_EQ(nt.data()[i], 0.0);
+}
+
+}  // namespace
+}  // namespace bsg

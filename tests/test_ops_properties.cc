@@ -1,11 +1,14 @@
 // Parameterised property tests over the tensor ops: algebraic identities
 // that must hold for random shapes and seeds.
+#include <algorithm>
 #include <memory>
 
 #include <gtest/gtest.h>
 
 #include "graph/csr.h"
 #include "tensor/ops.h"
+#include "test_common.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 
 namespace bsg {
@@ -13,8 +16,28 @@ namespace {
 
 class OpsProperty : public ::testing::TestWithParam<uint64_t> {
  protected:
+  ~OpsProperty() override { SetNumThreads(0); }
   Rng rng_{GetParam()};
 };
+
+using bsg::testing::SameBits;
+
+// Random segment partition of [0, edges) with a sprinkling of empty
+// segments (repeated boundaries).
+std::shared_ptr<std::vector<int64_t>> RandomSegments(Rng* rng, int edges,
+                                                     int segments) {
+  auto seg_ptr = std::make_shared<std::vector<int64_t>>();
+  seg_ptr->push_back(0);
+  for (int s = 1; s < segments; ++s) {
+    // ~1 in 4 boundaries duplicates an existing one => empty segment.
+    seg_ptr->push_back(rng->Bernoulli(0.25) && seg_ptr->size() > 1
+                           ? seg_ptr->back()
+                           : static_cast<int64_t>(rng->UniformInt(edges + 1)));
+  }
+  seg_ptr->push_back(edges);
+  std::sort(seg_ptr->begin(), seg_ptr->end());
+  return seg_ptr;
+}
 
 TEST_P(OpsProperty, SpMMMatchesDenseMatMul) {
   const int n = 12 + static_cast<int>(rng_.UniformInt(10));
@@ -147,6 +170,125 @@ TEST_P(OpsProperty, MeanAllMatchesSumAll) {
   Tensor a = MakeTensor(Matrix::RandomNormal(n, c, 1.0, &rng_));
   EXPECT_NEAR(ops::MeanAll(a)->value(0, 0) * n * c,
               ops::SumAll(a)->value(0, 0), 1e-9);
+}
+
+TEST_P(OpsProperty, SegmentSoftmaxSegmentsSumToOne) {
+  // Parallelised over segments: every non-empty segment must still form a
+  // probability distribution, at any thread count. Sizes exceed the segment
+  // grain (64) so several chunks really run.
+  const int edges = 500 + static_cast<int>(rng_.UniformInt(200));
+  const int segments = 150 + static_cast<int>(rng_.UniformInt(50));
+  auto seg_ptr = RandomSegments(&rng_, edges, segments);
+  Tensor scores = MakeTensor(Matrix::RandomNormal(edges, 1, 2.0, &rng_));
+  for (int threads : {1, 4}) {
+    SetNumThreads(threads);
+    Tensor y = ops::SegmentSoftmax(scores, seg_ptr);
+    for (size_t s = 0; s + 1 < seg_ptr->size(); ++s) {
+      int64_t lo = (*seg_ptr)[s], hi = (*seg_ptr)[s + 1];
+      if (lo == hi) continue;
+      double total = 0.0;
+      for (int64_t e = lo; e < hi; ++e) {
+        EXPECT_GE(y->value(static_cast<int>(e), 0), 0.0);
+        total += y->value(static_cast<int>(e), 0);
+      }
+      EXPECT_NEAR(total, 1.0, 1e-12) << "segment " << s;
+    }
+  }
+}
+
+TEST_P(OpsProperty, SegmentSoftmaxShiftInvariantPerSegment) {
+  const int edges = 300;
+  auto seg_ptr = RandomSegments(&rng_, edges, 90);
+  Matrix base = Matrix::RandomNormal(edges, 1, 1.0, &rng_);
+  // Shift each segment by its own constant: softmax must not move.
+  Matrix shifted = base;
+  for (size_t s = 0; s + 1 < seg_ptr->size(); ++s) {
+    double shift = rng_.Uniform(-50.0, 50.0);
+    for (int64_t e = (*seg_ptr)[s]; e < (*seg_ptr)[s + 1]; ++e) {
+      shifted(static_cast<int>(e), 0) += shift;
+    }
+  }
+  SetNumThreads(4);
+  Tensor y1 = ops::SegmentSoftmax(MakeTensor(base), seg_ptr);
+  Tensor y2 = ops::SegmentSoftmax(MakeTensor(shifted), seg_ptr);
+  for (int e = 0; e < edges; ++e) {
+    EXPECT_NEAR(y1->value(e, 0), y2->value(e, 0), 1e-12);
+  }
+}
+
+TEST_P(OpsProperty, SegmentSoftmaxEmptySegmentsAndThreadInvariance) {
+  // All-empty interior segments plus a bitwise 1-vs-4-thread check of the
+  // forward value and the backward gradient.
+  const int edges = 400;
+  auto seg_ptr = RandomSegments(&rng_, edges, 130);
+  Matrix scores_val = Matrix::RandomNormal(edges, 1, 1.5, &rng_);
+  auto run = [&](int threads) {
+    SetNumThreads(threads);
+    Tensor scores = MakeTensor(scores_val, /*requires_grad=*/true);
+    Tensor y = ops::SegmentSoftmax(scores, seg_ptr);
+    Backward(ops::SumAll(ops::Mul(y, y)));
+    return std::make_pair(y->value, scores->grad);
+  };
+  auto [y1, g1] = run(1);
+  auto [y4, g4] = run(4);
+  EXPECT_TRUE(SameBits(y1, y4));
+  EXPECT_TRUE(SameBits(g1, g4));
+
+  // A degenerate all-empty-except-one partition must not crash or write
+  // outside the single live segment.
+  auto degenerate = std::make_shared<std::vector<int64_t>>(
+      std::vector<int64_t>{0, 0, 0, edges, edges});
+  Tensor y = ops::SegmentSoftmax(MakeTensor(scores_val), degenerate);
+  double total = 0.0;
+  for (int e = 0; e < edges; ++e) total += y->value(e, 0);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST_P(OpsProperty, SoftmaxRowsParallelRowsSumToOne) {
+  // Taller than the row grain (64) so the parallel path really splits.
+  const int n = 200 + static_cast<int>(rng_.UniformInt(100));
+  const int c = 2 + static_cast<int>(rng_.UniformInt(6));
+  Tensor a = MakeTensor(Matrix::RandomNormal(n, c, 3.0, &rng_));
+  SetNumThreads(4);
+  Tensor y = ops::SoftmaxRows(a);
+  for (int i = 0; i < n; ++i) {
+    double total = 0.0;
+    for (int j = 0; j < c; ++j) {
+      EXPECT_GE(y->value(i, j), 0.0);
+      total += y->value(i, j);
+    }
+    EXPECT_NEAR(total, 1.0, 1e-12);
+  }
+}
+
+TEST_P(OpsProperty, SoftmaxRowsParallelShiftInvariantAndThreadInvariant) {
+  const int n = 190;
+  const int c = 5;
+  Matrix base = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  Matrix shifted = base;
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < c; ++j) shifted(i, j) += 1000.0;
+  }
+  auto run = [&](const Matrix& m, int threads) {
+    SetNumThreads(threads);
+    Tensor a = MakeTensor(m, /*requires_grad=*/true);
+    Tensor y = ops::SoftmaxRows(a);
+    Backward(ops::SumAll(ops::Mul(y, y)));
+    return std::make_pair(y->value, a->grad);
+  };
+  auto [y1, g1] = run(base, 1);
+  auto [y4, g4] = run(base, 4);
+  EXPECT_TRUE(SameBits(y1, y4));  // forward bit-identical across threads
+  EXPECT_TRUE(SameBits(g1, g4));  // backward too
+  auto [ys, gs] = run(shifted, 4);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < c; ++j) {
+      // The softmax value and its backward depend only on the normalised
+      // distribution, so both are invariant to the constant shift.
+      EXPECT_NEAR(y4(i, j), ys(i, j), 1e-12) << i << "," << j;
+      EXPECT_NEAR(g4(i, j), gs(i, j), 1e-9) << i << "," << j;
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OpsProperty,

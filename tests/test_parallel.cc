@@ -19,16 +19,8 @@
 namespace bsg {
 namespace {
 
-// Restores the default thread resolution when a test exits.
-struct ThreadGuard {
-  ~ThreadGuard() { SetNumThreads(0); }
-};
-
-bool SameBits(const Matrix& a, const Matrix& b) {
-  return a.rows() == b.rows() && a.cols() == b.cols() &&
-         (a.size() == 0 ||
-          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
-}
+using bsg::testing::SameBits;
+using bsg::testing::ThreadGuard;
 
 TEST(ParallelFor, CoversExactRangeOnce) {
   ThreadGuard guard;

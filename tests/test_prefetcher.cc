@@ -1,0 +1,199 @@
+// Async mini-batch pipeline: the double-buffered BatchPrefetcher must hand
+// batches out in exact epoch order and drain cleanly on cancellation, and
+// the async training path must reproduce the synchronous reference — loss
+// history, validation metrics and final logits — bit for bit at 1, 2 and 4
+// pool threads.
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bsg4bot.h"
+#include "test_common.h"
+#include "train/prefetcher.h"
+#include "util/parallel.h"
+
+namespace bsg {
+namespace {
+
+using bsg::testing::SameBits;
+using bsg::testing::ThreadGuard;
+
+// A dummy assembler: batch index is recorded in centers so the consumer can
+// verify order. The sleep widens the window in which cancellation/rearming
+// races with an in-flight assembly.
+BatchPrefetcher::Assembler SlowAssembler(std::atomic<int>* calls,
+                                         int sleep_ms = 2) {
+  return [calls, sleep_ms](int index) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(sleep_ms));
+    calls->fetch_add(1);
+    SubgraphBatch batch;
+    batch.centers = {index};
+    return batch;
+  };
+}
+
+TEST(BatchPrefetcher, DeliversEpochOrderExactly) {
+  std::atomic<int> calls{0};
+  BatchPrefetcher prefetcher(SlowAssembler(&calls), /*depth=*/2);
+  for (int epoch = 0; epoch < 3; ++epoch) {
+    std::vector<int> order = {4, 2, 7, 0, 5, 1, 6, 3};
+    prefetcher.StartEpoch(order);
+    for (int expected : order) {
+      SubgraphBatch batch = prefetcher.Next();
+      ASSERT_EQ(batch.centers.size(), 1u);
+      EXPECT_EQ(batch.centers[0], expected);
+    }
+    EXPECT_TRUE(prefetcher.EpochDrained());
+  }
+}
+
+TEST(BatchPrefetcher, DrainsCleanlyOnEarlyStop) {
+  // Consume a prefix of the epoch, then cancel (early stopping). The
+  // prefetcher must discard in-flight work without deadlock and be ready
+  // for a fresh epoch immediately.
+  std::atomic<int> calls{0};
+  BatchPrefetcher prefetcher(SlowAssembler(&calls), /*depth=*/2);
+  std::vector<int> order(10);
+  for (size_t i = 0; i < order.size(); ++i) order[i] = static_cast<int>(i);
+  prefetcher.StartEpoch(order);
+  EXPECT_EQ(prefetcher.Next().centers[0], 0);
+  EXPECT_EQ(prefetcher.Next().centers[0], 1);
+  EXPECT_FALSE(prefetcher.EpochDrained());
+  prefetcher.CancelEpoch();
+
+  // A new epoch after cancellation starts from its own order, unpolluted by
+  // the cancelled epoch's leftovers.
+  prefetcher.StartEpoch({42, 43});
+  EXPECT_EQ(prefetcher.Next().centers[0], 42);
+  EXPECT_EQ(prefetcher.Next().centers[0], 43);
+  EXPECT_TRUE(prefetcher.EpochDrained());
+}
+
+TEST(BatchPrefetcher, DestructionMidEpochIsSafe) {
+  // Destroying a prefetcher with unconsumed and in-flight batches must not
+  // hang or race (the TSan CI stage runs this test too).
+  std::atomic<int> calls{0};
+  {
+    BatchPrefetcher prefetcher(SlowAssembler(&calls, /*sleep_ms=*/5), 2);
+    prefetcher.StartEpoch({0, 1, 2, 3, 4, 5});
+    EXPECT_EQ(prefetcher.Next().centers[0], 0);
+  }
+  SUCCEED();
+}
+
+TEST(BatchPrefetcher, BackToBackEpochsStress) {
+  // Rapid rearm while the producer may still hold a stale in-flight batch:
+  // every epoch must still see exactly its own order.
+  std::atomic<int> calls{0};
+  BatchPrefetcher prefetcher(SlowAssembler(&calls, /*sleep_ms=*/0), 2);
+  for (int epoch = 0; epoch < 200; ++epoch) {
+    prefetcher.StartEpoch({epoch, epoch + 1});
+    EXPECT_EQ(prefetcher.Next().centers[0], epoch);
+    if (epoch % 3 == 0) {
+      prefetcher.CancelEpoch();  // drop the second batch
+    } else {
+      EXPECT_EQ(prefetcher.Next().centers[0], epoch + 1);
+    }
+  }
+}
+
+// --- end-to-end: async pipeline == synchronous oracle, bitwise ------------
+
+// A reduced graph (vs test_common.h's SmallGraph) keeps the 8 full
+// Prepare+Fit runs below — and their ThreadSanitizer re-runs in CI —
+// affordable.
+const HeteroGraph& PipelineGraph() {
+  static const HeteroGraph* graph = [] {
+    DatasetConfig cfg = Twibot20Sim();
+    cfg.num_users = 240;
+    cfg.tweets_per_user = 6;
+    return new HeteroGraph(BuildBenchmarkGraph(cfg));
+  }();
+  return *graph;
+}
+
+Bsg4BotConfig PipelineConfig(bool async) {
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = 10;
+  cfg.subgraph.k = 12;
+  cfg.hidden = 12;
+  cfg.batch_size = 48;  // several batches per epoch, so the pipeline runs
+  cfg.max_epochs = 4;
+  cfg.min_epochs = 1;
+  cfg.patience = 8;
+  cfg.seed = 77;
+  cfg.async_prefetch = async;
+  return cfg;
+}
+
+struct FitRun {
+  TrainResult res;
+  Matrix logits;
+};
+
+FitRun RunPipeline(bool async, int threads) {
+  SetNumThreads(threads);
+  Bsg4Bot model(PipelineGraph(), PipelineConfig(async));
+  FitRun run;
+  run.res = model.Fit();
+  run.logits = model.PredictLogits(PipelineGraph().val_idx);
+  return run;
+}
+
+TEST(AsyncPipeline, BitIdenticalToSynchronousAtEveryThreadCount) {
+  ThreadGuard guard;
+  FitRun ref = RunPipeline(/*async=*/false, /*threads=*/1);
+  ASSERT_GT(ref.res.epochs_run, 0);
+  ASSERT_FALSE(ref.res.loss_history.empty());
+
+  for (int threads : {1, 2, 4}) {
+    for (bool async : {false, true}) {
+      if (!async && threads == 1) continue;  // the reference itself
+      FitRun run = RunPipeline(async, threads);
+      EXPECT_EQ(run.res.loss_history, ref.res.loss_history)
+          << "async=" << async << " threads=" << threads;
+      EXPECT_EQ(run.res.epochs_run, ref.res.epochs_run)
+          << "async=" << async << " threads=" << threads;
+      EXPECT_EQ(run.res.val.f1, ref.res.val.f1)
+          << "async=" << async << " threads=" << threads;
+      EXPECT_EQ(run.res.val.accuracy, ref.res.val.accuracy)
+          << "async=" << async << " threads=" << threads;
+      EXPECT_EQ(run.res.test.f1, ref.res.test.f1)
+          << "async=" << async << " threads=" << threads;
+      EXPECT_TRUE(SameBits(run.res.best_logits, ref.res.best_logits))
+          << "async=" << async << " threads=" << threads;
+      EXPECT_TRUE(SameBits(run.logits, ref.logits))
+          << "async=" << async << " threads=" << threads;
+    }
+  }
+}
+
+TEST(AsyncPipeline, EarlyStoppingDrainsAndMatchesSynchronousStop) {
+  // Tight patience forces an early stop; both paths must stop at the same
+  // epoch with the same history, and the async path must shut its
+  // prefetcher down cleanly (no hang under ctest timeout, no TSan report).
+  ThreadGuard guard;
+  SetNumThreads(2);
+  Bsg4BotConfig cfg = PipelineConfig(false);
+  cfg.max_epochs = 30;
+  cfg.min_epochs = 1;
+  cfg.patience = 1;
+
+  Bsg4Bot sync_model(PipelineGraph(), cfg);
+  TrainResult sync_res = sync_model.Fit();
+
+  cfg.async_prefetch = true;
+  Bsg4Bot async_model(PipelineGraph(), cfg);
+  TrainResult async_res = async_model.Fit();
+
+  EXPECT_LT(sync_res.epochs_run, 30);  // the stop actually triggered early
+  EXPECT_EQ(async_res.epochs_run, sync_res.epochs_run);
+  EXPECT_EQ(async_res.loss_history, sync_res.loss_history);
+  EXPECT_EQ(async_res.val.f1, sync_res.val.f1);
+}
+
+}  // namespace
+}  // namespace bsg
