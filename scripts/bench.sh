@@ -1,0 +1,38 @@
+#!/usr/bin/env bash
+# Machine-readable perf benches: builds (if needed) and runs the hot-path
+# benchmark, writing the BENCH_pr3.json perf-trajectory snapshot at the
+# repo root.
+#
+#   scripts/bench.sh [--smoke] [build_dir]
+#
+# --smoke runs reduced sizes (seconds, for CI); the default sizes match the
+# checked-in BENCH_pr3.json so numbers are comparable across PRs.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+SMOKE=""
+BUILD_DIR="build"
+for arg in "$@"; do
+  case "$arg" in
+    --smoke) SMOKE="--smoke" ;;
+    --*)
+      echo "unknown flag: $arg (usage: scripts/bench.sh [--smoke] [build_dir])" >&2
+      exit 2
+      ;;
+    *) BUILD_DIR="$arg" ;;
+  esac
+done
+
+cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pr3_hotpath
+
+OUT="BENCH_pr3.json"
+if [[ -n "$SMOKE" ]]; then
+  # Smoke runs write to a scratch path: they exist to prove the bench and
+  # emitter work, not to overwrite the checked-in trajectory numbers.
+  OUT="$BUILD_DIR/BENCH_pr3.smoke.json"
+fi
+
+"$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT"
+echo "bench metrics written to $OUT"

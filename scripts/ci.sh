@@ -8,10 +8,10 @@
 #    bit-identical results, so a green run at both settings catches both
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
-#    test_parallel) so data races in the producer/consumer pipeline and the
-#    thread pool fail CI
-# 4. smoke runs of bench_parallel_scaling and bench_async_pipeline at small
-#    sizes
+#    test_parallel, test_buffer_pool) so data races in the producer/consumer
+#    pipeline, the thread pool and the pooled-slab handoff fail CI
+# 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
+#    scripts/bench.sh JSON emitter at small sizes
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,12 +35,14 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target test_prefetcher test_parallel
+  --target test_prefetcher test_parallel test_buffer_pool
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_parallel"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_buffer_pool"
 
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
@@ -48,3 +50,6 @@ echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 
 echo "=== bench_async_pipeline smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_async_pipeline" --threads=2 --users=300 --epochs=3
+
+echo "=== scripts/bench.sh smoke (JSON perf emitter) ==="
+scripts/bench.sh --smoke "$BUILD_DIR" 

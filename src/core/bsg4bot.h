@@ -121,14 +121,22 @@ class Bsg4Bot : private MiniBatchProgram {
   std::vector<BiasedSubgraph> subgraphs_;
   double prepare_seconds_ = 0.0;
 
+  /// Assembles validation batch `index` (pure function of the index, like
+  /// AssembleTrainBatch — prefetchable from a producer thread).
+  SubgraphBatch AssembleValBatch(int index) const;
+
   // Batch composition is fixed after one shuffle of train_idx; only the
   // visit order reshuffles per epoch (the paper stores constructed
   // subgraphs and composes batches from them, §III-F). Whether assembled
   // batches are cached (sync) or streamed through the prefetcher (async)
-  // is the trainer's choice; validation batches are always cached.
+  // is the trainer's choice. Validation follows the same policy: sync runs
+  // keep the assembled val batches cached (the bit-exact oracle), async
+  // runs stream them through val_prefetcher_ so evaluation overlaps
+  // assembly and only O(prefetch_depth) val batches stay resident.
   std::vector<std::vector<int>> train_batch_centers_;
   std::vector<int> batch_order_;  ///< persistent per-epoch shuffle state
-  std::vector<SubgraphBatch> val_batches_;
+  std::vector<std::vector<int>> val_batch_centers_;
+  std::vector<SubgraphBatch> val_batches_;  ///< cached (sync mode only)
 
   ParamStore store_;
   Tensor features_;
@@ -136,6 +144,10 @@ class Bsg4Bot : private MiniBatchProgram {
   std::vector<std::vector<Linear>> gcn_;  // [relation][layer]
   SemanticAttention fuse_;
   Linear head_;
+
+  // Last member: the producer thread reads subgraphs_/val_batch_centers_,
+  // so it must be torn down before them.
+  std::unique_ptr<BatchPrefetcher> val_prefetcher_;
 };
 
 }  // namespace bsg

@@ -43,10 +43,12 @@ Tensor BotRgcnModel::ApplyLayer(const RgcnLayer& layer, const Tensor& h) const {
                 }
               });
   Tensor out = layer.self.Forward(h);
-  for (size_t r = 0; r < adjs_.size(); ++r) {
+  for (size_t r = 0; r + 1 < adjs_.size(); ++r) {
     out = ops::Add(out, rel_terms[r]);
   }
-  return ops::LeakyRelu(out, cfg_.leaky_slope);
+  // The last relation's add fuses with the activation (one node, no
+  // intermediate sum matrix); the reduction order is unchanged.
+  return ops::AddLeakyRelu(out, rel_terms.back(), cfg_.leaky_slope);
 }
 
 Tensor BotRgcnModel::Forward(bool training) {

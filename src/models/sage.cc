@@ -30,7 +30,10 @@ Tensor SageModel::Layer(const Tensor& x, const SpMat& adj, const Linear& self,
 Tensor SageModel::Forward(bool training) {
   const SpMat& adj = training ? sampled_adj_ : full_adj_;
   Tensor x = ops::Dropout(Features(), cfg_.dropout, training, &rng_);
-  Tensor h = ops::LeakyRelu(Layer(x, adj, self1_, neigh1_), cfg_.leaky_slope);
+  // Layer 1's self+neighbour add fuses with its activation.
+  Tensor h = ops::AddLeakyRelu(self1_.Forward(x),
+                               neigh1_.Forward(ops::SpMM(adj, x)),
+                               cfg_.leaky_slope);
   h = ops::Dropout(h, cfg_.dropout, training, &rng_);
   return Layer(h, adj, self2_, neigh2_);
 }

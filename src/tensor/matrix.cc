@@ -18,6 +18,12 @@ constexpr int kRowGrain = 16;
 constexpr int kKTile = 64;
 // Column-range grain for the per-column statistics.
 constexpr int kColGrain = 8;
+// Element grain for the whole-matrix reductions (Sum/AbsMax/Frobenius).
+// Matrices at or below one grain reduce serially — bit-identical to the
+// historical single-loop reference, which keeps the hot training path
+// (per-batch 1x1 losses, semantic-attention score means) byte-stable —
+// while bigger matrices chunk deterministically through ParallelSum.
+constexpr int64_t kReduceGrain = 4096;
 
 }  // namespace
 
@@ -96,6 +102,41 @@ Matrix Matrix::MatMul(const Matrix& other) const {
   return out;
 }
 
+Matrix Matrix::MatMulAddBias(const Matrix& other, const Matrix& bias) const {
+  BSG_CHECK(cols_ == other.rows_, "MatMulAddBias inner dimension mismatch");
+  BSG_CHECK(bias.rows() == 1 && bias.cols() == other.cols_,
+            "MatMulAddBias bias shape mismatch");
+  Matrix out(rows_, other.cols_);
+  const int inner = cols_;
+  const int out_cols = other.cols_;
+  const double* b_bias = bias.row(0);
+  // The MatMul kernel with the bias row folded into the same row block:
+  // after a block's rows finish all k tiles, one extra pass adds the bias.
+  // Per output element that is exactly "k-ascending accumulation from 0,
+  // then + bias" — the same float sequence as the unfused MatMul followed
+  // by a broadcast add, so the fusion cannot change a single bit.
+  ParallelFor(0, rows_, kRowGrain, [&](int64_t r0, int64_t r1) {
+    for (int k0 = 0; k0 < inner; k0 += kKTile) {
+      const int k1 = std::min(inner, k0 + kKTile);
+      for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+        const double* a_row = row(i);
+        double* o_row = out.row(i);
+        for (int k = k0; k < k1; ++k) {
+          double a = a_row[k];
+          if (a == 0.0) continue;
+          const double* b_row = other.row(k);
+          for (int j = 0; j < out_cols; ++j) o_row[j] += a * b_row[j];
+        }
+      }
+    }
+    for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
+      double* o_row = out.row(i);
+      for (int j = 0; j < out_cols; ++j) o_row[j] += b_bias[j];
+    }
+  });
+  return out;
+}
+
 Matrix Matrix::MatMulTN(const Matrix& other) const {
   BSG_CHECK(rows_ == other.rows_, "MatMulTN inner dimension mismatch");
   Matrix out(cols_, other.cols_);
@@ -124,12 +165,19 @@ Matrix Matrix::MatMulTN(const Matrix& other) const {
 
 Matrix Matrix::MatMulNT(const Matrix& other) const {
   BSG_CHECK(cols_ == other.cols_, "MatMulNT inner dimension mismatch");
-  Matrix out(rows_, other.rows_);
+  Matrix out = Matrix::Uninit(rows_, other.rows_);  // every (i, j) is stored
   const int inner = cols_;
   const int out_cols = other.rows_;
   // Row-dot-row kernel: output (i, j) is <this.row(i), other.row(j)>, two
-  // contiguous streams. The k-ascending accumulation with the zero-skip on
-  // this(i, k) reproduces MatMul(other.Transposed()) bit for bit.
+  // contiguous streams. The k-ascending accumulation reproduces
+  // MatMul(other.Transposed()) bit for bit. Unlike the saxpy-style kernels
+  // above (whose zero test guards a whole row pass), a per-element
+  // `if (a == 0.0) continue` here would sit inside the dot loop, blocking
+  // vectorization and mispredicting on dense data — and on finite operands
+  // (the library-wide precondition; MatMul's kernel likewise multiplies
+  // by exact zeros) skipping the term cannot change the result: acc starts
+  // at +0.0 and adding a (+/-)0.0 product leaves every accumulator bit
+  // intact (the signed-zero edge is pinned by test_matmul_transpose).
   ParallelFor(0, rows_, kRowGrain, [&](int64_t r0, int64_t r1) {
     for (int i = static_cast<int>(r0); i < static_cast<int>(r1); ++i) {
       const double* a_row = row(i);
@@ -137,11 +185,7 @@ Matrix Matrix::MatMulNT(const Matrix& other) const {
       for (int j = 0; j < out_cols; ++j) {
         const double* b_row = other.row(j);
         double acc = 0.0;
-        for (int k = 0; k < inner; ++k) {
-          double a = a_row[k];
-          if (a == 0.0) continue;
-          acc += a * b_row[k];
-        }
+        for (int k = 0; k < inner; ++k) acc += a_row[k] * b_row[k];
         o_row[j] = acc;
       }
     }
@@ -150,7 +194,7 @@ Matrix Matrix::MatMulNT(const Matrix& other) const {
 }
 
 Matrix Matrix::Transposed() const {
-  Matrix out(cols_, rows_);
+  Matrix out = Matrix::Uninit(cols_, rows_);  // every (j, i) is stored
   // Parallel over output rows: chunk j writes rows [j0, j1) of the result
   // (contiguous stores, strided loads).
   ParallelFor(0, cols_, 2 * kRowGrain, [&](int64_t j0, int64_t j1) {
@@ -163,23 +207,65 @@ Matrix Matrix::Transposed() const {
 }
 
 double Matrix::Sum() const {
-  double s = 0.0;
-  for (double v : data_) s += v;
-  return s;
+  const double* p = data_.data();
+  const int64_t n = static_cast<int64_t>(data_.size());
+  // Small matrices (everything on the per-batch training path) keep the
+  // exact serial reference; larger ones reduce through ParallelSum, whose
+  // fixed grain and ascending chunk-combine order make the result
+  // bit-identical at any thread count.
+  if (n <= kReduceGrain) {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += p[i];
+    return s;
+  }
+  return ParallelSum(0, n, kReduceGrain, [p](int64_t lo, int64_t hi) {
+    double s = 0.0;
+    for (int64_t i = lo; i < hi; ++i) s += p[i];
+    return s;
+  });
 }
 
 double Matrix::Mean() const { return data_.empty() ? 0.0 : Sum() / data_.size(); }
 
 double Matrix::AbsMax() const {
+  const double* p = data_.data();
+  const int64_t n = static_cast<int64_t>(data_.size());
+  if (n <= kReduceGrain) {
+    double m = 0.0;
+    for (int64_t i = 0; i < n; ++i) m = std::max(m, std::fabs(p[i]));
+    return m;
+  }
+  // max is exact and order-independent, so chunking cannot change the
+  // result; the chunk partials reuse the ParallelSum layout for the
+  // conflict-free writes.
+  const int64_t chunks = (n + kReduceGrain - 1) / kReduceGrain;
+  std::vector<double> partial(static_cast<size_t>(chunks), 0.0);
+  ParallelFor(0, n, kReduceGrain, [&](int64_t lo, int64_t hi) {
+    double m = 0.0;
+    for (int64_t i = lo; i < hi; ++i) m = std::max(m, std::fabs(p[i]));
+    partial[static_cast<size_t>(lo / kReduceGrain)] = m;
+  });
   double m = 0.0;
-  for (double v : data_) m = std::max(m, std::fabs(v));
+  for (double v : partial) m = std::max(m, v);
   return m;
 }
 
 double Matrix::FrobeniusNorm() const {
-  double s = 0.0;
-  for (double v : data_) s += v * v;
-  return std::sqrt(s);
+  const double* p = data_.data();
+  const int64_t n = static_cast<int64_t>(data_.size());
+  if (n <= kReduceGrain) {
+    double s = 0.0;
+    for (int64_t i = 0; i < n; ++i) s += p[i] * p[i];
+    return std::sqrt(s);
+  }
+  return std::sqrt(ParallelSum(0, n, kReduceGrain,
+                               [p](int64_t lo, int64_t hi) {
+                                 double s = 0.0;
+                                 for (int64_t i = lo; i < hi; ++i) {
+                                   s += p[i] * p[i];
+                                 }
+                                 return s;
+                               }));
 }
 
 double Matrix::RowNorm(int r) const {
@@ -204,7 +290,8 @@ double Matrix::RowCosine(int r, const Matrix& other, int s) const {
 }
 
 Matrix Matrix::GatherRows(const std::vector<int>& indices) const {
-  Matrix out(static_cast<int>(indices.size()), cols_);
+  // Full-write kernel: row i of the output is copied wholesale.
+  Matrix out = Matrix::Uninit(static_cast<int>(indices.size()), cols_);
   for (size_t i = 0; i < indices.size(); ++i) {
     int r = indices[i];
     BSG_CHECK(r >= 0 && r < rows_, "GatherRows index out of range");
@@ -258,7 +345,8 @@ std::vector<double> Matrix::ColStddevs() const {
 
 Matrix Matrix::ConcatCols(const Matrix& other) const {
   BSG_CHECK(rows_ == other.rows_, "ConcatCols row mismatch");
-  Matrix out(rows_, cols_ + other.cols_);
+  // Full-write kernel: the two copies cover every output column.
+  Matrix out = Matrix::Uninit(rows_, cols_ + other.cols_);
   for (int i = 0; i < rows_; ++i) {
     std::copy(row(i), row(i) + cols_, out.row(i));
     std::copy(other.row(i), other.row(i) + other.cols_, out.row(i) + cols_);

@@ -5,12 +5,21 @@
 // row-blocked/cache-tiled and run over the util/parallel.h thread pool.
 // Results are bit-identical at any thread count (each output row is owned
 // by one chunk; see util/parallel.h for the determinism contract).
+//
+// Storage comes from the global BufferPool (util/buffer_pool.h): a matrix
+// acquires a size-bucketed slab on construction and releases it on
+// destruction, so the training hot path recycles warm pages instead of
+// hitting the heap allocator per op. The API is unchanged — data()/row()/
+// At() behave exactly as with vector storage, and the constructor still
+// fills (Uninit is the explicit opt-out for kernels that overwrite every
+// element).
 #pragma once
 
 #include <cstddef>
 #include <string>
 #include <vector>
 
+#include "util/buffer_pool.h"
 #include "util/rng.h"
 #include "util/status.h"
 
@@ -21,9 +30,21 @@ class Matrix {
  public:
   Matrix() : rows_(0), cols_(0) {}
   Matrix(int rows, int cols, double fill = 0.0)
-      : rows_(rows), cols_(cols),
-        data_(static_cast<size_t>(rows) * cols, fill) {
+      : rows_(rows), cols_(cols), data_(static_cast<size_t>(rows) * cols) {
     BSG_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+    Fill(fill);
+  }
+
+  /// Pool-backed matrix with *stale* contents. Strictly for kernels that
+  /// provably write every element before any read (fused ops, transposes,
+  /// gathers); everything else wants the filling constructor.
+  static Matrix Uninit(int rows, int cols) {
+    Matrix m;
+    BSG_CHECK(rows >= 0 && cols >= 0, "negative matrix shape");
+    m.rows_ = rows;
+    m.cols_ = cols;
+    m.data_ = PoolSlab(static_cast<size_t>(rows) * cols);
+    return m;
   }
 
   /// Builds a matrix from nested initializer data (row major), mostly for
@@ -71,7 +92,10 @@ class Matrix {
     return rows_ == other.rows_ && cols_ == other.cols_;
   }
 
-  void Fill(double v) { std::fill(data_.begin(), data_.end(), v); }
+  void Fill(double v) {
+    double* p = data_.data();
+    for (size_t i = 0, n = data_.size(); i < n; ++i) p[i] = v;
+  }
   void Zero() { Fill(0.0); }
 
   /// this += other (shapes must match).
@@ -83,6 +107,12 @@ class Matrix {
 
   /// Dense matrix product: returns this * other.
   Matrix MatMul(const Matrix& other) const;
+  /// Fused linear-layer kernel: returns this * other + bias broadcast over
+  /// rows (bias is 1 x other.cols()), in one pass with no intermediate
+  /// product matrix. Per output element the k-ascending accumulation and
+  /// the trailing bias add replay exactly the unfused
+  /// MatMul(other)-then-add-bias sequence, so the result is bit-identical.
+  Matrix MatMulAddBias(const Matrix& other, const Matrix& bias) const;
   /// Transpose-aware product: returns this^T * other without materialising
   /// the transpose. Bit-identical to Transposed().MatMul(other).
   Matrix MatMulTN(const Matrix& other) const;
@@ -123,7 +153,7 @@ class Matrix {
  private:
   int rows_;
   int cols_;
-  std::vector<double> data_;
+  PoolSlab data_;
 };
 
 }  // namespace bsg

@@ -50,7 +50,9 @@ Linear::Linear(int in_dim, int out_dim, ParamStore* store, Rng* rng,
 
 Tensor Linear::Forward(const Tensor& x) const {
   BSG_CHECK(w_ != nullptr, "Linear used before initialisation");
-  return ops::AddRowVec(ops::MatMul(x, w_), b_);
+  // Fused kernel: one graph node, no intermediate x*W matrix or gradient;
+  // bit-identical to ops::AddRowVec(ops::MatMul(x, w_), b_).
+  return ops::Linear(x, w_, b_);
 }
 
 }  // namespace bsg

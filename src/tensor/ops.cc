@@ -74,6 +74,69 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   return out;
 }
 
+Tensor Linear(const Tensor& x, const Tensor& w, const Tensor& bias) {
+  BSG_CHECK(x->cols() == w->rows(), "Linear shape mismatch");
+  BSG_CHECK(bias->rows() == 1 && bias->cols() == w->cols(),
+            "Linear bias shape mismatch");
+  Tensor out = NewNode(x->value.MatMulAddBias(w->value, bias->value),
+                       {x, w, bias});
+  out->backward_fn = [](TensorNode* self) {
+    TensorNode* x = self->parents[0].get();
+    TensorNode* w = self->parents[1].get();
+    TensorNode* bias = self->parents[2].get();
+    // The chain rule of the unfused pair, with the product node's gradient
+    // (== self->grad) never materialised: dX = G W^T, dW = X^T G,
+    // db = column sums of G in the same row-major order AddRowVec used.
+    if (x->requires_grad) x->grad.Add(self->grad.MatMulNT(w->value));
+    if (w->requires_grad) w->grad.Add(x->value.MatMulTN(self->grad));
+    if (bias->requires_grad) {
+      double* g = bias->grad.row(0);
+      for (int i = 0; i < self->grad.rows(); ++i) {
+        const double* r = self->grad.row(i);
+        for (int c = 0; c < self->grad.cols(); ++c) g[c] += r[c];
+      }
+    }
+  };
+  return out;
+}
+
+Tensor AddLeakyRelu(const Tensor& a, const Tensor& b, double slope) {
+  BSG_CHECK(a->value.SameShape(b->value), "AddLeakyRelu shape mismatch");
+  Matrix v = Matrix::Uninit(a->rows(), a->cols());
+  const double* pa = a->value.data();
+  const double* pb = b->value.data();
+  double* pv = v.data();
+  for (size_t i = 0; i < v.size(); ++i) {
+    double s = pa[i] + pb[i];
+    pv[i] = s < 0.0 ? s * slope : s;
+  }
+  Tensor out = NewNode(std::move(v), {a, b});
+  out->backward_fn = [slope](TensorNode* self) {
+    TensorNode* a = self->parents[0].get();
+    TensorNode* b = self->parents[1].get();
+    if (!a->requires_grad && !b->requires_grad) return;
+    const double* pa = a->value.data();
+    const double* pb = b->value.data();
+    const double* g = self->grad.data();
+    double* ga = a->requires_grad ? a->grad.data() : nullptr;
+    double* gb = b->requires_grad ? b->grad.data() : nullptr;
+    for (size_t i = 0; i < self->grad.size(); ++i) {
+      // Recomputing the sum is exact, so the sign test sees the identical
+      // pre-activation the unfused LeakyRelu backward reads from its input
+      // node (including -0.0 >= 0.0 being true).
+      double factor = pa[i] + pb[i] >= 0.0 ? 1.0 : slope;
+      double d = factor * g[i];
+      if (ga != nullptr) ga[i] += d;
+      if (gb != nullptr) gb[i] += d;
+    }
+  };
+  return out;
+}
+
+Tensor AddRelu(const Tensor& a, const Tensor& b) {
+  return AddLeakyRelu(a, b, 0.0);
+}
+
 Tensor Add(const Tensor& a, const Tensor& b) {
   BSG_CHECK(a->value.SameShape(b->value), "Add shape mismatch");
   Matrix v = a->value;
@@ -226,8 +289,13 @@ Tensor DropoutWithMask(const Tensor& a,
                        std::shared_ptr<const std::vector<double>> mask) {
   BSG_CHECK(mask != nullptr && mask->size() == a->value.size(),
             "dropout mask size mismatch");
-  Matrix v = a->value;
-  for (size_t i = 0; i < v.size(); ++i) v.data()[i] *= (*mask)[i];
+  // One fused copy-and-mask pass into a pooled destination instead of a
+  // full memcpy followed by an in-place multiply over the same bytes.
+  Matrix v = Matrix::Uninit(a->rows(), a->cols());
+  const double* src = a->value.data();
+  const double* m = mask->data();
+  double* dst = v.data();
+  for (size_t i = 0; i < v.size(); ++i) dst[i] = src[i] * m[i];
   Tensor out = NewNode(std::move(v), {a});
   out->backward_fn = [mask](TensorNode* self) {
     TensorNode* a = self->parents[0].get();
@@ -319,6 +387,9 @@ Tensor GatherRows(const Tensor& a, std::vector<int> indices) {
 Tensor SpMM(const SpMat& a, const Tensor& x) {
   BSG_CHECK(a.fwd != nullptr && a.bwd != nullptr, "SpMM null operand");
   BSG_CHECK(a.fwd->num_nodes() == x->rows(), "SpMM shape mismatch");
+  // Pooled, zero-filled destination: the accumulating kernel needs the
+  // zeros, but the slab itself recycles from the previous step, so the
+  // fill runs over warm pages instead of fresh first-touch faults.
   Matrix v(a.fwd->num_nodes(), x->cols());
   SpmmAccumulate(*a.fwd, x->value, &v);
   Tensor out = NewNode(std::move(v), {x});

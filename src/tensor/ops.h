@@ -34,6 +34,19 @@ namespace ops {
 /// Dense product: a (n x k) * b (k x m).
 Tensor MatMul(const Tensor& a, const Tensor& b);
 
+/// Fused affine layer: x (n x k) * w (k x m) + bias (1 x m) broadcast over
+/// rows, as ONE graph node over the one-pass MatMulAddBias kernel — no
+/// intermediate product matrix, no intermediate gradient. Forward and
+/// backward are bit-identical to AddRowVec(MatMul(x, w), bias).
+Tensor Linear(const Tensor& x, const Tensor& w, const Tensor& bias);
+
+/// Fused elementwise a + b followed by leaky ReLU, as one node with no
+/// intermediate sum matrix; the backward recomputes the (exact) sum to
+/// recover the activation sign. Bit-identical to LeakyRelu(Add(a, b)).
+Tensor AddLeakyRelu(const Tensor& a, const Tensor& b, double slope = 0.01);
+/// Fused a + b followed by ReLU (AddLeakyRelu with slope 0).
+Tensor AddRelu(const Tensor& a, const Tensor& b);
+
 /// Elementwise sum (same shape).
 Tensor Add(const Tensor& a, const Tensor& b);
 /// Elementwise difference (same shape).

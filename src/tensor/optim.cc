@@ -2,7 +2,18 @@
 
 #include <cmath>
 
+#include "util/parallel.h"
+
 namespace bsg {
+
+namespace {
+
+// Element grain for the Adam update: each element is updated independently,
+// so the static partition is bit-identical at any thread count; the grain
+// keeps small parameters (bias rows, attention vectors) on the serial path.
+constexpr int64_t kAdamGrain = 2048;
+
+}  // namespace
 
 void Optimizer::ZeroGrad() {
   for (const Tensor& p : params_) {
@@ -41,18 +52,25 @@ void Adam::Step() {
   for (size_t k = 0; k < params_.size(); ++k) {
     Tensor p = params_[k];
     if (p->grad.empty()) continue;
-    Matrix& m = m_[k];
-    Matrix& v = v_[k];
-    for (size_t i = 0; i < p->value.size(); ++i) {
-      double g = p->grad.data()[i];
-      m.data()[i] = beta1_ * m.data()[i] + (1.0 - beta1_) * g;
-      v.data()[i] = beta2_ * v.data()[i] + (1.0 - beta2_) * g * g;
-      double mhat = m.data()[i] / bc1;
-      double vhat = v.data()[i] / bc2;
-      double update = mhat / (std::sqrt(vhat) + eps_);
-      if (weight_decay_ > 0.0) update += weight_decay_ * p->value.data()[i];
-      p->value.data()[i] -= lr_ * update;
-    }
+    // Everything updates in place — moments, then the parameter — with no
+    // temporary matrices; elements are independent, so the parallel chunks
+    // cannot change a bit.
+    double* mp = m_[k].data();
+    double* vp = v_[k].data();
+    double* value = p->value.data();
+    const double* grad = p->grad.data();
+    ParallelFor(0, static_cast<int64_t>(p->value.size()), kAdamGrain,
+                [&](int64_t lo, int64_t hi) {
+                  for (int64_t i = lo; i < hi; ++i) {
+                    double g = grad[i];
+                    mp[i] = beta1_ * mp[i] + (1.0 - beta1_) * g;
+                    vp[i] = beta2_ * vp[i] + (1.0 - beta2_) * g * g;
+                    double update =
+                        (mp[i] / bc1) / (std::sqrt(vp[i] / bc2) + eps_);
+                    if (weight_decay_ > 0.0) update += weight_decay_ * value[i];
+                    value[i] -= lr_ * update;
+                  }
+                });
   }
 }
 

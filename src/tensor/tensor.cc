@@ -49,9 +49,17 @@ void Backward(const Tensor& root) {
   BSG_CHECK(root != nullptr, "Backward on null tensor");
   std::vector<TensorNode*> order;  // post-order: parents precede children
   TopoSort(root, &order);
-  // (Re)initialise gradients for every node in the reachable graph.
+  // (Re)initialise gradients for every node in the reachable graph. A node
+  // whose grad already has the right shape (parameter leaves live across
+  // steps; retained graphs get repeated Backward calls) is zeroed in place
+  // — same bits, no storage churn. Fresh nodes acquire pooled storage that
+  // the previous step's dropped graph just released.
   for (TensorNode* node : order) {
-    node->grad = Matrix(node->rows(), node->cols(), 0.0);
+    if (node->grad.rows() == node->rows() && node->grad.cols() == node->cols()) {
+      node->grad.Zero();
+    } else {
+      node->grad = Matrix(node->rows(), node->cols(), 0.0);
+    }
   }
   root->grad.Fill(1.0);
   // Children first: iterate post-order in reverse.

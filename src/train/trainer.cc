@@ -3,6 +3,7 @@
 #include <memory>
 
 #include "tensor/optim.h"
+#include "util/buffer_pool.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -56,6 +57,32 @@ void FinalizeTiming(const WallTimer& timer, TrainResult* res) {
       res->epochs_run > 0 ? res->total_seconds / res->epochs_run : 0.0;
 }
 
+// Accumulates the TensorArena deltas of every optimisation step so the run
+// reports its allocations/step and pool hit rate (the bench JSON and the
+// allocation-regression test read these). The deltas come from the global
+// pool counters, which is exact only while nothing else allocates pooled
+// storage concurrently — true today because the one concurrent producer,
+// batch assembly on the prefetcher thread, builds index/CSR structures and
+// no Matrix. If assembly ever gains pooled tensors, these step metrics
+// become timing-dependent and need per-thread attribution instead.
+struct StepPoolStats {
+  uint64_t acquires = 0;
+  uint64_t hits = 0;
+  int64_t steps = 0;
+
+  void Absorb(const TensorArena& arena) {
+    acquires += arena.acquires();
+    hits += arena.hits();
+    ++steps;
+  }
+  void Finalize(TrainResult* res) const {
+    res->pool_acquires_per_step =
+        steps > 0 ? static_cast<double>(acquires) / steps : 0.0;
+    res->pool_hit_rate =
+        acquires > 0 ? static_cast<double>(hits) / acquires : 0.0;
+  }
+};
+
 }  // namespace
 
 TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
@@ -70,14 +97,21 @@ TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
   EpochTracker tracker(cfg);
 
   WallTimer total_timer;
+  StepPoolStats pool_stats;
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
     model->OnEpochStart();
     double epoch_loss = 0.0;
     std::vector<Tensor> losses = model->BuildEpochLosses(train_idx);
     for (Tensor& loss : losses) {
+      // Arena-scoped step: the backward pass and optimiser run inside one
+      // TensorArena, and dropping the loss graph at the end of the loop
+      // body returns every transient slab to the pool for the next step.
+      TensorArena arena;
       Backward(loss);
       optimizer.Step();
       epoch_loss += loss->value(0, 0);
+      loss = nullptr;  // release the step's graph (and its slabs) eagerly
+      pool_stats.Absorb(arena);
     }
     if (!losses.empty()) epoch_loss /= static_cast<double>(losses.size());
 
@@ -90,6 +124,7 @@ TrainResult TrainModel(Model* model, const TrainConfig& cfg) {
     if (tracker.ShouldStop(epoch)) break;
   }
   FinalizeTiming(total_timer, &res);
+  pool_stats.Finalize(&res);
   if (!g.test_idx.empty()) {
     res.test = Evaluate(res.best_logits, g.labels, g.test_idx);
   }
@@ -130,6 +165,7 @@ TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
   }
 
   WallTimer total_timer;
+  StepPoolStats pool_stats;
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
     std::vector<int> order = program->EpochBatchOrder(epoch);
     BSG_CHECK(static_cast<int>(order.size()) == num_batches,
@@ -139,17 +175,25 @@ TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
     double epoch_loss = 0.0;
     int batches = 0;
     for (int bi : order) {
-      Tensor loss;
-      if (prefetcher != nullptr) {
-        SubgraphBatch batch = prefetcher->Next();
-        loss = program->BatchLoss(batch);
-      } else {
-        loss = program->BatchLoss(cached[bi]);
+      // Arena-scoped step: forward, backward and the optimiser update all
+      // allocate inside one TensorArena; when `loss` goes out of scope the
+      // whole batch graph returns its slabs, so a warm step runs almost
+      // entirely on pool hits.
+      TensorArena arena;
+      {
+        Tensor loss;
+        if (prefetcher != nullptr) {
+          SubgraphBatch batch = prefetcher->Next();
+          loss = program->BatchLoss(batch);
+        } else {
+          loss = program->BatchLoss(cached[bi]);
+        }
+        Backward(loss);
+        optimizer.Step();
+        epoch_loss += loss->value(0, 0);
+        ++batches;
       }
-      Backward(loss);
-      optimizer.Step();
-      epoch_loss += loss->value(0, 0);
-      ++batches;
+      pool_stats.Absorb(arena);
     }
     if (batches > 0) epoch_loss /= batches;
 
@@ -164,6 +208,7 @@ TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
     if (tracker.ShouldStop(epoch)) break;
   }
   FinalizeTiming(total_timer, &res);
+  pool_stats.Finalize(&res);
   if (prefetcher != nullptr) prefetcher->CancelEpoch();
 
   if (!best_params.empty()) {

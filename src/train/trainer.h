@@ -51,6 +51,11 @@ struct TrainResult {
   double total_seconds = 0.0;
   double seconds_per_epoch = 0.0;
   std::vector<double> loss_history;
+  /// Buffer-pool traffic of the optimisation steps (TensorArena-scoped):
+  /// average pooled acquisitions per step and the fraction served without
+  /// the heap allocator, over the whole run (cold first step included).
+  double pool_acquires_per_step = 0.0;
+  double pool_hit_rate = 0.0;
 };
 
 /// Trains `model` on its graph with early stopping on validation F1

@@ -1,0 +1,142 @@
+#include "util/buffer_pool.h"
+
+#include <new>
+
+#include "util/status.h"
+
+namespace bsg {
+
+namespace {
+
+// log2 of the bucket capacity relative to the minimum slab, i.e. the free-
+// list index. capacity is always a power of two >= kMinSlabDoubles.
+size_t BucketIndex(size_t capacity) {
+  size_t idx = 0;
+  for (size_t c = BufferPool::kMinSlabDoubles; c < capacity; c <<= 1) ++idx;
+  return idx;
+}
+
+}  // namespace
+
+BufferPool& BufferPool::Global() {
+  static BufferPool* pool = new BufferPool();  // leaked: outlives main
+  return *pool;
+}
+
+size_t BufferPool::BucketCapacity(size_t n) {
+  size_t c = kMinSlabDoubles;
+  while (c < n) c <<= 1;
+  return c;
+}
+
+double* BufferPool::Acquire(size_t n, size_t* capacity) {
+  if (n == 0) {
+    *capacity = 0;
+    return nullptr;
+  }
+  const size_t cap = BucketCapacity(n);
+  *capacity = cap;
+  acquires_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_add(cap * sizeof(double), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    const size_t idx = BucketIndex(cap);
+    if (idx < free_.size() && !free_[idx].empty()) {
+      double* p = free_[idx].back();
+      free_[idx].pop_back();
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      free_slabs_.fetch_sub(1, std::memory_order_relaxed);
+      free_bytes_.fetch_sub(cap * sizeof(double), std::memory_order_relaxed);
+      return p;
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  return new double[cap];
+}
+
+void BufferPool::Release(double* p, size_t capacity) {
+  if (p == nullptr) return;
+  BSG_CHECK(capacity == BucketCapacity(capacity),
+            "Release with a non-bucket capacity");
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  live_bytes_.fetch_sub(capacity * sizeof(double), std::memory_order_relaxed);
+  free_slabs_.fetch_add(1, std::memory_order_relaxed);
+  free_bytes_.fetch_add(capacity * sizeof(double), std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t idx = BucketIndex(capacity);
+  if (idx >= free_.size()) free_.resize(idx + 1);
+  free_[idx].push_back(p);
+}
+
+void BufferPool::Trim() {
+  std::vector<std::vector<double*>> drained;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    drained.swap(free_);
+  }
+  uint64_t slabs = 0, bytes = 0;
+  for (size_t idx = 0; idx < drained.size(); ++idx) {
+    const size_t cap = kMinSlabDoubles << idx;
+    slabs += drained[idx].size();
+    bytes += drained[idx].size() * cap * sizeof(double);
+    for (double* p : drained[idx]) delete[] p;
+  }
+  trims_.fetch_add(1, std::memory_order_relaxed);
+  free_slabs_.fetch_sub(slabs, std::memory_order_relaxed);
+  free_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+}
+
+BufferPoolStats BufferPool::Stats() const {
+  BufferPoolStats s;
+  s.acquires = acquires_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.releases = releases_.load(std::memory_order_relaxed);
+  s.trims = trims_.load(std::memory_order_relaxed);
+  s.free_slabs = free_slabs_.load(std::memory_order_relaxed);
+  s.free_bytes = free_bytes_.load(std::memory_order_relaxed);
+  s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+PoolSlab& PoolSlab::operator=(const PoolSlab& other) {
+  if (this == &other) return *this;
+  // Reuse the held slab when it is big enough: parameter snapshots and
+  // best-epoch restores assign same-shaped matrices every step, and keeping
+  // the slab keeps its pages warm with zero pool traffic.
+  if (capacity_ < other.size_) {
+    BufferPool::Global().Release(data_, capacity_);
+    data_ = BufferPool::Global().Acquire(other.size_, &capacity_);
+  }
+  size_ = other.size_;
+  for (size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+  return *this;
+}
+
+PoolSlab& PoolSlab::operator=(PoolSlab&& other) noexcept {
+  if (this == &other) return *this;
+  BufferPool::Global().Release(data_, capacity_);
+  data_ = other.data_;
+  size_ = other.size_;
+  capacity_ = other.capacity_;
+  other.data_ = nullptr;
+  other.size_ = 0;
+  other.capacity_ = 0;
+  return *this;
+}
+
+BufferPoolStats TensorArena::Delta() const {
+  BufferPoolStats now = BufferPool::Global().Stats();
+  BufferPoolStats d;
+  d.acquires = now.acquires - start_.acquires;
+  d.hits = now.hits - start_.hits;
+  d.misses = now.misses - start_.misses;
+  d.releases = now.releases - start_.releases;
+  d.trims = now.trims - start_.trims;
+  d.free_slabs = now.free_slabs;
+  d.free_bytes = now.free_bytes;
+  d.live_bytes = now.live_bytes;
+  return d;
+}
+
+}  // namespace bsg

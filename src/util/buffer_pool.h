@@ -1,0 +1,164 @@
+// Pooled storage for tensor data: size-bucketed free lists of double slabs.
+//
+// The training hot path (§III-F) builds and tears down thousands of dense
+// matrices per epoch — activations, autograd temporaries, gradients. Backing
+// them with malloc/free means allocator traffic and cold first-touch pages
+// dominate per-step cost once the kernels themselves are parallel. The
+// BufferPool removes that churn: released slabs park in per-size free lists
+// and the next acquisition of the same bucket reuses the warm pages.
+//
+// Design:
+//   - Buckets are power-of-two capacities (minimum kMinSlabDoubles), so a
+//     released slab is reusable by any request that rounds to the same
+//     bucket and the pool holds at most O(log n) distinct size classes.
+//   - Thread-safe: ops allocate from pool workers and the batch prefetcher's
+//     producer thread. One mutex guards the free lists (acquire/release are
+//     a pointer push/pop; the critical section is tiny next to any kernel),
+//     counters are atomics readable without the lock.
+//   - Slabs are never scrubbed: Acquire returns stale contents. Matrix keeps
+//     its vector-like fill semantics on top; kernels that overwrite every
+//     element use Matrix::Uninit and skip the fill entirely.
+//   - The pool only ever grows (to the peak working set); Trim() releases
+//     all parked slabs back to the heap when a phase change makes the peak
+//     irrelevant.
+//
+// TensorArena delimits one training step on the hot path and reports the
+// pool traffic inside its scope (acquires, hit rate, heap bytes). All
+// transient storage of the step — op outputs, recycled gradients, fused-
+// kernel destinations — returns to the free lists as the step's graph is
+// dropped, so the next step's arena runs almost entirely on pool hits
+// (asserted >= 90% warm by tests/test_buffer_pool.cc).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace bsg {
+
+/// Counters for observability and regression tests. Totals are cumulative
+/// since process start; free_/live_ describe the current instant.
+struct BufferPoolStats {
+  uint64_t acquires = 0;    ///< total Acquire() calls
+  uint64_t hits = 0;        ///< acquisitions served from a free list
+  uint64_t misses = 0;      ///< acquisitions that hit the heap allocator
+  uint64_t releases = 0;    ///< total Release() calls
+  uint64_t trims = 0;       ///< Trim() calls
+  uint64_t free_slabs = 0;  ///< slabs parked in free lists right now
+  uint64_t free_bytes = 0;  ///< bytes parked in free lists right now
+  uint64_t live_bytes = 0;  ///< bytes in slabs currently handed out
+
+  double HitRate() const {
+    return acquires == 0 ? 0.0
+                         : static_cast<double>(hits) /
+                               static_cast<double>(acquires);
+  }
+};
+
+/// Thread-safe, size-bucketed recycler of double slabs.
+class BufferPool {
+ public:
+  /// Smallest slab capacity, in doubles. Requests below this round up so
+  /// tiny matrices (1x1 losses, bias rows) share one bucket.
+  static constexpr size_t kMinSlabDoubles = 64;
+
+  /// The process-wide pool used by Matrix. Never destroyed (slabs released
+  /// from static-storage matrices at exit must still have a home).
+  static BufferPool& Global();
+
+  /// Bucket capacity a request for n doubles rounds up to: the smallest
+  /// power of two >= max(n, kMinSlabDoubles).
+  static size_t BucketCapacity(size_t n);
+
+  /// Returns a slab with capacity BucketCapacity(n) >= n doubles, contents
+  /// stale. Never returns nullptr for n > 0; n == 0 returns nullptr without
+  /// touching any counter.
+  double* Acquire(size_t n, size_t* capacity);
+
+  /// Returns a slab obtained from Acquire (with the capacity it reported)
+  /// to its free list. p == nullptr is a no-op.
+  void Release(double* p, size_t capacity);
+
+  /// Frees every parked slab back to the heap (free lists empty afterwards;
+  /// live slabs are unaffected).
+  void Trim();
+
+  BufferPoolStats Stats() const;
+
+ private:
+  BufferPool() = default;
+  ~BufferPool() = delete;  // global: intentionally leaked
+
+  mutable std::mutex mu_;
+  std::vector<std::vector<double*>> free_;  // [bucket] -> LIFO slab stack
+
+  std::atomic<uint64_t> acquires_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> releases_{0};
+  std::atomic<uint64_t> trims_{0};
+  std::atomic<uint64_t> free_slabs_{0};
+  std::atomic<uint64_t> free_bytes_{0};
+  std::atomic<uint64_t> live_bytes_{0};
+};
+
+/// RAII handle to one pooled slab with vector-like value semantics: copies
+/// are deep (into a freshly acquired slab), moves transfer ownership, and
+/// destruction releases the slab back to the pool. This is the storage
+/// behind Matrix; size() is the logical element count, capacity the bucket.
+class PoolSlab {
+ public:
+  PoolSlab() = default;
+  /// Acquires a slab for n doubles. Contents are stale — the caller fills.
+  explicit PoolSlab(size_t n) : size_(n) {
+    data_ = BufferPool::Global().Acquire(n, &capacity_);
+  }
+  PoolSlab(const PoolSlab& other) : PoolSlab(other.size_) {
+    for (size_t i = 0; i < size_; ++i) data_[i] = other.data_[i];
+  }
+  PoolSlab(PoolSlab&& other) noexcept { *this = static_cast<PoolSlab&&>(other); }
+  PoolSlab& operator=(const PoolSlab& other);
+  PoolSlab& operator=(PoolSlab&& other) noexcept;
+  ~PoolSlab() { BufferPool::Global().Release(data_, capacity_); }
+
+  double* data() { return data_; }
+  const double* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  double& operator[](size_t i) { return data_[i]; }
+  double operator[](size_t i) const { return data_[i]; }
+  double* begin() { return data_; }
+  double* end() { return data_ + size_; }
+  const double* begin() const { return data_; }
+  const double* end() const { return data_ + size_; }
+
+ private:
+  double* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+/// Scope marker for one training step on the hot path. Construction
+/// snapshots the global pool counters; the accessors report the traffic
+/// since then, which for an arena wrapped around exactly one step is the
+/// per-step allocation profile (allocations/step, warm hit rate). The
+/// transient storage itself recycles through the pool as the step's tensors
+/// die — the arena observes, it does not own.
+class TensorArena {
+ public:
+  TensorArena() : start_(BufferPool::Global().Stats()) {}
+
+  uint64_t acquires() const { return Delta().acquires; }
+  uint64_t hits() const { return Delta().hits; }
+  uint64_t misses() const { return Delta().misses; }
+  /// Fraction of in-scope acquisitions served without the heap.
+  double hit_rate() const { return Delta().HitRate(); }
+
+ private:
+  BufferPoolStats Delta() const;
+  BufferPoolStats start_;
+};
+
+}  // namespace bsg

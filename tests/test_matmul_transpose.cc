@@ -136,6 +136,52 @@ TEST(MatMulTransposed, GradcheckAtHigherThreadCounts) {
   }
 }
 
+// The historical MatMulNT kernel skipped zero elements of A inside the dot
+// loop (`if (a == 0.0) continue;`) — a branch that blocked vectorization.
+// Removing it must not change a bit: acc starts at +0.0, and accumulating
+// the (+/-0.0) * finite products of the formerly-skipped terms leaves every
+// accumulator unchanged (+0.0 + -0.0 == +0.0 in IEEE round-to-nearest).
+// This pins the branchless kernel against a faithful reimplementation of
+// the old one, on data salted with +0.0, -0.0 and all-zero rows.
+TEST(MatMulTransposed, NTBranchlessMatchesZeroSkipReferenceBitwise) {
+  ThreadGuard guard;
+  Rng rng(303);
+  auto zero_skip_reference = [](const Matrix& a, const Matrix& b) {
+    Matrix out(a.rows(), b.rows());
+    for (int i = 0; i < a.rows(); ++i) {
+      for (int j = 0; j < b.rows(); ++j) {
+        double acc = 0.0;
+        for (int k = 0; k < a.cols(); ++k) {
+          double v = a(i, k);
+          if (v == 0.0) continue;  // the removed branch
+          acc += v * b(j, k);
+        }
+        out(i, j) = acc;
+      }
+    }
+    return out;
+  };
+  for (const auto& [n, m] : kShapes) {
+    const int k = 1 + static_cast<int>(rng.UniformInt(40));
+    Matrix a = Matrix::RandomNormal(n, m, 1.0, &rng);
+    Matrix b = Matrix::RandomNormal(k, m, 1.0, &rng);
+    // Salt with exact signed zeros: ~1/3 of A's entries, including the
+    // -0.0 + 0.0 edge against both positive and negative B entries, plus
+    // one all-zero row of alternating zero signs (a zero dot product).
+    for (size_t i = 0; i < a.size(); ++i) {
+      if (i % 3 == 0) a.data()[i] = (i % 2 == 0) ? 0.0 : -0.0;
+    }
+    for (int c = 0; c < m; ++c) a(0, c) = (c % 2 == 0) ? -0.0 : 0.0;
+    Matrix ref = zero_skip_reference(a, b);
+    for (int threads : {1, 2, 4}) {
+      SetNumThreads(threads);
+      EXPECT_TRUE(SameBits(a.MatMulNT(b), ref))
+          << "shape " << n << "x" << m << " * (" << k << "x" << m
+          << ")^T threads=" << threads;
+    }
+  }
+}
+
 TEST(MatMulTransposed, EmptyInnerDimensionYieldsZeros) {
   // n = 0 inner dimension: both kernels must return an all-zero product of
   // the right shape (and not touch out-of-range memory).

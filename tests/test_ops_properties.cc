@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include "gradcheck.h"
 #include "graph/csr.h"
 #include "tensor/ops.h"
 #include "test_common.h"
@@ -288,6 +289,128 @@ TEST_P(OpsProperty, SoftmaxRowsParallelShiftInvariantAndThreadInvariant) {
       EXPECT_NEAR(y4(i, j), ys(i, j), 1e-12) << i << "," << j;
       EXPECT_NEAR(g4(i, j), gs(i, j), 1e-9) << i << "," << j;
     }
+  }
+}
+
+// ---- Fused kernels: must match their unfused compositions bit for bit ----
+
+TEST_P(OpsProperty, FusedLinearMatchesUnfusedBitwise) {
+  const int n = 5 + static_cast<int>(rng_.UniformInt(30));
+  const int k = 3 + static_cast<int>(rng_.UniformInt(70));  // crosses k-tile
+  const int m = 2 + static_cast<int>(rng_.UniformInt(20));
+  Matrix xv = Matrix::RandomNormal(n, k, 1.0, &rng_);
+  Matrix wv = Matrix::RandomNormal(k, m, 1.0, &rng_);
+  Matrix bv = Matrix::RandomNormal(1, m, 1.0, &rng_);
+  Matrix cv = Matrix::RandomNormal(n, m, 1.0, &rng_);  // upstream gradient
+
+  auto run = [&](bool fused) {
+    Tensor x = MakeTensor(xv, true);
+    Tensor w = MakeTensor(wv, true);
+    Tensor b = MakeTensor(bv, true);
+    Tensor y = fused ? ops::Linear(x, w, b)
+                     : ops::AddRowVec(ops::MatMul(x, w), b);
+    Backward(ops::SumAll(ops::Mul(y, MakeTensor(cv))));
+    return std::make_tuple(y->value, x->grad, w->grad, b->grad);
+  };
+  auto [y_ref, gx_ref, gw_ref, gb_ref] = run(false);
+  auto [y, gx, gw, gb] = run(true);
+  EXPECT_TRUE(SameBits(y, y_ref));    // one-pass forward
+  EXPECT_TRUE(SameBits(gx, gx_ref));  // dX = G W^T
+  EXPECT_TRUE(SameBits(gw, gw_ref));  // dW = X^T G
+  EXPECT_TRUE(SameBits(gb, gb_ref));  // db = colsum(G)
+}
+
+TEST_P(OpsProperty, FusedLinearPassesGradcheck) {
+  Rng rng(GetParam() ^ 0x5eed);
+  Tensor x = MakeTensor(Matrix::RandomNormal(4, 6, 1.0, &rng), true);
+  Tensor w = MakeTensor(Matrix::RandomNormal(6, 3, 1.0, &rng), true);
+  Tensor b = MakeTensor(Matrix::RandomNormal(1, 3, 1.0, &rng), true);
+  bsg::testing::ExpectGradientsMatch({x, w, b}, [&] {
+    Tensor y = ops::Linear(x, w, b);
+    return ops::MeanAll(ops::Mul(y, y));
+  });
+}
+
+TEST_P(OpsProperty, FusedAddLeakyReluMatchesUnfusedBitwise) {
+  const int n = 4 + static_cast<int>(rng_.UniformInt(20));
+  const int c = 3 + static_cast<int>(rng_.UniformInt(10));
+  Matrix av = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  Matrix bv = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  Matrix cv = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  // Land some sums exactly on the activation kink, with both zero signs:
+  // the fused backward recomputes a + b and must classify these the same
+  // way the unfused LeakyRelu classifies its stored input.
+  av(0, 0) = 1.5, bv(0, 0) = -1.5;   // +0.0 pre-activation
+  av(1, 1) = -0.0, bv(1, 1) = -0.0;  // -0.0 pre-activation
+  const double slope = 0.01;
+
+  auto run = [&](bool fused) {
+    Tensor a = MakeTensor(av, true);
+    Tensor b = MakeTensor(bv, true);
+    Tensor y = fused ? ops::AddLeakyRelu(a, b, slope)
+                     : ops::LeakyRelu(ops::Add(a, b), slope);
+    Backward(ops::SumAll(ops::Mul(y, MakeTensor(cv))));
+    return std::make_tuple(y->value, a->grad, b->grad);
+  };
+  auto [y_ref, ga_ref, gb_ref] = run(false);
+  auto [y, ga, gb] = run(true);
+  EXPECT_TRUE(SameBits(y, y_ref));
+  EXPECT_TRUE(SameBits(ga, ga_ref));
+  EXPECT_TRUE(SameBits(gb, gb_ref));
+}
+
+TEST_P(OpsProperty, FusedAddReluMatchesUnfusedBitwise) {
+  // slope = 0 is the sharp-relu special case: a negative pre-activation
+  // zeroes the output, so the fused backward cannot read the activation
+  // sign from self->value — it must recompute a + b. Pin it against
+  // Relu(Add(a, b)) bitwise, forward and gradients, kink entries included.
+  const int n = 4 + static_cast<int>(rng_.UniformInt(12));
+  const int c = 3 + static_cast<int>(rng_.UniformInt(8));
+  Matrix av = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  Matrix bv = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  Matrix cv = Matrix::RandomNormal(n, c, 1.0, &rng_);
+  av(0, 0) = 2.0, bv(0, 0) = -2.0;   // exact +0.0 pre-activation
+  av(1, 1) = -0.0, bv(1, 1) = -0.0;  // exact -0.0 pre-activation
+  av(2, 2) = -3.0, bv(2, 2) = 1.0;   // clearly negative: output 0, grad 0
+
+  auto run = [&](bool fused) {
+    Tensor a = MakeTensor(av, true);
+    Tensor b = MakeTensor(bv, true);
+    Tensor y = fused ? ops::AddRelu(a, b) : ops::Relu(ops::Add(a, b));
+    Backward(ops::SumAll(ops::Mul(y, MakeTensor(cv))));
+    return std::make_tuple(y->value, a->grad, b->grad);
+  };
+  auto [y_ref, ga_ref, gb_ref] = run(false);
+  auto [y, ga, gb] = run(true);
+  EXPECT_TRUE(SameBits(y, y_ref));
+  EXPECT_TRUE(SameBits(ga, ga_ref));
+  EXPECT_TRUE(SameBits(gb, gb_ref));
+}
+
+TEST_P(OpsProperty, FusedAddLeakyReluPassesGradcheck) {
+  Rng rng(GetParam() ^ 0xadd5);
+  Tensor a = MakeTensor(Matrix::RandomNormal(5, 4, 1.0, &rng), true);
+  Tensor b = MakeTensor(Matrix::RandomNormal(5, 4, 1.0, &rng), true);
+  bsg::testing::ExpectGradientsMatch({a, b}, [&] {
+    Tensor y = ops::AddLeakyRelu(a, b, 0.01);
+    return ops::MeanAll(ops::Mul(y, y));
+  });
+}
+
+TEST_P(OpsProperty, DropoutWithMaskSinglePassMatchesReference) {
+  const int n = 6 + static_cast<int>(rng_.UniformInt(10));
+  const int c = 4 + static_cast<int>(rng_.UniformInt(8));
+  Tensor a = MakeTensor(Matrix::RandomNormal(n, c, 1.0, &rng_), true);
+  auto mask = ops::MakeDropoutMask(a->value.size(), 0.4, &rng_);
+  // Reference: the historical copy-then-multiply sequence.
+  Matrix ref = a->value;
+  for (size_t i = 0; i < ref.size(); ++i) ref.data()[i] *= (*mask)[i];
+
+  Tensor y = ops::DropoutWithMask(a, mask);
+  EXPECT_TRUE(SameBits(y->value, ref));
+  Backward(ops::SumAll(y));
+  for (size_t i = 0; i < a->grad.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a->grad.data()[i], (*mask)[i]);
   }
 }
 

@@ -274,6 +274,36 @@ TEST(ParallelEquivalence, BuildAllSubgraphs) {
   }
 }
 
+TEST(ParallelEquivalence, MatrixReductions) {
+  ThreadGuard guard;
+  Rng rng(77);
+  // Bigger than the 4096-element reduction grain, so several chunks run.
+  Matrix big = Matrix::RandomNormal(150, 120, 1.0, &rng);
+  // At or below one grain: must reproduce the serial reference loop bit
+  // for bit (this path carries the training-time MeanAll/SumAll calls).
+  Matrix small = Matrix::RandomNormal(11, 13, 1.0, &rng);
+  double small_sum = 0.0, small_sq = 0.0, small_max = 0.0;
+  for (size_t i = 0; i < small.size(); ++i) {
+    small_sum += small.data()[i];
+    small_sq += small.data()[i] * small.data()[i];
+    small_max = std::max(small_max, std::fabs(small.data()[i]));
+  }
+
+  SetNumThreads(1);
+  double sum1 = big.Sum(), fro1 = big.FrobeniusNorm(), max1 = big.AbsMax();
+  SetNumThreads(4);
+  EXPECT_EQ(big.Sum(), sum1);            // fixed-grain chunk combine: exact
+  EXPECT_EQ(big.FrobeniusNorm(), fro1);  // thread-count invariant
+  EXPECT_EQ(big.AbsMax(), max1);
+  EXPECT_EQ(small.Sum(), small_sum);
+  EXPECT_EQ(small.FrobeniusNorm(), std::sqrt(small_sq));
+  EXPECT_EQ(small.AbsMax(), small_max);
+  // Serial chunked result is sane against a plain serial total.
+  double plain = 0.0;
+  for (size_t i = 0; i < big.size(); ++i) plain += big.data()[i];
+  EXPECT_NEAR(big.Sum(), plain, 1e-9);
+}
+
 TEST(ParallelEquivalence, KMeansFullRun) {
   ThreadGuard guard;
   Rng data_rng(66);
