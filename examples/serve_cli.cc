@@ -1,0 +1,346 @@
+// Online serving driver: persist a trained detector, then answer score
+// requests from a checkpoint — no retraining, no precomputed subgraph
+// store.
+//
+// Train a tiny model and save a checkpoint (also emits the in-memory
+// model's scores for the test split, the oracle for the serve smoke diff):
+//
+//   ./build/examples/serve_cli --train --ckpt=/tmp/bot.ckpt \
+//       --dataset=twibot20 --users=400 --epochs=8 \
+//       --score-out=/tmp/train_scores.jsonl
+//
+// Serve from the checkpoint (the dataset provenance saved inside it
+// regenerates the identical graph; scores are bit-identical to the
+// in-memory model's):
+//
+//   ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt \
+//       --score-out=/tmp/serve_scores.jsonl            # test split
+//   echo "17" | ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt -
+//   ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt --ids=3,17,255
+//
+// Output is JSON lines: one {"id","bot_prob","label","logits"} object per
+// scored account; engine/cache stats go to stderr with --stats.
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/bsg4bot.h"
+#include "datagen/config.h"
+#include "features/feature_pipeline.h"
+#include "io/checkpoint.h"
+#include "serve/engine.h"
+#include "util/flags.h"
+#include "util/string_util.h"
+
+using namespace bsg;
+
+namespace {
+
+void PrintUsage() {
+  std::printf(
+      "serve_cli — online bot-detection serving from a model checkpoint\n"
+      "  --ckpt=PATH           checkpoint to write (--train) or serve from\n"
+      "  --train               train a model and save the checkpoint\n"
+      "  --dataset=NAME --users=N --data-seed=S   dataset (train mode;\n"
+      "                        serve mode reads provenance from the ckpt)\n"
+      "  --epochs=N --k=N --hidden=N --seed=N     training knobs\n"
+      "  --ids=1,2,3 | --ids-file=PATH | -        accounts to score\n"
+      "                        (default: the test split)\n"
+      "  --single              score one account per forward pass\n"
+      "  --cache-capacity=N    max cached subgraphs (default 4096)\n"
+      "  --score-out=PATH      write JSON lines here instead of stdout\n"
+      "  --stats               engine/cache counters to stderr\n");
+}
+
+Result<DatasetConfig> PresetConfig(const std::string& preset) {
+  if (preset == "twibot20") return Twibot20Sim();
+  if (preset == "twibot22") return Twibot22Sim();
+  if (preset == "mgtab") return MgtabSim();
+  return Status::InvalidArgument("unknown dataset '" + preset + "'");
+}
+
+// One scored account as a JSON line. %.17g on the logits round-trips the
+// doubles, so diffing two of these files IS a bitwise logit comparison.
+// The raw-logit overload is for the train-mode oracle (PredictLogits has
+// no Score objects); its softmax/argmax mirror DetectionEngine's, which
+// the CI smoke diff pins: the two paths must print identical bytes.
+void PrintScore(std::FILE* out, int id, double logit_human, double logit_bot) {
+  const double m = logit_human > logit_bot ? logit_human : logit_bot;
+  const double eh = std::exp(logit_human - m);
+  const double eb = std::exp(logit_bot - m);
+  std::fprintf(out,
+               "{\"id\":%d,\"bot_prob\":%.6f,\"label\":%d,"
+               "\"logits\":[%.17g,%.17g]}\n",
+               id, eb / (eh + eb), logit_bot > logit_human ? 1 : 0,
+               logit_human, logit_bot);
+}
+
+void PrintScore(std::FILE* out, const Score& s) {
+  std::fprintf(out,
+               "{\"id\":%d,\"bot_prob\":%.6f,\"label\":%d,"
+               "\"logits\":[%.17g,%.17g]}\n",
+               s.target, s.bot_prob, s.label, s.logit_human, s.logit_bot);
+}
+
+// Rejects ids outside [0, num_nodes) before they can index anything.
+bool ValidateTargets(const std::vector<int>& targets, int num_nodes) {
+  for (int t : targets) {
+    if (t < 0 || t >= num_nodes) {
+      std::fprintf(stderr, "id %d out of range [0, %d)\n", t, num_nodes);
+      return false;
+    }
+  }
+  return true;
+}
+
+// Accounts to score: --ids, --ids-file, "-" (stdin), else the test split.
+std::vector<int> ResolveTargets(const FlagParser& flags,
+                                const HeteroGraph& graph) {
+  std::vector<int> ids;
+  if (flags.Has("ids")) {
+    for (const std::string& tok :
+         SplitString(flags.GetString("ids", ""), ',')) {
+      if (!tok.empty()) ids.push_back(std::atoi(tok.c_str()));
+    }
+    return ids;
+  }
+  const bool from_stdin = !flags.positional().empty() &&
+                          flags.positional().front() == "-";
+  if (flags.Has("ids-file") || from_stdin) {
+    std::FILE* f = from_stdin
+                       ? stdin
+                       : std::fopen(flags.GetString("ids-file", "").c_str(),
+                                    "r");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open ids file\n");
+      return ids;
+    }
+    char line[64];
+    while (std::fgets(line, sizeof(line), f) != nullptr) {
+      if (line[0] != '\n' && line[0] != '\0') ids.push_back(std::atoi(line));
+    }
+    if (!from_stdin) std::fclose(f);
+    return ids;
+  }
+  return graph.test_idx;
+}
+
+// The pipeline's fitted normalisation state, persisted so a serving
+// process can featurise new accounts exactly as training did.
+Matrix RowVector(const std::vector<double>& v) {
+  Matrix m(1, static_cast<int>(v.size()));
+  for (size_t i = 0; i < v.size(); ++i) m(0, static_cast<int>(i)) = v[i];
+  return m;
+}
+
+void AddScaler(Checkpoint* ckpt, const std::string& prefix,
+               const ZScoreScaler& scaler) {
+  ckpt->AddTensor(prefix + ".means", RowVector(scaler.means()));
+  ckpt->AddTensor(prefix + ".stddevs", RowVector(scaler.stddevs()));
+}
+
+bool SameRowVector(const Matrix& a, const std::vector<double>& b) {
+  if (a.rows() != 1 || static_cast<size_t>(a.cols()) != b.size()) return false;
+  for (size_t i = 0; i < b.size(); ++i) {
+    if (std::memcmp(&b[i], a.data() + i, sizeof(double)) != 0) return false;
+  }
+  return true;
+}
+
+bool VerifyScaler(const Checkpoint& ckpt, const std::string& prefix,
+                  const ZScoreScaler& scaler) {
+  const Matrix* means = ckpt.FindTensor(prefix + ".means");
+  const Matrix* stddevs = ckpt.FindTensor(prefix + ".stddevs");
+  return means != nullptr && stddevs != nullptr &&
+         SameRowVector(*means, scaler.means()) &&
+         SameRowVector(*stddevs, scaler.stddevs());
+}
+
+int TrainAndSave(const FlagParser& flags, const std::string& ckpt_path) {
+  const std::string preset = flags.GetString("dataset", "twibot20");
+  Result<DatasetConfig> dc = PresetConfig(preset);
+  if (!dc.ok()) {
+    std::fprintf(stderr, "%s\n", dc.status().ToString().c_str());
+    return 1;
+  }
+  DatasetConfig data_cfg = dc.MoveValueOrDie();
+  data_cfg.num_users = flags.GetInt("users", 400);
+  data_cfg.tweets_per_user = flags.GetInt("tweets", 12);
+  data_cfg.seed = static_cast<uint64_t>(
+      flags.GetInt("data-seed", static_cast<int>(data_cfg.seed)));
+  FeatureReport report;
+  HeteroGraph graph = BuildBenchmarkGraph(data_cfg, &report);
+
+  Bsg4BotConfig cfg;
+  cfg.subgraph.k = flags.GetInt("k", 16);
+  cfg.hidden = flags.GetInt("hidden", 16);
+  cfg.pretrain.epochs = flags.GetInt("pretrain-epochs", 20);
+  cfg.max_epochs = flags.GetInt("epochs", 8);
+  cfg.min_epochs = cfg.max_epochs;
+  cfg.seed = static_cast<uint64_t>(flags.GetInt("seed", 17));
+  Bsg4Bot model(graph, cfg);
+  TrainResult res = model.Fit();
+  std::fprintf(stderr, "trained: %d epochs, test acc %.4f f1 %.4f\n",
+               res.epochs_run, res.test.accuracy, res.test.f1);
+
+  // Compose the checkpoint: model state + dataset provenance (so serving
+  // can regenerate the identical graph) + pipeline normalisation state.
+  Checkpoint ckpt;
+  model.ExportCheckpoint(&ckpt);
+  ckpt.SetMeta("data.preset", preset);
+  ckpt.SetMetaNum("data.users", data_cfg.num_users);
+  ckpt.SetMetaNum("data.tweets_per_user", data_cfg.tweets_per_user);
+  ckpt.SetMetaNum("data.seed", static_cast<double>(data_cfg.seed));
+  AddScaler(&ckpt, "pipeline.num", report.num_scaler);
+  AddScaler(&ckpt, "pipeline.count", report.count_scaler);
+  Status st = SaveCheckpoint(ckpt, ckpt_path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "save failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "checkpoint written to %s\n", ckpt_path.c_str());
+
+  // Emit the in-memory model's scores — the oracle the serve path must
+  // reproduce bit-for-bit.
+  std::vector<int> targets = ResolveTargets(flags, graph);
+  if (!ValidateTargets(targets, graph.num_nodes)) return 1;
+  std::FILE* out = stdout;
+  if (flags.Has("score-out")) {
+    out = std::fopen(flags.GetString("score-out", "").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open score-out\n");
+      return 1;
+    }
+  }
+  Matrix logits = model.PredictLogits(targets);
+  for (size_t i = 0; i < targets.size(); ++i) {
+    PrintScore(out, targets[i], logits(static_cast<int>(i), 0),
+               logits(static_cast<int>(i), 1));
+  }
+  if (out != stdout) std::fclose(out);
+  return 0;
+}
+
+int Serve(const FlagParser& flags, const std::string& ckpt_path) {
+  Result<Checkpoint> loaded = LoadCheckpoint(ckpt_path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "load failed: %s\n",
+                 loaded.status().ToString().c_str());
+    return 1;
+  }
+  const Checkpoint& ckpt = loaded.ValueOrDie();
+
+  // Regenerate the graph from the provenance stored at save time.
+  const std::string* preset = ckpt.FindMeta("data.preset");
+  if (preset == nullptr) {
+    std::fprintf(stderr,
+                 "checkpoint has no dataset provenance (data.* metadata)\n");
+    return 1;
+  }
+  Result<DatasetConfig> dc = PresetConfig(*preset);
+  if (!dc.ok()) {
+    std::fprintf(stderr, "%s\n", dc.status().ToString().c_str());
+    return 1;
+  }
+  DatasetConfig data_cfg = dc.MoveValueOrDie();
+  Result<double> users = ckpt.MetaNum("data.users");
+  Result<double> tweets = ckpt.MetaNum("data.tweets_per_user");
+  Result<double> data_seed = ckpt.MetaNum("data.seed");
+  for (const Result<double>* r : {&users, &tweets, &data_seed}) {
+    if (!r->ok()) {
+      std::fprintf(stderr, "bad dataset provenance: %s\n",
+                   r->status().ToString().c_str());
+      return 1;
+    }
+  }
+  data_cfg.num_users = static_cast<int>(users.ValueOrDie());
+  data_cfg.tweets_per_user = static_cast<int>(tweets.ValueOrDie());
+  data_cfg.seed = static_cast<uint64_t>(data_seed.ValueOrDie());
+  FeatureReport report;
+  HeteroGraph graph = BuildBenchmarkGraph(data_cfg, &report);
+
+  // The regenerated pipeline must carry the exact normalisation the model
+  // was trained on — a mismatch means the features drifted.
+  if (!VerifyScaler(ckpt, "pipeline.num", report.num_scaler) ||
+      !VerifyScaler(ckpt, "pipeline.count", report.count_scaler)) {
+    std::fprintf(stderr,
+                 "feature-pipeline normalisation state does not match the "
+                 "checkpoint\n");
+    return 1;
+  }
+
+  // Construct the architecture the checkpoint describes, then restore.
+  Result<Bsg4BotConfig> cfg = Bsg4Bot::CheckpointConfig(ckpt);
+  if (!cfg.ok()) {
+    std::fprintf(stderr, "%s\n", cfg.status().ToString().c_str());
+    return 1;
+  }
+  Bsg4Bot model(graph, cfg.MoveValueOrDie());
+  Status st = model.RestoreFromCheckpoint(ckpt);
+  if (!st.ok()) {
+    std::fprintf(stderr, "restore failed: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  EngineConfig ecfg;
+  ecfg.cache_capacity =
+      static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  DetectionEngine engine(&model, ecfg);
+
+  std::vector<int> targets = ResolveTargets(flags, graph);
+  if (!ValidateTargets(targets, graph.num_nodes)) return 1;
+  std::FILE* out = stdout;
+  if (flags.Has("score-out")) {
+    out = std::fopen(flags.GetString("score-out", "").c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot open score-out\n");
+      return 1;
+    }
+  }
+  if (flags.Has("single")) {
+    for (int t : targets) PrintScore(out, engine.ScoreOne(t));
+  } else {
+    for (const Score& s : engine.ScoreBatch(targets)) PrintScore(out, s);
+  }
+  if (out != stdout) std::fclose(out);
+
+  if (flags.Has("stats")) {
+    EngineStats s = engine.Stats();
+    std::fprintf(stderr,
+                 "engine: %llu targets in %llu batches (+%llu single), "
+                 "pool hit rate %.3f, trimmed %.2f MiB at startup\n",
+                 static_cast<unsigned long long>(s.targets_scored),
+                 static_cast<unsigned long long>(s.batches_run),
+                 static_cast<unsigned long long>(s.single_requests),
+                 s.PoolHitRate(),
+                 static_cast<double>(s.pool_trimmed_bytes) / (1 << 20));
+    std::fprintf(stderr,
+                 "cache: %llu lookups, hit rate %.3f, %llu entries "
+                 "(%.2f MiB), %llu evictions\n",
+                 static_cast<unsigned long long>(s.cache.lookups),
+                 s.cache.HitRate(),
+                 static_cast<unsigned long long>(s.cache.entries),
+                 static_cast<double>(s.cache.resident_bytes) / (1 << 20),
+                 static_cast<unsigned long long>(s.cache.evictions));
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  if (flags.Has("help")) {
+    PrintUsage();
+    return 0;
+  }
+  const std::string ckpt_path = flags.GetString("ckpt", "");
+  if (ckpt_path.empty()) {
+    PrintUsage();
+    return 1;
+  }
+  return flags.Has("train") ? TrainAndSave(flags, ckpt_path)
+                            : Serve(flags, ckpt_path);
+}

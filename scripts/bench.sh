@@ -1,12 +1,12 @@
 #!/usr/bin/env bash
 # Machine-readable perf benches: builds (if needed) and runs the hot-path
-# benchmark, writing the BENCH_pr3.json perf-trajectory snapshot at the
-# repo root.
+# and serving benchmarks, writing the BENCH_pr3.json / BENCH_pr4.json
+# perf-trajectory snapshots at the repo root.
 #
 #   scripts/bench.sh [--smoke] [build_dir]
 #
 # --smoke runs reduced sizes (seconds, for CI); the default sizes match the
-# checked-in BENCH_pr3.json so numbers are comparable across PRs.
+# checked-in BENCH_*.json so numbers are comparable across PRs.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -25,14 +25,18 @@ for arg in "$@"; do
 done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
-cmake --build "$BUILD_DIR" -j "$(nproc)" --target bench_pr3_hotpath
+cmake --build "$BUILD_DIR" -j "$(nproc)" \
+  --target bench_pr3_hotpath bench_pr4_serving
 
-OUT="BENCH_pr3.json"
+OUT_PR3="BENCH_pr3.json"
+OUT_PR4="BENCH_pr4.json"
 if [[ -n "$SMOKE" ]]; then
-  # Smoke runs write to a scratch path: they exist to prove the bench and
+  # Smoke runs write to scratch paths: they exist to prove the benches and
   # emitter work, not to overwrite the checked-in trajectory numbers.
-  OUT="$BUILD_DIR/BENCH_pr3.smoke.json"
+  OUT_PR3="$BUILD_DIR/BENCH_pr3.smoke.json"
+  OUT_PR4="$BUILD_DIR/BENCH_pr4.smoke.json"
 fi
 
-"$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT"
-echo "bench metrics written to $OUT"
+"$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT_PR3"
+"$BUILD_DIR/bench/bench_pr4_serving" $SMOKE --out="$OUT_PR4"
+echo "bench metrics written to $OUT_PR3 and $OUT_PR4"

@@ -8,10 +8,15 @@
 #    bit-identical results, so a green run at both settings catches both
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
-#    test_parallel, test_buffer_pool) so data races in the producer/consumer
-#    pipeline, the thread pool and the pooled-slab handoff fail CI
+#    test_parallel, test_buffer_pool, test_subgraph_cache) so data races in
+#    the producer/consumer pipeline, the thread pool, the pooled-slab
+#    handoff and the serving cache fail CI
 # 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
 #    scripts/bench.sh JSON emitter at small sizes
+# 5. serve smoke: train a tiny model, save a checkpoint, load it in a fresh
+#    process, score the test split through the DetectionEngine and diff the
+#    JSON-lines output (logits at %.17g) against the in-memory model's —
+#    the bit-identity contract of the serving subsystem, end to end
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -35,7 +40,7 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target test_prefetcher test_parallel test_buffer_pool
+  --target test_prefetcher test_parallel test_buffer_pool test_subgraph_cache
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -43,6 +48,8 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_parallel"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_buffer_pool"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_subgraph_cache"
 
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
@@ -52,4 +59,14 @@ echo "=== bench_async_pipeline smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_async_pipeline" --threads=2 --users=300 --epochs=3
 
 echo "=== scripts/bench.sh smoke (JSON perf emitter) ==="
-scripts/bench.sh --smoke "$BUILD_DIR" 
+scripts/bench.sh --smoke "$BUILD_DIR"
+
+echo "=== serve smoke (train -> checkpoint -> serve -> diff logits) ==="
+SERVE_TMP="$(mktemp -d)"
+trap 'rm -rf "$SERVE_TMP"' EXIT
+"$BUILD_DIR/examples/serve_cli" --train --ckpt="$SERVE_TMP/model.ckpt" \
+  --users=300 --epochs=4 --score-out="$SERVE_TMP/train_scores.jsonl"
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_scores.jsonl" --stats
+diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_scores.jsonl"
+echo "serve smoke: checkpointed engine logits bit-identical to the trained model"

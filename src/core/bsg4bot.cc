@@ -1,11 +1,13 @@
 #include "core/bsg4bot.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <numeric>
 
 #include "tensor/optim.h"
 #include "util/logging.h"
 #include "util/parallel.h"
+#include "util/string_util.h"
 #include "util/timer.h"
 
 namespace bsg {
@@ -39,8 +41,13 @@ void Bsg4Bot::BuildNetwork() {
 void Bsg4Bot::Prepare() {
   if (prepared_) return;
   WallTimer timer;
-  cfg_.pretrain.seed = cfg_.seed ^ 0xAB54A98CEB1F0AD2ULL;
-  pretrain_ = PretrainClassifier(graph_, cfg_.pretrain);
+  if (!pretrain_restored_) {
+    // A checkpoint restore supplies the pre-classifier state directly; the
+    // subgraphs built from it below are then bit-identical to the saving
+    // model's (BuildAllSubgraphs is deterministic in its inputs).
+    cfg_.pretrain.seed = cfg_.seed ^ 0xAB54A98CEB1F0AD2ULL;
+    pretrain_ = PretrainClassifier(graph_, cfg_.pretrain);
+  }
   subgraphs_ = BuildAllSubgraphs(graph_, pretrain_.hidden_reps, cfg_.subgraph);
   prepare_seconds_ = timer.Seconds();
   prepared_ = true;
@@ -111,7 +118,6 @@ Tensor Bsg4Bot::ForwardBatch(const SubgraphBatch& batch, bool training) {
 
 void Bsg4Bot::EnsureBatchComposition() {
   if (!train_batch_centers_.empty()) return;
-  const int R = graph_.num_relations();
   std::vector<int> train_nodes = graph_.train_idx;
   rng_.Shuffle(&train_nodes);
   for (size_t b = 0; b < train_nodes.size();
@@ -245,17 +251,43 @@ Matrix Bsg4Bot::PredictLogits(const std::vector<int>& centers) {
   BSG_CHECK(prepared_, "PredictLogits before Prepare()");
   Matrix out(static_cast<int>(centers.size()), 2);
   const int R = graph_.num_relations();
+  // Fixed chunk boundaries make each chunk a pure function of its index,
+  // which is what lets the async path stream them through a prefetcher.
+  std::vector<size_t> starts;
   for (size_t b = 0; b < centers.size();
        b += static_cast<size_t>(cfg_.batch_size)) {
+    starts.push_back(b);
+  }
+  auto assemble = [&](int ci) {
+    const size_t b = starts[ci];
     std::vector<int> chunk(
         centers.begin() + b,
         centers.begin() + std::min(centers.size(),
                                    b + static_cast<size_t>(cfg_.batch_size)));
-    SubgraphBatch batch = MakeSubgraphBatch(subgraphs_, chunk, R);
+    return MakeSubgraphBatch(subgraphs_, chunk, R);
+  };
+  auto consume = [&](int ci, const SubgraphBatch& batch) {
+    const size_t b = starts[ci];
     Tensor logits = ForwardBatch(batch, /*training=*/false);
-    for (size_t i = 0; i < chunk.size(); ++i) {
+    for (size_t i = 0; i < batch.centers.size(); ++i) {
       out(static_cast<int>(b + i), 0) = logits->value(static_cast<int>(i), 0);
       out(static_cast<int>(b + i), 1) = logits->value(static_cast<int>(i), 1);
+    }
+  };
+  if (cfg_.async_prefetch && starts.size() > 1) {
+    // Stream: chunk ci+1 assembles on the producer thread while chunk ci's
+    // forward pass runs. Same chunks, same order — bit-identical output.
+    BatchPrefetcher prefetcher(assemble, cfg_.prefetch_depth);
+    std::vector<int> order(starts.size());
+    std::iota(order.begin(), order.end(), 0);
+    prefetcher.StartEpoch(std::move(order));
+    for (size_t ci = 0; ci < starts.size(); ++ci) {
+      SubgraphBatch batch = prefetcher.Next();
+      consume(static_cast<int>(ci), batch);
+    }
+  } else {
+    for (size_t ci = 0; ci < starts.size(); ++ci) {
+      consume(static_cast<int>(ci), assemble(static_cast<int>(ci)));
     }
   }
   return out;
@@ -289,6 +321,245 @@ double Bsg4Bot::TransferEvaluate(Bsg4Bot* other,
 
 const std::vector<double>& Bsg4Bot::relation_weights() const {
   return fuse_.last_weights();
+}
+
+namespace {
+
+// Checkpoint metadata keys. Params are stored under "param.<store name>",
+// the pre-classifier state under "pretrain.*".
+constexpr char kMetaModel[] = "model";
+constexpr char kModelName[] = "BSG4Bot";
+constexpr char kParamPrefix[] = "param.";
+
+// Reads a required numeric metadata entry into *out (with a cast through
+// double); returns a Status error when missing or non-numeric.
+Status ReadNum(const Checkpoint& ckpt, const std::string& key, double* out) {
+  Result<double> v = ckpt.MetaNum(key);
+  BSG_RETURN_NOT_OK(v.status());
+  *out = v.ValueOrDie();
+  return Status::OK();
+}
+
+Status ReadInt(const Checkpoint& ckpt, const std::string& key, int* out) {
+  double v = 0.0;
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, key, &v));
+  *out = static_cast<int>(v);
+  return Status::OK();
+}
+
+// Architecture equality check with an informative error.
+Status CheckArch(const std::string& key, double expect, double got) {
+  if (expect == got) return Status::OK();
+  return Status::FailedPrecondition(
+      "checkpoint architecture mismatch: " + key + " is " +
+      StrFormat("%g", got) + ", model expects " + StrFormat("%g", expect));
+}
+
+}  // namespace
+
+void Bsg4Bot::ExportCheckpoint(Checkpoint* ckpt) const {
+  BSG_CHECK(ckpt != nullptr, "null checkpoint");
+  BSG_CHECK(inference_ready(),
+            "ExportCheckpoint before Prepare() (no pre-classifier state)");
+  ckpt->SetMeta(kMetaModel, kModelName);
+  ckpt->SetMetaNum("arch.hidden", cfg_.hidden);
+  ckpt->SetMetaNum("arch.gnn_layers", cfg_.gnn_layers);
+  ckpt->SetMetaNum("arch.num_relations", graph_.num_relations());
+  ckpt->SetMetaNum("arch.feature_dim", graph_.feature_dim());
+  ckpt->SetMetaNum("arch.use_intermediate_concat",
+                   cfg_.use_intermediate_concat ? 1 : 0);
+  ckpt->SetMetaNum("arch.use_semantic_attention",
+                   cfg_.use_semantic_attention ? 1 : 0);
+  ckpt->SetMetaNum("arch.leaky_slope", cfg_.leaky_slope);
+  ckpt->SetMetaNum("arch.dropout", cfg_.dropout);
+  ckpt->SetMetaNum("arch.pretrain_hidden", cfg_.pretrain.hidden);
+  ckpt->SetMetaNum("subgraph.k", cfg_.subgraph.k);
+  ckpt->SetMetaNum("subgraph.lambda", cfg_.subgraph.lambda);
+  ckpt->SetMetaNum("subgraph.ppr_only", cfg_.subgraph.ppr_only ? 1 : 0);
+  ckpt->SetMetaNum("subgraph.ppr.alpha", cfg_.subgraph.ppr.alpha);
+  ckpt->SetMetaNum("subgraph.ppr.epsilon", cfg_.subgraph.ppr.epsilon);
+  ckpt->SetMetaNum("subgraph.ppr.max_pushes", cfg_.subgraph.ppr.max_pushes);
+  ckpt->SetMetaNum("train.batch_size", cfg_.batch_size);
+  ckpt->SetMetaNum("train.lr", cfg_.lr);
+  ckpt->SetMetaNum("train.weight_decay", cfg_.weight_decay);
+  ckpt->SetMetaNum("train.max_epochs", cfg_.max_epochs);
+  // Decimal string, not SetMetaNum: a double would corrupt seeds > 2^53.
+  ckpt->SetMeta("train.seed",
+                StrFormat("%llu", static_cast<unsigned long long>(cfg_.seed)));
+  ckpt->SetMeta("graph.name", graph_.name);
+  ckpt->SetMetaNum("graph.num_nodes", graph_.num_nodes);
+  ckpt->SetMetaNum("pretrain.fit.accuracy", pretrain_.fit.accuracy);
+  ckpt->SetMetaNum("pretrain.fit.f1", pretrain_.fit.f1);
+
+  const std::vector<Tensor>& params = store_.params();
+  const std::vector<std::string>& names = store_.names();
+  for (size_t i = 0; i < params.size(); ++i) {
+    ckpt->AddTensor(kParamPrefix + names[i], params[i]->value);
+  }
+  ckpt->AddTensor("pretrain.hidden_reps", pretrain_.hidden_reps);
+  ckpt->AddTensor("pretrain.probs", pretrain_.probs);
+}
+
+Status Bsg4Bot::SaveCheckpoint(const std::string& path) const {
+  Checkpoint ckpt;
+  ExportCheckpoint(&ckpt);
+  return bsg::SaveCheckpoint(ckpt, path);
+}
+
+Status Bsg4Bot::RestoreFromCheckpoint(const Checkpoint& ckpt) {
+  const std::string* model = ckpt.FindMeta(kMetaModel);
+  if (model == nullptr || *model != kModelName) {
+    return Status::InvalidArgument("checkpoint is not a " +
+                                   std::string(kModelName) + " checkpoint");
+  }
+  // Architecture must match the already-constructed network exactly.
+  struct { const char* key; double expect; } checks[] = {
+      {"arch.hidden", static_cast<double>(cfg_.hidden)},
+      {"arch.gnn_layers", static_cast<double>(cfg_.gnn_layers)},
+      {"arch.num_relations", static_cast<double>(graph_.num_relations())},
+      {"arch.feature_dim", static_cast<double>(graph_.feature_dim())},
+      {"arch.use_intermediate_concat",
+       cfg_.use_intermediate_concat ? 1.0 : 0.0},
+      {"arch.use_semantic_attention",
+       cfg_.use_semantic_attention ? 1.0 : 0.0},
+  };
+  for (const auto& c : checks) {
+    double got = 0.0;
+    BSG_RETURN_NOT_OK(ReadNum(ckpt, c.key, &got));
+    BSG_RETURN_NOT_OK(CheckArch(c.key, c.expect, got));
+  }
+
+  // Stage every tensor before mutating the model, so a bad checkpoint
+  // leaves it untouched.
+  const std::vector<Tensor>& params = store_.params();
+  const std::vector<std::string>& names = store_.names();
+  std::vector<const Matrix*> staged(params.size());
+  for (size_t i = 0; i < params.size(); ++i) {
+    const Matrix* m = ckpt.FindTensor(kParamPrefix + names[i]);
+    if (m == nullptr) {
+      return Status::InvalidArgument("checkpoint missing parameter '" +
+                                     names[i] + "'");
+    }
+    if (!m->SameShape(params[i]->value)) {
+      return Status::FailedPrecondition(StrFormat(
+          "checkpoint parameter '%s' has shape %dx%d, model expects %dx%d",
+          names[i].c_str(), m->rows(), m->cols(), params[i]->value.rows(),
+          params[i]->value.cols()));
+    }
+    staged[i] = m;
+  }
+  const Matrix* hidden_reps = ckpt.FindTensor("pretrain.hidden_reps");
+  const Matrix* probs = ckpt.FindTensor("pretrain.probs");
+  if (hidden_reps == nullptr || probs == nullptr) {
+    return Status::InvalidArgument("checkpoint missing pre-classifier state");
+  }
+  if (hidden_reps->rows() != graph_.num_nodes ||
+      probs->rows() != graph_.num_nodes) {
+    return Status::FailedPrecondition(
+        StrFormat("pre-classifier state covers %d nodes, graph has %d",
+                  hidden_reps->rows(), graph_.num_nodes));
+  }
+
+  // Inference-relevant knobs travel with the model: the restored process
+  // must assemble subgraphs and activations exactly as training did. Read
+  // them before mutating anything, so a bad file leaves the model intact.
+  BiasedSubgraphConfig sub_cfg = cfg_.subgraph;
+  double leaky_slope = cfg_.leaky_slope;
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.k", &sub_cfg.k));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.lambda", &sub_cfg.lambda));
+  int ppr_only = 0;
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.ppr_only", &ppr_only));
+  sub_cfg.ppr_only = ppr_only != 0;
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.ppr.alpha", &sub_cfg.ppr.alpha));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.ppr.epsilon",
+                            &sub_cfg.ppr.epsilon));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.ppr.max_pushes",
+                            &sub_cfg.ppr.max_pushes));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "arch.leaky_slope", &leaky_slope));
+
+  for (size_t i = 0; i < params.size(); ++i) {
+    params[i]->value = *staged[i];
+  }
+  pretrain_.hidden_reps = *hidden_reps;
+  pretrain_.probs = *probs;
+  // Informational metrics travel along when present.
+  if (ckpt.MetaNum("pretrain.fit.accuracy").ok()) {
+    pretrain_.fit.accuracy =
+        ckpt.MetaNum("pretrain.fit.accuracy").ValueOrDie();
+  }
+  if (ckpt.MetaNum("pretrain.fit.f1").ok()) {
+    pretrain_.fit.f1 = ckpt.MetaNum("pretrain.fit.f1").ValueOrDie();
+  }
+  cfg_.subgraph = sub_cfg;
+  cfg_.leaky_slope = leaky_slope;
+
+  // Any stored subgraphs were built from the previous pre-classifier state.
+  pretrain_restored_ = true;
+  prepared_ = false;
+  subgraphs_.clear();
+  return Status::OK();
+}
+
+Status Bsg4Bot::LoadCheckpoint(const std::string& path) {
+  Result<Checkpoint> ckpt = bsg::LoadCheckpoint(path);
+  BSG_RETURN_NOT_OK(ckpt.status());
+  return RestoreFromCheckpoint(ckpt.ValueOrDie());
+}
+
+Result<Bsg4BotConfig> Bsg4Bot::CheckpointConfig(const Checkpoint& ckpt) {
+  const std::string* model = ckpt.FindMeta(kMetaModel);
+  if (model == nullptr || *model != kModelName) {
+    return Status::InvalidArgument("checkpoint is not a " +
+                                   std::string(kModelName) + " checkpoint");
+  }
+  Bsg4BotConfig cfg;
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "arch.hidden", &cfg.hidden));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "arch.gnn_layers", &cfg.gnn_layers));
+  int flag = 0;
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "arch.use_intermediate_concat", &flag));
+  cfg.use_intermediate_concat = flag != 0;
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "arch.use_semantic_attention", &flag));
+  cfg.use_semantic_attention = flag != 0;
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "arch.leaky_slope", &cfg.leaky_slope));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "arch.dropout", &cfg.dropout));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "arch.pretrain_hidden",
+                            &cfg.pretrain.hidden));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.k", &cfg.subgraph.k));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.lambda", &cfg.subgraph.lambda));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.ppr_only", &flag));
+  cfg.subgraph.ppr_only = flag != 0;
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.ppr.alpha",
+                            &cfg.subgraph.ppr.alpha));
+  BSG_RETURN_NOT_OK(ReadNum(ckpt, "subgraph.ppr.epsilon",
+                            &cfg.subgraph.ppr.epsilon));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "subgraph.ppr.max_pushes",
+                            &cfg.subgraph.ppr.max_pushes));
+  BSG_RETURN_NOT_OK(ReadInt(ckpt, "train.batch_size", &cfg.batch_size));
+  const std::string* seed = ckpt.FindMeta("train.seed");
+  if (seed == nullptr) {
+    return Status::NotFound("checkpoint metadata missing: train.seed");
+  }
+  char* end = nullptr;
+  cfg.seed = std::strtoull(seed->c_str(), &end, 10);
+  if (end == seed->c_str() || *end != '\0') {
+    return Status::InvalidArgument("checkpoint train.seed not an integer: '" +
+                                   *seed + "'");
+  }
+  return cfg;
+}
+
+BiasedSubgraph Bsg4Bot::AssembleSubgraph(int center) const {
+  BSG_CHECK(inference_ready(),
+            "AssembleSubgraph without pre-classifier state "
+            "(run Prepare() or restore a checkpoint)");
+  BSG_CHECK(center >= 0 && center < graph_.num_nodes, "centre out of range");
+  return BuildBiasedSubgraph(graph_, pretrain_.hidden_reps, center,
+                             cfg_.subgraph);
+}
+
+Matrix Bsg4Bot::ScoreBatch(const SubgraphBatch& batch) {
+  Tensor logits = ForwardBatch(batch, /*training=*/false);
+  return logits->value;
 }
 
 }  // namespace bsg

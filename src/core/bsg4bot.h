@@ -18,6 +18,7 @@
 #include "core/semantic_attention.h"
 #include "core/subgraph_batch.h"
 #include "graph/hetero_graph.h"
+#include "io/checkpoint.h"
 #include "train/trainer.h"
 
 namespace bsg {
@@ -73,7 +74,12 @@ class Bsg4Bot : private MiniBatchProgram {
   /// Prepare() if needed.
   TrainResult Fit();
 
-  /// Logits for the given centre nodes (requires Prepare + Fit).
+  /// Logits for the given centre nodes (requires Prepare + Fit). Centres
+  /// are scored in fixed batch_size chunks; with cfg.async_prefetch the
+  /// chunks stream through a BatchPrefetcher (assembly on the producer
+  /// thread overlaps the forward passes) — bit-identical to the
+  /// synchronous sweep at any thread count, because chunk assembly is a
+  /// pure function of the chunk index and the order is fixed.
   Matrix PredictLogits(const std::vector<int>& centers);
 
   /// Predicted labels for the given centres.
@@ -84,6 +90,54 @@ class Bsg4Bot : private MiniBatchProgram {
   /// relation count, feature layout and config) and returns the accuracy
   /// over `nodes` of other's graph. `other` is Prepare()d if necessary.
   double TransferEvaluate(Bsg4Bot* other, const std::vector<int>& nodes);
+
+  // --- checkpointing (io/checkpoint.h is the container format) ---
+
+  /// Packs architecture metadata, every trained parameter and the
+  /// pre-classifier state (hidden representations drive biased-subgraph
+  /// assembly, so serving needs them) into `ckpt`. Requires pre-training to
+  /// have run (Prepare()/Fit()) or to have been restored.
+  void ExportCheckpoint(Checkpoint* ckpt) const;
+
+  /// ExportCheckpoint + SaveCheckpoint(io) in one step.
+  Status SaveCheckpoint(const std::string& path) const;
+
+  /// Restores parameters and pre-classifier state from a checkpoint
+  /// produced by ExportCheckpoint. The architecture metadata must match
+  /// this model (relation count, feature dim, hidden width, depth, fusion
+  /// flags) — mismatches return kFailedPrecondition, missing records
+  /// kInvalidArgument. The subgraph-assembly knobs (k, lambda, PPR
+  /// parameters) travel with the model and overwrite this config's values,
+  /// so restored inference assembles exactly the training-time subgraphs.
+  /// Stored subgraphs are invalidated; Prepare() after a restore skips the
+  /// pre-classifier fit and only rebuilds subgraphs.
+  Status RestoreFromCheckpoint(const Checkpoint& ckpt);
+
+  /// LoadCheckpoint(io) + RestoreFromCheckpoint in one step.
+  Status LoadCheckpoint(const std::string& path);
+
+  /// Reconstructs the architecture-defining Bsg4BotConfig from checkpoint
+  /// metadata, so a serving process can construct a compatible model before
+  /// restoring (serve_cli does exactly this).
+  static Result<Bsg4BotConfig> CheckpointConfig(const Checkpoint& ckpt);
+
+  // --- engine-facing inference (serve/engine.h) ---
+
+  /// True once the pre-classifier state needed for on-demand subgraph
+  /// assembly exists (after Prepare() or a checkpoint restore).
+  bool inference_ready() const { return !pretrain_.hidden_reps.empty(); }
+
+  /// Builds the biased subgraph for one centre on demand — no stored
+  /// subgraph vector required. Pure given the model state and safe to call
+  /// from a prefetcher producer thread; the serving cache wraps this.
+  BiasedSubgraph AssembleSubgraph(int center) const;
+
+  /// Inference logits (|batch centres| x 2) over an externally assembled
+  /// batch (the DetectionEngine's forward entry point).
+  Matrix ScoreBatch(const SubgraphBatch& batch);
+
+  const Bsg4BotConfig& config() const { return cfg_; }
+  const HeteroGraph& graph() const { return graph_; }
 
   const PretrainResult& pretrain_result() const { return pretrain_; }
   const std::vector<BiasedSubgraph>& subgraphs() const { return subgraphs_; }
@@ -117,6 +171,7 @@ class Bsg4Bot : private MiniBatchProgram {
   Rng rng_;
 
   bool prepared_ = false;
+  bool pretrain_restored_ = false;  ///< checkpoint restore replaced pretraining
   PretrainResult pretrain_;
   std::vector<BiasedSubgraph> subgraphs_;
   double prepare_seconds_ = 0.0;

@@ -5,7 +5,18 @@ namespace bsg {
 SubgraphBatch MakeSubgraphBatch(const std::vector<BiasedSubgraph>& subgraphs,
                                 const std::vector<int>& centers,
                                 int num_relations) {
+  std::vector<const BiasedSubgraph*> ptrs;
+  ptrs.reserve(centers.size());
+  for (int c : centers) ptrs.push_back(&subgraphs[c]);
+  return MakeSubgraphBatch(ptrs, centers, num_relations);
+}
+
+SubgraphBatch MakeSubgraphBatch(
+    const std::vector<const BiasedSubgraph*>& subgraphs,
+    const std::vector<int>& centers, int num_relations) {
   BSG_CHECK(!centers.empty(), "empty batch");
+  BSG_CHECK(subgraphs.size() == centers.size(),
+            "one subgraph per centre required");
   SubgraphBatch batch;
   batch.centers = centers;
   batch.rel_adjs.reserve(num_relations);
@@ -16,9 +27,9 @@ SubgraphBatch MakeSubgraphBatch(const std::vector<BiasedSubgraph>& subgraphs,
     std::vector<const Csr*> blocks;
     blocks.reserve(centers.size());
     int offset = 0;
-    for (int c : centers) {
-      const BiasedSubgraph& sub = subgraphs[c];
-      BSG_CHECK(sub.center == c, "subgraph index mismatch");
+    for (size_t i = 0; i < centers.size(); ++i) {
+      const BiasedSubgraph& sub = *subgraphs[i];
+      BSG_CHECK(sub.center == centers[i], "subgraph index mismatch");
       const RelationSubgraph& rel = sub.per_relation[r];
       blocks.push_back(&rel.adj);
       batch.rel_center_rows[r].push_back(offset);  // centre is local row 0

@@ -29,4 +29,12 @@ SubgraphBatch MakeSubgraphBatch(const std::vector<BiasedSubgraph>& subgraphs,
                                 const std::vector<int>& centers,
                                 int num_relations);
 
+/// Assembles a batch from per-centre subgraph pointers: subgraphs[i] is the
+/// biased subgraph rooted at centers[i]. This is the serving path — the
+/// subgraphs come from a SubgraphCache, not a dense per-node vector — and
+/// the stacking is bit-identical to the dense overload for equal inputs.
+SubgraphBatch MakeSubgraphBatch(
+    const std::vector<const BiasedSubgraph*>& subgraphs,
+    const std::vector<int>& centers, int num_relations);
+
 }  // namespace bsg

@@ -164,6 +164,8 @@ HeteroGraph BuildGraph(const RawDataset& raw, const FeaturePipelineConfig& cfg,
   if (report != nullptr) {
     report->num_categories_per_user = std::move(num_categories);
     report->kmeans = std::move(km);
+    report->num_scaler = std::move(num_scaler);
+    report->count_scaler = std::move(count_scaler);
   }
   BSG_CHECK(g.Validate().ok(), "assembled graph failed validation");
   return g;

@@ -16,6 +16,7 @@
 
 #include "datagen/generator.h"
 #include "features/kmeans.h"
+#include "features/zscore.h"
 #include "graph/hetero_graph.h"
 #include "util/rng.h"
 
@@ -33,6 +34,11 @@ struct FeaturePipelineConfig {
 struct FeatureReport {
   std::vector<int> num_categories_per_user;  ///< distinct K-means clusters
   KMeansResult kmeans;
+  /// Fitted normalisation state (the pipeline's only learned statistics):
+  /// persisted into checkpoints so a serving process can normalise incoming
+  /// accounts exactly as training did.
+  ZScoreScaler num_scaler;    ///< z_num: log-scaled numerical metadata
+  ZScoreScaler count_scaler;  ///< z_category: the category-count column
 };
 
 /// Assembles the HeteroGraph: features (with named blocks), labels,

@@ -1,0 +1,288 @@
+#include "io/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "util/string_util.h"
+
+namespace bsg {
+
+namespace {
+
+constexpr char kMagic[8] = {'B', 'S', 'G', '4', 'C', 'K', 'P', 'T'};
+
+// Header before the payload: magic + version + payload size.
+constexpr size_t kHeaderBytes = sizeof(kMagic) + sizeof(uint32_t) +
+                                sizeof(uint64_t);
+
+// Sanity bounds on declared counts/shapes. Every count is also implicitly
+// bounded by the payload size (each entry consumes bytes), but rejecting
+// absurd declarations first keeps a fuzzed file from requesting huge
+// reservations before the bounds check trips.
+constexpr uint32_t kMaxEntries = 1u << 24;
+constexpr int kMaxTensorDim = 1 << 28;
+
+// --- little-endian primitive append/read over a byte buffer ---------------
+//
+// The build targets little-endian hosts (x86-64 / AArch64); raw memcpy of
+// the in-memory representation is the byte order of the format.
+
+template <typename T>
+void Append(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+void AppendStr(std::string* out, const std::string& s) {
+  Append<uint32_t>(out, static_cast<uint32_t>(s.size()));
+  out->append(s);
+}
+
+// Bounds-checked forward reader over the payload. Every Read* returns false
+// once the remaining bytes cannot satisfy the request; callers translate
+// that into a Status so truncation at any byte offset is a clean error.
+class Cursor {
+ public:
+  Cursor(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* v) {
+    if (size_ - pos_ < sizeof(T)) return false;
+    std::memcpy(v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadStr(std::string* s) {
+    uint32_t len = 0;
+    if (!Read(&len) || len > kMaxEntries || size_ - pos_ < len) return false;
+    s->assign(data_ + pos_, len);
+    pos_ += len;
+    return true;
+  }
+
+  /// True when `count` doubles are still available. Callers check this
+  /// BEFORE allocating a destination, so a valid-CRC file declaring huge
+  /// dimensions is rejected instead of driving a giant allocation.
+  bool CanReadDoubles(size_t count) const {
+    return count <= size_ / sizeof(double) &&
+           size_ - pos_ >= count * sizeof(double);
+  }
+
+  bool ReadDoubles(double* dst, size_t count) {
+    if (!CanReadDoubles(count)) return false;
+    const size_t bytes = count * sizeof(double);
+    std::memcpy(dst, data_ + pos_, bytes);
+    pos_ += bytes;
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+Status Corrupt(const std::string& what) {
+  return Status::InvalidArgument("corrupt checkpoint: " + what);
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t size) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void Checkpoint::SetMeta(const std::string& key, std::string value) {
+  for (auto& kv : meta_) {
+    if (kv.first == key) {
+      kv.second = std::move(value);
+      return;
+    }
+  }
+  meta_.emplace_back(key, std::move(value));
+}
+
+void Checkpoint::SetMetaNum(const std::string& key, double value) {
+  SetMeta(key, StrFormat("%.17g", value));
+}
+
+const std::string* Checkpoint::FindMeta(const std::string& key) const {
+  for (const auto& kv : meta_) {
+    if (kv.first == key) return &kv.second;
+  }
+  return nullptr;
+}
+
+Result<double> Checkpoint::MetaNum(const std::string& key) const {
+  const std::string* s = FindMeta(key);
+  if (s == nullptr) {
+    return Status::NotFound("checkpoint metadata missing: " + key);
+  }
+  char* end = nullptr;
+  double v = std::strtod(s->c_str(), &end);
+  if (end == s->c_str() || *end != '\0') {
+    return Status::InvalidArgument("checkpoint metadata not numeric: " + key +
+                                   " = '" + *s + "'");
+  }
+  return v;
+}
+
+void Checkpoint::AddTensor(const std::string& name, Matrix value) {
+  BSG_CHECK(FindTensor(name) == nullptr, "duplicate checkpoint tensor name");
+  tensors_.push_back(CheckpointTensor{name, std::move(value)});
+}
+
+const Matrix* Checkpoint::FindTensor(const std::string& name) const {
+  for (const CheckpointTensor& t : tensors_) {
+    if (t.name == name) return &t.value;
+  }
+  return nullptr;
+}
+
+Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path) {
+  std::string payload;
+  Append<uint32_t>(&payload, static_cast<uint32_t>(ckpt.meta().size()));
+  for (const auto& kv : ckpt.meta()) {
+    AppendStr(&payload, kv.first);
+    AppendStr(&payload, kv.second);
+  }
+  Append<uint32_t>(&payload, static_cast<uint32_t>(ckpt.tensors().size()));
+  for (const CheckpointTensor& t : ckpt.tensors()) {
+    AppendStr(&payload, t.name);
+    Append<int32_t>(&payload, t.value.rows());
+    Append<int32_t>(&payload, t.value.cols());
+    payload.append(reinterpret_cast<const char*>(t.value.data()),
+                   t.value.size() * sizeof(double));
+  }
+
+  std::string blob;
+  blob.reserve(kHeaderBytes + payload.size() + sizeof(uint32_t));
+  blob.append(kMagic, sizeof(kMagic));
+  Append<uint32_t>(&blob, kCheckpointVersion);
+  Append<uint64_t>(&blob, static_cast<uint64_t>(payload.size()));
+  blob += payload;
+  Append<uint32_t>(&blob, Crc32(payload.data(), payload.size()));
+
+  // Write-then-rename so a crash mid-save never leaves a half-written file
+  // at the target path.
+  const std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::InvalidArgument("cannot open for write: " + tmp);
+  }
+  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  const bool closed = std::fclose(f) == 0;
+  if (written != blob.size() || !closed) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed: " + tmp + " -> " + path);
+  }
+  return Status::OK();
+}
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::NotFound("cannot open checkpoint: " + path);
+  }
+  std::string blob;
+  char buf[1 << 16];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, got);
+  const bool read_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (read_error) return Status::Internal("read error: " + path);
+
+  if (blob.size() < kHeaderBytes + sizeof(uint32_t)) {
+    return Corrupt("file shorter than header");
+  }
+  if (std::memcmp(blob.data(), kMagic, sizeof(kMagic)) != 0) {
+    return Corrupt("bad magic");
+  }
+  uint32_t version = 0;
+  std::memcpy(&version, blob.data() + sizeof(kMagic), sizeof(version));
+  if (version != kCheckpointVersion) {
+    return Status::InvalidArgument(
+        StrFormat("checkpoint version mismatch: file v%u, reader v%u",
+                  version, kCheckpointVersion));
+  }
+  uint64_t payload_size = 0;
+  std::memcpy(&payload_size, blob.data() + sizeof(kMagic) + sizeof(version),
+              sizeof(payload_size));
+  if (payload_size != blob.size() - kHeaderBytes - sizeof(uint32_t)) {
+    return Corrupt("declared payload size does not match file size");
+  }
+
+  const char* payload = blob.data() + kHeaderBytes;
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, payload + payload_size, sizeof(stored_crc));
+  if (Crc32(payload, payload_size) != stored_crc) {
+    return Corrupt("CRC mismatch");
+  }
+
+  Cursor cur(payload, payload_size);
+  Checkpoint ckpt;
+  uint32_t meta_count = 0;
+  if (!cur.Read(&meta_count) || meta_count > kMaxEntries) {
+    return Corrupt("metadata count");
+  }
+  for (uint32_t i = 0; i < meta_count; ++i) {
+    std::string key, value;
+    if (!cur.ReadStr(&key) || !cur.ReadStr(&value)) {
+      return Corrupt("metadata entry " + std::to_string(i));
+    }
+    if (ckpt.FindMeta(key) != nullptr) {
+      return Corrupt("duplicate metadata key '" + key + "'");
+    }
+    ckpt.SetMeta(key, std::move(value));
+  }
+  uint32_t tensor_count = 0;
+  if (!cur.Read(&tensor_count) || tensor_count > kMaxEntries) {
+    return Corrupt("tensor count");
+  }
+  for (uint32_t i = 0; i < tensor_count; ++i) {
+    std::string name;
+    int32_t rows = 0, cols = 0;
+    if (!cur.ReadStr(&name) || !cur.Read(&rows) || !cur.Read(&cols) ||
+        rows < 0 || cols < 0 || rows > kMaxTensorDim || cols > kMaxTensorDim) {
+      return Corrupt("tensor record " + std::to_string(i));
+    }
+    if (ckpt.FindTensor(name) != nullptr) {
+      return Corrupt("duplicate tensor name '" + name + "'");
+    }
+    const size_t count = static_cast<size_t>(rows) * static_cast<size_t>(cols);
+    if (!cur.CanReadDoubles(count)) {
+      return Corrupt("tensor data for '" + name + "'");
+    }
+    Matrix value = Matrix::Uninit(rows, cols);
+    if (!cur.ReadDoubles(value.data(), count)) {
+      return Corrupt("tensor data for '" + name + "'");
+    }
+    ckpt.AddTensor(name, std::move(value));
+  }
+  if (!cur.AtEnd()) return Corrupt("trailing bytes after last tensor");
+  return ckpt;
+}
+
+}  // namespace bsg

@@ -1,0 +1,88 @@
+// Versioned binary checkpoint container: the on-disk format behind model
+// persistence (serving loads what training saved).
+//
+// A Checkpoint is an ordered set of string metadata entries plus an ordered
+// set of named, shape-tagged tensors. The container is generic — Bsg4Bot
+// packs its architecture/parameters into one (core/bsg4bot.h), serve_cli
+// adds dataset provenance and the feature pipeline's normalisation state —
+// so one file carries everything inference needs.
+//
+// File layout (little-endian, doubles stored as raw IEEE-754 bits so a
+// save/load roundtrip is bit-exact):
+//
+//   magic    8 bytes  "BSG4CKPT"
+//   version  u32      kCheckpointVersion
+//   size     u64      payload byte count
+//   payload:
+//     u32 meta_count,   then per entry:  str key, str value
+//     u32 tensor_count, then per tensor: str name, i32 rows, i32 cols,
+//                                        rows*cols f64
+//   crc      u32      CRC-32 (IEEE) of the payload bytes
+//
+// (str = u32 length + bytes.) Load verifies magic, version, declared size
+// and CRC before parsing, and every parse step is bounds-checked, so a
+// truncated or bit-flipped file yields a Status error — never a crash or a
+// silently wrong model.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "tensor/matrix.h"
+#include "util/status.h"
+
+namespace bsg {
+
+/// Current on-disk format version. Bump on any layout change; load rejects
+/// files from other versions (no silent cross-version reinterpretation).
+constexpr uint32_t kCheckpointVersion = 1;
+
+/// One named tensor record.
+struct CheckpointTensor {
+  std::string name;
+  Matrix value;
+};
+
+/// In-memory checkpoint: ordered metadata + ordered named tensors.
+class Checkpoint {
+ public:
+  /// Sets (or overwrites) a string metadata entry.
+  void SetMeta(const std::string& key, std::string value);
+  /// Numeric convenience: stored as a %.17g string (round-trips doubles).
+  void SetMetaNum(const std::string& key, double value);
+
+  /// Returns the entry or nullptr.
+  const std::string* FindMeta(const std::string& key) const;
+  /// Returns the entry parsed as a double, or a kNotFound/kInvalidArgument
+  /// Status.
+  Result<double> MetaNum(const std::string& key) const;
+
+  /// Appends a tensor record. Names must be unique; re-adding a name is a
+  /// programmer error (checked).
+  void AddTensor(const std::string& name, Matrix value);
+  /// Returns the tensor value or nullptr.
+  const Matrix* FindTensor(const std::string& name) const;
+
+  const std::vector<std::pair<std::string, std::string>>& meta() const {
+    return meta_;
+  }
+  const std::vector<CheckpointTensor>& tensors() const { return tensors_; }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::vector<CheckpointTensor> tensors_;
+};
+
+/// Serialises `ckpt` to `path` (atomically: written to a temp file in the
+/// same directory, then renamed over the target).
+Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path);
+
+/// Reads and verifies (magic, version, size, CRC) a checkpoint file.
+Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`. Exposed
+/// for tests.
+uint32_t Crc32(const void* data, size_t size);
+
+}  // namespace bsg

@@ -1,0 +1,136 @@
+#include "serve/engine.h"
+
+#include <cmath>
+#include <numeric>
+
+#include "util/buffer_pool.h"
+
+namespace bsg {
+
+namespace {
+
+// Numerically-stable 2-way softmax for the bot probability.
+double BotProbability(double logit_human, double logit_bot) {
+  const double m = logit_human > logit_bot ? logit_human : logit_bot;
+  const double eh = std::exp(logit_human - m);
+  const double eb = std::exp(logit_bot - m);
+  return eb / (eh + eb);
+}
+
+}  // namespace
+
+DetectionEngine::DetectionEngine(Bsg4Bot* model, EngineConfig cfg)
+    : model_(model),
+      cfg_(cfg),
+      batch_size_(cfg.batch_size > 0 ? cfg.batch_size
+                                     : model->config().batch_size),
+      cache_(cfg.cache_capacity) {
+  BSG_CHECK(model_ != nullptr, "null model");
+  BSG_CHECK(model_->inference_ready(),
+            "DetectionEngine needs an inference-ready model "
+            "(Fit() or LoadCheckpoint() first)");
+  BSG_CHECK(batch_size_ > 0, "non-positive engine batch size");
+  if (cfg_.trim_pool_on_start) {
+    // Train->inference phase boundary: the pool's parked slabs are sized
+    // for training's peak working set (full-width batches, gradients,
+    // optimiser state) — serving re-warms only what it needs.
+    stats_.pool_trimmed_bytes = BufferPool::Global().Trim();
+  }
+}
+
+DetectionEngine::~DetectionEngine() = default;
+
+Score DetectionEngine::ScoreOne(int target) {
+  std::shared_ptr<const BiasedSubgraph> sub = cache_.GetOrBuild(
+      target, cfg_.graph_version,
+      [this](int t) { return model_->AssembleSubgraph(t); });
+  SubgraphBatch batch =
+      MakeSubgraphBatch({sub.get()}, {target}, model_->graph().num_relations());
+  Score score;
+  ScoreAssembled(batch, &score);
+  ++stats_.single_requests;
+  ++stats_.targets_scored;
+  return score;
+}
+
+std::vector<Score> DetectionEngine::ScoreBatch(
+    const std::vector<int>& targets) {
+  ++stats_.batch_requests;
+  std::vector<Score> scores(targets.size());
+  if (targets.empty()) return scores;
+
+  const size_t width = static_cast<size_t>(batch_size_);
+  const size_t num_chunks = (targets.size() + width - 1) / width;
+  pending_targets_ = targets;
+
+  if (num_chunks > 1) {
+    // Coalesced streaming: chunk assembly — cache probes plus PPR builds
+    // for the misses — runs on the producer thread while this thread runs
+    // the previous chunk's forward pass.
+    if (prefetcher_ == nullptr) {
+      prefetcher_ = std::make_unique<BatchPrefetcher>(
+          [this](int index) { return AssembleChunk(index); },
+          cfg_.prefetch_depth);
+    }
+    std::vector<int> order(num_chunks);
+    std::iota(order.begin(), order.end(), 0);
+    prefetcher_->StartEpoch(std::move(order));
+    for (size_t c = 0; c < num_chunks; ++c) {
+      SubgraphBatch batch = prefetcher_->Next();
+      ScoreAssembled(batch, &scores[c * width]);
+    }
+  } else {
+    SubgraphBatch batch = AssembleChunk(0);
+    ScoreAssembled(batch, scores.data());
+  }
+  stats_.targets_scored += targets.size();
+  pending_targets_.clear();
+  return scores;
+}
+
+SubgraphBatch DetectionEngine::AssembleChunk(int chunk_index) {
+  const size_t width = static_cast<size_t>(batch_size_);
+  const size_t begin = static_cast<size_t>(chunk_index) * width;
+  const size_t end = std::min(pending_targets_.size(), begin + width);
+  std::vector<int> chunk(pending_targets_.begin() + begin,
+                         pending_targets_.begin() + end);
+  // Hold the shared_ptrs until the batch is stacked: an eviction between
+  // probe and stacking must not free a subgraph we are reading.
+  std::vector<std::shared_ptr<const BiasedSubgraph>> held;
+  held.reserve(chunk.size());
+  std::vector<const BiasedSubgraph*> subs;
+  subs.reserve(chunk.size());
+  for (int t : chunk) {
+    held.push_back(cache_.GetOrBuild(
+        t, cfg_.graph_version,
+        [this](int target) { return model_->AssembleSubgraph(target); }));
+    subs.push_back(held.back().get());
+  }
+  return MakeSubgraphBatch(subs, chunk, model_->graph().num_relations());
+}
+
+void DetectionEngine::ScoreAssembled(const SubgraphBatch& batch, Score* out) {
+  // Arena-scoped forward: the logits graph's transient slabs return to the
+  // pool when `logits` dies, so warm requests allocate nothing new.
+  TensorArena arena;
+  Matrix logits = model_->ScoreBatch(batch);
+  for (size_t i = 0; i < batch.centers.size(); ++i) {
+    Score& s = out[i];
+    s.target = batch.centers[i];
+    s.logit_human = logits(static_cast<int>(i), 0);
+    s.logit_bot = logits(static_cast<int>(i), 1);
+    s.bot_prob = BotProbability(s.logit_human, s.logit_bot);
+    s.label = s.logit_bot > s.logit_human ? 1 : 0;
+  }
+  ++stats_.batches_run;
+  stats_.pool_acquires += arena.acquires();
+  stats_.pool_hits += arena.hits();
+}
+
+EngineStats DetectionEngine::Stats() const {
+  EngineStats s = stats_;
+  s.cache = cache_.Stats();
+  return s;
+}
+
+}  // namespace bsg

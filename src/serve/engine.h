@@ -1,0 +1,135 @@
+// Online inference serving: the batched bot-detection engine.
+//
+// A DetectionEngine wraps a trained (or checkpoint-restored) Bsg4Bot and
+// answers "is account X a bot?" without the training loop's precomputed
+// per-node subgraph store:
+//
+//   - per-target biased PPR subgraphs are assembled on demand through a
+//     bounded LRU SubgraphCache keyed by (target, graph version), so hot
+//     accounts skip PPR + top-k entirely;
+//   - batched requests are coalesced into fixed-width mini-batches and
+//     streamed through the training stack's BatchPrefetcher (assembly of
+//     batch i+1 — cache probes plus any misses — overlaps the forward pass
+//     over batch i);
+//   - every forward pass runs under a TensorArena scope, so serving
+//     inherits the zero-allocation hot path (warm requests run on pool
+//     hits);
+//   - engine startup calls BufferPool::Trim(): training's peak working set
+//     is cold once the model is frozen, and the trimmed bytes are reported
+//     in the engine stats (the train->inference phase policy).
+//
+// Determinism: with the engine batch width equal to the model's training
+// batch_size, ScoreBatch over a centre list produces logits bit-identical
+// to Bsg4Bot::PredictLogits over the same list (same chunking, same
+// stacking, dropout off). Semantic attention is batch-global (Eq. 12
+// averages over the batch), so single-target scores legitimately differ
+// from batched scores — both are "the model's answer", for different batch
+// compositions.
+//
+// Thread-safety: one engine serves one request stream (calls into the same
+// engine must be externally serialised); the cache and the model's
+// assembly hook are safe for the engine's internal producer thread.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/bsg4bot.h"
+#include "serve/subgraph_cache.h"
+#include "train/prefetcher.h"
+
+namespace bsg {
+
+/// Serving knobs.
+struct EngineConfig {
+  /// Mini-batch width for coalesced scoring. 0 = the model's training
+  /// batch_size (which makes batched scores bit-identical to
+  /// PredictLogits).
+  int batch_size = 0;
+  /// Maximum cached subgraphs (LRU beyond this).
+  size_t cache_capacity = 4096;
+  /// Batches in flight during batched scoring (2 = double buffer).
+  int prefetch_depth = 2;
+  /// Version tag of the underlying graph; bump on graph swap to invalidate
+  /// cached subgraphs.
+  uint64_t graph_version = 0;
+  /// Release the training phase's parked pool slabs at engine startup.
+  bool trim_pool_on_start = true;
+};
+
+/// One scored account.
+struct Score {
+  int target = -1;
+  double logit_human = 0.0;
+  double logit_bot = 0.0;
+  double bot_prob = 0.0;  ///< softmax(logits)[bot]
+  int label = 0;          ///< argmax: 0 human, 1 bot
+};
+
+/// Cumulative engine counters.
+struct EngineStats {
+  uint64_t single_requests = 0;  ///< ScoreOne calls
+  uint64_t batch_requests = 0;   ///< ScoreBatch calls
+  uint64_t targets_scored = 0;   ///< accounts scored, both paths
+  uint64_t batches_run = 0;      ///< forward passes executed
+  uint64_t pool_trimmed_bytes = 0;  ///< bytes released by the startup Trim
+  /// Buffer-pool traffic of the engine's forward passes.
+  uint64_t pool_acquires = 0;
+  uint64_t pool_hits = 0;
+  SubgraphCacheStats cache;  ///< snapshot of the subgraph cache
+
+  double PoolHitRate() const {
+    return pool_acquires == 0 ? 0.0
+                              : static_cast<double>(pool_hits) /
+                                    static_cast<double>(pool_acquires);
+  }
+};
+
+/// The serving engine. Construction is cheap; the model must be
+/// inference-ready (Fit() in-process, or LoadCheckpoint into a fresh
+/// model).
+class DetectionEngine {
+ public:
+  /// `model` must outlive the engine and be inference-ready.
+  DetectionEngine(Bsg4Bot* model, EngineConfig cfg);
+  ~DetectionEngine();
+
+  DetectionEngine(const DetectionEngine&) = delete;
+  DetectionEngine& operator=(const DetectionEngine&) = delete;
+
+  /// Scores one account (a batch of one). Latency path.
+  Score ScoreOne(int target);
+
+  /// Scores a list of accounts, coalesced into batch_size mini-batches and
+  /// streamed through the prefetcher. Throughput path; results align with
+  /// `targets`.
+  std::vector<Score> ScoreBatch(const std::vector<int>& targets);
+
+  int batch_size() const { return batch_size_; }
+  EngineStats Stats() const;
+  SubgraphCache& cache() { return cache_; }
+
+ private:
+  /// Assembles one mini-batch of the current ScoreBatch request through the
+  /// cache. Runs on the prefetcher's producer thread.
+  SubgraphBatch AssembleChunk(int chunk_index);
+  /// Forward pass + logit unpacking for one assembled batch.
+  void ScoreAssembled(const SubgraphBatch& batch, Score* out);
+
+  Bsg4Bot* const model_;
+  const EngineConfig cfg_;
+  const int batch_size_;
+  SubgraphCache cache_;
+
+  // State of the in-flight ScoreBatch request, read by AssembleChunk from
+  // the producer thread. Only valid between StartEpoch and the last Next().
+  std::vector<int> pending_targets_;
+
+  EngineStats stats_;
+
+  // Last member: the producer reads pending_targets_/cache_, so it must be
+  // torn down first.
+  std::unique_ptr<BatchPrefetcher> prefetcher_;
+};
+
+}  // namespace bsg

@@ -1,0 +1,97 @@
+#include "serve/subgraph_cache.h"
+
+#include "util/status.h"
+
+namespace bsg {
+
+SubgraphCache::SubgraphCache(size_t capacity) : capacity_(capacity) {
+  BSG_CHECK(capacity >= 1, "SubgraphCache capacity must be >= 1");
+}
+
+std::shared_ptr<const BiasedSubgraph> SubgraphCache::Lookup(
+    int target, uint64_t version) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{target, version});
+  if (it == index_.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
+  return it->second->sub;
+}
+
+std::shared_ptr<const BiasedSubgraph> SubgraphCache::Insert(
+    int target, uint64_t version, std::shared_ptr<const BiasedSubgraph> sub) {
+  BSG_CHECK(sub != nullptr, "inserting null subgraph");
+  const size_t bytes = ApproxBytes(*sub);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = index_.find(Key{target, version});
+  if (it != index_.end()) {
+    // Lost a build race: keep the incumbent so all callers share one copy.
+    lru_.splice(lru_.begin(), lru_, it->second);
+    return it->second->sub;
+  }
+  lru_.push_front(Entry{Key{target, version}, std::move(sub), bytes});
+  index_[lru_.front().key] = lru_.begin();
+  inserts_.fetch_add(1, std::memory_order_relaxed);
+  entries_.fetch_add(1, std::memory_order_relaxed);
+  resident_bytes_.fetch_add(bytes, std::memory_order_relaxed);
+  EvictLocked();
+  return lru_.begin()->sub;
+}
+
+std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
+    int target, uint64_t version, const Builder& build) {
+  if (std::shared_ptr<const BiasedSubgraph> hit = Lookup(target, version)) {
+    return hit;
+  }
+  auto built = std::make_shared<const BiasedSubgraph>(build(target));
+  return Insert(target, version, std::move(built));
+}
+
+void SubgraphCache::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  index_.clear();
+  lru_.clear();
+  entries_.store(0, std::memory_order_relaxed);
+  resident_bytes_.store(0, std::memory_order_relaxed);
+}
+
+void SubgraphCache::EvictLocked() {
+  while (lru_.size() > capacity_) {
+    const Entry& victim = lru_.back();
+    resident_bytes_.fetch_sub(victim.bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+    index_.erase(victim.key);
+    lru_.pop_back();
+  }
+}
+
+SubgraphCacheStats SubgraphCache::Stats() const {
+  SubgraphCacheStats s;
+  s.lookups = lookups_.load(std::memory_order_relaxed);
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.inserts = inserts_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.entries = entries_.load(std::memory_order_relaxed);
+  s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t SubgraphCache::ApproxBytes(const BiasedSubgraph& sub) {
+  size_t bytes = sizeof(BiasedSubgraph);
+  for (const RelationSubgraph& rel : sub.per_relation) {
+    bytes += sizeof(RelationSubgraph);
+    bytes += rel.nodes.size() * sizeof(int);
+    bytes += rel.adj.indptr().size() * sizeof(int64_t);
+    bytes += rel.adj.indices().size() * sizeof(int);
+    bytes += rel.adj.weights().size() * sizeof(double);
+  }
+  return bytes;
+}
+
+}  // namespace bsg

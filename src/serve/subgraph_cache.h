@@ -1,0 +1,130 @@
+// Bounded LRU cache of biased PPR subgraphs for online serving.
+//
+// Training precomputes every node's subgraph once (§III-F); serving cannot
+// afford that for millions of accounts, so the DetectionEngine assembles
+// subgraphs on demand and parks the hot ones here. Entries are keyed by
+// (target node, graph version): bumping the version when the underlying
+// graph changes invalidates stale subgraphs without a scan.
+//
+// Entries are shared_ptr<const BiasedSubgraph>, so a hit stays valid for
+// the caller even if it is evicted mid-request. Thread-safe: one mutex
+// guards the LRU structures (lookup/insert are an O(1) splice next to any
+// subgraph assembly), counters are atomics readable without the lock —
+// the same observability style as BufferPool.
+//
+// Capacity is a subgraph count; bytes are tracked (approximate resident
+// size) for the stats surface. Misses build OUTSIDE the lock: two threads
+// missing the same key may both build, and the second insert is dropped in
+// favour of the first (single-flight de-duplication is a listed next step).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/biased_subgraph.h"
+
+namespace bsg {
+
+/// Counters for observability and tests. Totals are cumulative; entries /
+/// resident_bytes describe the current instant.
+struct SubgraphCacheStats {
+  uint64_t lookups = 0;    ///< total Lookup()/GetOrBuild() probes
+  uint64_t hits = 0;       ///< probes served from the cache
+  uint64_t misses = 0;     ///< probes that had to build
+  uint64_t inserts = 0;    ///< entries admitted
+  uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+  uint64_t entries = 0;         ///< cached subgraphs right now
+  uint64_t resident_bytes = 0;  ///< approximate bytes held right now
+
+  double HitRate() const {
+    return lookups == 0
+               ? 0.0
+               : static_cast<double>(hits) / static_cast<double>(lookups);
+  }
+};
+
+/// Thread-safe bounded LRU of (target, graph-version) -> biased subgraph.
+class SubgraphCache {
+ public:
+  /// Builds a subgraph for a target on a cache miss.
+  using Builder = std::function<BiasedSubgraph(int target)>;
+
+  /// `capacity` is the maximum number of cached subgraphs (>= 1).
+  explicit SubgraphCache(size_t capacity);
+
+  /// Returns the cached subgraph (marking it most-recently-used) or null.
+  std::shared_ptr<const BiasedSubgraph> Lookup(int target, uint64_t version);
+
+  /// Inserts a subgraph for (target, version), evicting LRU entries beyond
+  /// capacity. If the key is already present the existing entry is kept
+  /// (first build wins) and returned.
+  std::shared_ptr<const BiasedSubgraph> Insert(
+      int target, uint64_t version, std::shared_ptr<const BiasedSubgraph> sub);
+
+  /// Lookup, or build-and-insert on a miss. The build runs outside the
+  /// cache lock.
+  std::shared_ptr<const BiasedSubgraph> GetOrBuild(int target,
+                                                   uint64_t version,
+                                                   const Builder& build);
+
+  /// Drops every entry (counters keep their cumulative values).
+  void Clear();
+
+  size_t capacity() const { return capacity_; }
+  SubgraphCacheStats Stats() const;
+
+  /// Approximate resident size of one subgraph (index vectors + CSR
+  /// arrays), used for the resident_bytes counter.
+  static size_t ApproxBytes(const BiasedSubgraph& sub);
+
+ private:
+  struct Key {
+    int target;
+    uint64_t version;
+    bool operator==(const Key& o) const {
+      return target == o.target && version == o.version;
+    }
+  };
+  struct KeyHash {
+    size_t operator()(const Key& k) const {
+      // Splitmix-style scramble of the 96 key bits.
+      uint64_t x = (static_cast<uint64_t>(static_cast<uint32_t>(k.target)) <<
+                    32) ^
+                   k.version * 0x9E3779B97F4A7C15ULL;
+      x ^= x >> 30;
+      x *= 0xBF58476D1CE4E5B9ULL;
+      x ^= x >> 27;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    Key key;
+    std::shared_ptr<const BiasedSubgraph> sub;
+    size_t bytes = 0;
+  };
+
+  // Must hold mu_. Pops the LRU tail until size <= capacity_.
+  void EvictLocked();
+
+  const size_t capacity_;
+
+  mutable std::mutex mu_;
+  std::list<Entry> lru_;  // front = most recent
+  std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+
+  std::atomic<uint64_t> lookups_{0};
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> inserts_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> entries_{0};
+  std::atomic<uint64_t> resident_bytes_{0};
+};
+
+}  // namespace bsg

@@ -68,7 +68,7 @@ void BufferPool::Release(double* p, size_t capacity) {
   free_[idx].push_back(p);
 }
 
-void BufferPool::Trim() {
+uint64_t BufferPool::Trim() {
   std::vector<std::vector<double*>> drained;
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -82,8 +82,10 @@ void BufferPool::Trim() {
     for (double* p : drained[idx]) delete[] p;
   }
   trims_.fetch_add(1, std::memory_order_relaxed);
+  trimmed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   free_slabs_.fetch_sub(slabs, std::memory_order_relaxed);
   free_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  return bytes;
 }
 
 BufferPoolStats BufferPool::Stats() const {
@@ -93,6 +95,7 @@ BufferPoolStats BufferPool::Stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.releases = releases_.load(std::memory_order_relaxed);
   s.trims = trims_.load(std::memory_order_relaxed);
+  s.trimmed_bytes = trimmed_bytes_.load(std::memory_order_relaxed);
   s.free_slabs = free_slabs_.load(std::memory_order_relaxed);
   s.free_bytes = free_bytes_.load(std::memory_order_relaxed);
   s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
@@ -133,6 +136,7 @@ BufferPoolStats TensorArena::Delta() const {
   d.misses = now.misses - start_.misses;
   d.releases = now.releases - start_.releases;
   d.trims = now.trims - start_.trims;
+  d.trimmed_bytes = now.trimmed_bytes - start_.trimmed_bytes;
   d.free_slabs = now.free_slabs;
   d.free_bytes = now.free_bytes;
   d.live_bytes = now.live_bytes;

@@ -46,6 +46,7 @@ struct BufferPoolStats {
   uint64_t misses = 0;      ///< acquisitions that hit the heap allocator
   uint64_t releases = 0;    ///< total Release() calls
   uint64_t trims = 0;       ///< Trim() calls
+  uint64_t trimmed_bytes = 0;  ///< bytes returned to the heap by Trim()
   uint64_t free_slabs = 0;  ///< slabs parked in free lists right now
   uint64_t free_bytes = 0;  ///< bytes parked in free lists right now
   uint64_t live_bytes = 0;  ///< bytes in slabs currently handed out
@@ -82,8 +83,12 @@ class BufferPool {
   void Release(double* p, size_t capacity);
 
   /// Frees every parked slab back to the heap (free lists empty afterwards;
-  /// live slabs are unaffected).
-  void Trim();
+  /// live slabs are unaffected) and returns the bytes released. This is the
+  /// train->inference phase boundary policy: training's peak working set is
+  /// parked cold once the model is frozen, so serving startup
+  /// (DetectionEngine) trims it instead of carrying it for the whole
+  /// process lifetime. Cumulative bytes are tracked in stats.trimmed_bytes.
+  uint64_t Trim();
 
   BufferPoolStats Stats() const;
 
@@ -99,6 +104,7 @@ class BufferPool {
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> releases_{0};
   std::atomic<uint64_t> trims_{0};
+  std::atomic<uint64_t> trimmed_bytes_{0};
   std::atomic<uint64_t> free_slabs_{0};
   std::atomic<uint64_t> free_bytes_{0};
   std::atomic<uint64_t> live_bytes_{0};

@@ -31,6 +31,20 @@ std::string StrJoin(const std::vector<std::string>& parts,
   return out;
 }
 
+std::vector<std::string> SplitString(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string::npos) {
+      parts.push_back(s.substr(start));
+      return parts;
+    }
+    parts.push_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
 TablePrinter::TablePrinter(std::vector<std::string> header)
     : header_(std::move(header)) {}
 

@@ -15,6 +15,10 @@ std::string StrFormat(const char* fmt, ...)
 std::string StrJoin(const std::vector<std::string>& parts,
                     const std::string& sep);
 
+/// Splits on a separator character. Adjacent separators produce empty
+/// parts; an empty input produces one empty part (inverse of StrJoin).
+std::vector<std::string> SplitString(const std::string& s, char sep);
+
 /// Fixed-width table renderer for benchmark/console output.
 ///
 /// Usage:

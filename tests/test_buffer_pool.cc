@@ -69,11 +69,17 @@ TEST(BufferPool, CountersTrackBytesAndSlabs) {
   EXPECT_EQ(parked.free_bytes, cap * sizeof(double));
   EXPECT_EQ(parked.live_bytes, start.live_bytes);
 
-  pool.Trim();
+  // Trim reports the bytes it released (the phase-change policy reads
+  // this) and accumulates them in the cumulative trimmed_bytes counter.
+  uint64_t released = pool.Trim();
+  EXPECT_EQ(released, cap * sizeof(double));
   BufferPoolStats trimmed = pool.Stats();
   EXPECT_EQ(trimmed.free_slabs, 0u);
   EXPECT_EQ(trimmed.free_bytes, 0u);
   EXPECT_EQ(trimmed.trims - start.trims, 1u);
+  EXPECT_EQ(trimmed.trimmed_bytes - start.trimmed_bytes,
+            cap * sizeof(double));
+  EXPECT_EQ(pool.Trim(), 0u);  // nothing parked: a no-op trim releases 0
 }
 
 TEST(BufferPool, ZeroSizedAcquireIsFree) {

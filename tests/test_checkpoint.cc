@@ -1,0 +1,275 @@
+// Checkpoint container + Bsg4Bot save/restore: bitwise roundtrip of the
+// serving contract (save -> load -> PredictLogits == in-memory logits),
+// rejection of corrupted / truncated / mismatched files, and the
+// architecture guards.
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/bsg4bot.h"
+#include "io/checkpoint.h"
+#include "test_common.h"
+
+namespace bsg {
+namespace {
+
+using testing::SameBits;
+using testing::SmallGraph;
+
+std::string TempPath(const std::string& name) {
+  const char* dir = std::getenv("TMPDIR");
+  return std::string(dir != nullptr ? dir : "/tmp") + "/" + name;
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  EXPECT_NE(f, nullptr);
+  std::string blob;
+  char buf[1 << 14];
+  size_t got;
+  while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, got);
+  std::fclose(f);
+  return blob;
+}
+
+void WriteFileBytes(const std::string& path, const std::string& blob) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(blob.data(), 1, blob.size(), f), blob.size());
+  std::fclose(f);
+}
+
+// --- container ------------------------------------------------------------
+
+TEST(Checkpoint, Crc32KnownVectors) {
+  // The classic IEEE test vector.
+  EXPECT_EQ(Crc32("123456789", 9), 0xCBF43926u);
+  EXPECT_EQ(Crc32("", 0), 0x00000000u);
+}
+
+TEST(Checkpoint, MetaAndTensorRoundtrip) {
+  Checkpoint ckpt;
+  ckpt.SetMeta("name", "value");
+  ckpt.SetMetaNum("pi", 3.141592653589793);
+  ckpt.SetMeta("name", "overwritten");
+  Rng rng(3);
+  Matrix m = Matrix::RandomNormal(7, 5, 1.0, &rng);
+  ckpt.AddTensor("weights", m);
+  ckpt.AddTensor("empty", Matrix(0, 4));
+
+  const std::string path = TempPath("ckpt_roundtrip.bin");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  Result<Checkpoint> loaded = LoadCheckpoint(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const Checkpoint& back = loaded.ValueOrDie();
+
+  ASSERT_NE(back.FindMeta("name"), nullptr);
+  EXPECT_EQ(*back.FindMeta("name"), "overwritten");
+  EXPECT_EQ(back.MetaNum("pi").ValueOrDie(), 3.141592653589793);
+  EXPECT_FALSE(back.MetaNum("missing").ok());
+  ASSERT_NE(back.FindTensor("weights"), nullptr);
+  EXPECT_TRUE(SameBits(*back.FindTensor("weights"), m));
+  ASSERT_NE(back.FindTensor("empty"), nullptr);
+  EXPECT_EQ(back.FindTensor("empty")->rows(), 0);
+  EXPECT_EQ(back.FindTensor("empty")->cols(), 4);
+  EXPECT_EQ(back.FindTensor("absent"), nullptr);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsBadMagicAndVersion) {
+  Checkpoint ckpt;
+  ckpt.SetMeta("k", "v");
+  const std::string path = TempPath("ckpt_bad_header.bin");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  std::string blob = ReadFileBytes(path);
+
+  std::string bad_magic = blob;
+  bad_magic[0] = 'X';
+  WriteFileBytes(path, bad_magic);
+  EXPECT_FALSE(LoadCheckpoint(path).ok());
+
+  std::string bad_version = blob;
+  bad_version[8] = static_cast<char>(kCheckpointVersion + 1);
+  WriteFileBytes(path, bad_version);
+  Result<Checkpoint> r = LoadCheckpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("version"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsEveryBitFlipInPayload) {
+  Checkpoint ckpt;
+  ckpt.SetMeta("key", "value");
+  Matrix m(2, 2);
+  m(0, 0) = 1.5;
+  m(1, 1) = -2.5;
+  ckpt.AddTensor("t", m);
+  const std::string path = TempPath("ckpt_corrupt.bin");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  const std::string blob = ReadFileBytes(path);
+
+  // Flip one byte at a stride across the whole payload + trailer: the CRC
+  // (or the header checks) must catch every one of them.
+  const size_t header = 8 + 4 + 8;
+  for (size_t pos = header; pos < blob.size(); pos += 3) {
+    std::string corrupt = blob;
+    corrupt[pos] = static_cast<char>(corrupt[pos] ^ 0x41);
+    WriteFileBytes(path, corrupt);
+    EXPECT_FALSE(LoadCheckpoint(path).ok()) << "flip at byte " << pos;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, TruncationFuzzNeverCrashesAlwaysErrors) {
+  Checkpoint ckpt;
+  ckpt.SetMeta("alpha", "0.15");
+  Rng rng(11);
+  ckpt.AddTensor("a", Matrix::RandomNormal(9, 3, 1.0, &rng));
+  ckpt.AddTensor("b", Matrix::RandomNormal(1, 17, 1.0, &rng));
+  const std::string path = TempPath("ckpt_trunc.bin");
+  ASSERT_TRUE(SaveCheckpoint(ckpt, path).ok());
+  const std::string blob = ReadFileBytes(path);
+
+  for (size_t len = 0; len < blob.size(); ++len) {
+    WriteFileBytes(path, blob.substr(0, len));
+    EXPECT_FALSE(LoadCheckpoint(path).ok()) << "truncated to " << len;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, RejectsHugeDeclaredDimsWithoutAllocating) {
+  // A hand-built file with a correct CRC that declares a ~2^54-element
+  // tensor backed by zero payload bytes: load must bounds-check the
+  // declaration BEFORE allocating a destination, and return a Status.
+  auto append_u32 = [](std::string* s, uint32_t v) {
+    s->append(reinterpret_cast<const char*>(&v), sizeof(v));
+  };
+  std::string payload;
+  append_u32(&payload, 0);  // meta_count
+  append_u32(&payload, 1);  // tensor_count
+  append_u32(&payload, 1);  // name length
+  payload += 'x';
+  append_u32(&payload, static_cast<uint32_t>(1 << 27));  // rows
+  append_u32(&payload, static_cast<uint32_t>(1 << 27));  // cols
+
+  std::string blob("BSG4CKPT", 8);
+  append_u32(&blob, kCheckpointVersion);
+  const uint64_t payload_size = payload.size();
+  blob.append(reinterpret_cast<const char*>(&payload_size),
+              sizeof(payload_size));
+  blob += payload;
+  append_u32(&blob, Crc32(payload.data(), payload.size()));
+
+  const std::string path = TempPath("ckpt_huge_dims.bin");
+  WriteFileBytes(path, blob);
+  Result<Checkpoint> r = LoadCheckpoint(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("tensor data"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsNotFound) {
+  Result<Checkpoint> r = LoadCheckpoint(TempPath("ckpt_does_not_exist.bin"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+}
+
+// --- Bsg4Bot save / restore ------------------------------------------------
+
+Bsg4BotConfig TinyConfig() {
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = 8;
+  cfg.subgraph.k = 10;
+  cfg.hidden = 12;
+  cfg.batch_size = 64;
+  cfg.max_epochs = 3;
+  cfg.min_epochs = 3;
+  cfg.seed = 5;
+  return cfg;
+}
+
+// One trained model + checkpoint per binary (training dominates the cost).
+struct TrainedFixture {
+  Bsg4Bot model;
+  std::string path;
+  TrainedFixture() : model(SmallGraph(), TinyConfig()) {
+    model.Fit();
+    path = TempPath("ckpt_bsg4bot.bin");
+    Status st = model.SaveCheckpoint(path);
+    BSG_CHECK(st.ok(), "fixture save failed");
+  }
+};
+
+TrainedFixture& Trained() {
+  static TrainedFixture* fixture = new TrainedFixture();
+  return *fixture;
+}
+
+TEST(Bsg4BotCheckpoint, RestoredLogitsAreBitIdentical) {
+  TrainedFixture& fx = Trained();
+  // A fresh model with a different seed: untrained parameters, no pretrain
+  // state — everything must come from the file.
+  Bsg4BotConfig cfg = TinyConfig();
+  cfg.seed = 999;
+  Bsg4Bot restored(SmallGraph(), cfg);
+  ASSERT_FALSE(restored.inference_ready());
+  Status st = restored.LoadCheckpoint(fx.path);
+  ASSERT_TRUE(st.ok()) << st.ToString();
+  ASSERT_TRUE(restored.inference_ready());
+  restored.Prepare();  // skips pre-training, rebuilds subgraphs
+
+  const std::vector<int>& targets = SmallGraph().test_idx;
+  EXPECT_TRUE(SameBits(restored.PredictLogits(targets),
+                       fx.model.PredictLogits(targets)));
+}
+
+TEST(Bsg4BotCheckpoint, ConfigRoundTripsThroughMetadata) {
+  TrainedFixture& fx = Trained();
+  Result<Checkpoint> ckpt = LoadCheckpoint(fx.path);
+  ASSERT_TRUE(ckpt.ok());
+  Result<Bsg4BotConfig> cfg = Bsg4Bot::CheckpointConfig(ckpt.ValueOrDie());
+  ASSERT_TRUE(cfg.ok()) << cfg.status().ToString();
+  EXPECT_EQ(cfg.ValueOrDie().hidden, TinyConfig().hidden);
+  EXPECT_EQ(cfg.ValueOrDie().gnn_layers, TinyConfig().gnn_layers);
+  EXPECT_EQ(cfg.ValueOrDie().subgraph.k, TinyConfig().subgraph.k);
+  EXPECT_EQ(cfg.ValueOrDie().batch_size, TinyConfig().batch_size);
+  EXPECT_EQ(cfg.ValueOrDie().seed, TinyConfig().seed);
+
+  // A model constructed from the recovered config restores cleanly.
+  Bsg4Bot rebuilt(SmallGraph(), cfg.MoveValueOrDie());
+  EXPECT_TRUE(rebuilt.RestoreFromCheckpoint(ckpt.ValueOrDie()).ok());
+}
+
+TEST(Bsg4BotCheckpoint, ArchitectureMismatchIsRejected) {
+  TrainedFixture& fx = Trained();
+  // Wrong hidden width: the constructed network cannot absorb the params.
+  Bsg4BotConfig cfg = TinyConfig();
+  cfg.hidden = 16;
+  Bsg4Bot wrong_width(SmallGraph(), cfg);
+  Status st = wrong_width.LoadCheckpoint(fx.path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+  // A failed restore must leave the model unrestored.
+  EXPECT_FALSE(wrong_width.inference_ready());
+
+  // Wrong graph (different node count): pre-classifier state cannot apply.
+  Bsg4Bot wrong_graph(testing::MultiRelationGraph(), TinyConfig());
+  st = wrong_graph.LoadCheckpoint(fx.path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(Bsg4BotCheckpoint, NonCheckpointFileIsRejected) {
+  const std::string path = TempPath("ckpt_not_a_ckpt.bin");
+  WriteFileBytes(path, "this is not a checkpoint at all");
+  Bsg4Bot model(SmallGraph(), TinyConfig());
+  Status st = model.LoadCheckpoint(path);
+  ASSERT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace bsg

@@ -5,6 +5,7 @@
 // pool threads.
 #include <atomic>
 #include <chrono>
+#include <numeric>
 #include <thread>
 #include <vector>
 
@@ -200,6 +201,30 @@ TEST(AsyncPipeline, EarlyStoppingDrainsAndMatchesSynchronousStop) {
   EXPECT_EQ(async_res.epochs_run, sync_res.epochs_run);
   EXPECT_EQ(async_res.loss_history, sync_res.loss_history);
   EXPECT_EQ(async_res.val.f1, sync_res.val.f1);
+}
+
+TEST(AsyncPipeline, PredictLogitsStreamsBitIdenticallyAtEveryThreadCount) {
+  // An async-configured model streams its PredictLogits chunks through a
+  // prefetcher (assembly overlaps the forward passes). Chunk assembly is a
+  // pure function of the chunk index, so a full-graph sweep must match the
+  // synchronous model's bitwise, at any thread count.
+  ThreadGuard guard;
+  SetNumThreads(1);
+  Bsg4Bot sync_model(PipelineGraph(), PipelineConfig(/*async=*/false));
+  sync_model.Fit();
+  std::vector<int> all_nodes(PipelineGraph().num_nodes);
+  std::iota(all_nodes.begin(), all_nodes.end(), 0);
+  ASSERT_GT(all_nodes.size(),
+            static_cast<size_t>(PipelineConfig(false).batch_size));
+  Matrix oracle = sync_model.PredictLogits(all_nodes);
+
+  Bsg4Bot async_model(PipelineGraph(), PipelineConfig(/*async=*/true));
+  async_model.Fit();
+  for (int threads : {1, 2, 4}) {
+    SetNumThreads(threads);
+    EXPECT_TRUE(SameBits(async_model.PredictLogits(all_nodes), oracle))
+        << "threads=" << threads;
+  }
 }
 
 }  // namespace

@@ -1,0 +1,155 @@
+// SubgraphCache: LRU eviction order, capacity bound, counter accuracy,
+// graph-version keying, and concurrent GetOrBuild (run under TSan in CI).
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "serve/subgraph_cache.h"
+
+namespace bsg {
+namespace {
+
+// A minimal one-relation subgraph rooted at `center` (the cache treats the
+// payload as opaque; tests only need identity and a nonzero size).
+BiasedSubgraph FakeSubgraph(int center) {
+  BiasedSubgraph sub;
+  sub.center = center;
+  RelationSubgraph rel;
+  rel.nodes = {center};
+  rel.adj = Csr::FromEdges(1, {{0, 0}});
+  sub.per_relation.push_back(std::move(rel));
+  return sub;
+}
+
+std::shared_ptr<const BiasedSubgraph> Shared(int center) {
+  return std::make_shared<const BiasedSubgraph>(FakeSubgraph(center));
+}
+
+TEST(SubgraphCache, LookupMissThenInsertThenHit) {
+  SubgraphCache cache(4);
+  EXPECT_EQ(cache.Lookup(7, 0), nullptr);
+  auto sub = Shared(7);
+  cache.Insert(7, 0, sub);
+  auto hit = cache.Lookup(7, 0);
+  ASSERT_NE(hit, nullptr);
+  EXPECT_EQ(hit.get(), sub.get());
+
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.lookups, 2u);
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.inserts, 1u);
+  EXPECT_EQ(s.entries, 1u);
+  EXPECT_GT(s.resident_bytes, 0u);
+}
+
+TEST(SubgraphCache, EvictsLeastRecentlyUsedInOrder) {
+  SubgraphCache cache(3);
+  for (int t : {1, 2, 3}) cache.Insert(t, 0, Shared(t));
+  // Touch 1 so the LRU order (oldest first) becomes 2, 3, 1.
+  ASSERT_NE(cache.Lookup(1, 0), nullptr);
+
+  cache.Insert(4, 0, Shared(4));  // evicts 2
+  EXPECT_EQ(cache.Lookup(2, 0), nullptr);
+  EXPECT_NE(cache.Lookup(3, 0), nullptr);
+  cache.Insert(5, 0, Shared(5));  // LRU is now 1 (3 was just touched)
+  EXPECT_EQ(cache.Lookup(1, 0), nullptr);
+  EXPECT_NE(cache.Lookup(4, 0), nullptr);
+  EXPECT_NE(cache.Lookup(5, 0), nullptr);
+  EXPECT_EQ(cache.Stats().evictions, 2u);
+}
+
+TEST(SubgraphCache, CapacityBoundHoldsAndBytesTrackEntries) {
+  SubgraphCache cache(8);
+  for (int t = 0; t < 100; ++t) cache.Insert(t, 0, Shared(t));
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 8u);
+  EXPECT_EQ(s.inserts, 100u);
+  EXPECT_EQ(s.evictions, 92u);
+  // All entries are identical in shape, so resident bytes = 8 x one.
+  EXPECT_EQ(s.resident_bytes, 8 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+
+  cache.Clear();
+  s = cache.Stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.inserts, 100u);  // cumulative counters survive Clear
+}
+
+TEST(SubgraphCache, GraphVersionPartitionsEntries) {
+  SubgraphCache cache(8);
+  cache.Insert(5, /*version=*/1, Shared(5));
+  EXPECT_EQ(cache.Lookup(5, 2), nullptr);  // new graph version: stale miss
+  EXPECT_NE(cache.Lookup(5, 1), nullptr);
+}
+
+TEST(SubgraphCache, InsertRaceKeepsFirstEntry) {
+  SubgraphCache cache(4);
+  auto first = Shared(9);
+  auto second = Shared(9);
+  EXPECT_EQ(cache.Insert(9, 0, first).get(), first.get());
+  // Losing builder: the incumbent wins and is what callers get back.
+  EXPECT_EQ(cache.Insert(9, 0, second).get(), first.get());
+  EXPECT_EQ(cache.Stats().inserts, 1u);
+  EXPECT_EQ(cache.Lookup(9, 0).get(), first.get());
+}
+
+TEST(SubgraphCache, GetOrBuildBuildsOncePerKeyWhenWarm) {
+  SubgraphCache cache(16);
+  std::atomic<int> builds{0};
+  auto builder = [&](int t) {
+    builds.fetch_add(1);
+    return FakeSubgraph(t);
+  };
+  for (int pass = 0; pass < 3; ++pass) {
+    for (int t = 0; t < 8; ++t) {
+      auto sub = cache.GetOrBuild(t, 0, builder);
+      ASSERT_NE(sub, nullptr);
+      EXPECT_EQ(sub->center, t);
+    }
+  }
+  EXPECT_EQ(builds.load(), 8);
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.lookups, 24u);
+  EXPECT_EQ(s.hits, 16u);
+  EXPECT_GE(s.HitRate(), 0.6);
+}
+
+TEST(SubgraphCache, ConcurrentGetOrBuildIsSafeAndConsistent) {
+  // Hammer one small cache from several threads over a key range larger
+  // than capacity, so lookups, builds, inserts and evictions all interleave.
+  // TSan (CI) checks the synchronisation; the asserts check the results.
+  SubgraphCache cache(16);
+  constexpr int kThreads = 4;
+  constexpr int kOpsPerThread = 2000;
+  constexpr int kKeyRange = 64;
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        const int t = (i * 13 + w * 7) % kKeyRange;
+        auto sub = cache.GetOrBuild(t, 0, FakeSubgraph);
+        if (sub == nullptr || sub->center != t) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.lookups, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  EXPECT_LE(s.entries, 16u);
+  // Entries/bytes must balance: inserts - evictions = resident entries.
+  EXPECT_EQ(s.inserts - s.evictions, s.entries);
+  EXPECT_EQ(s.resident_bytes,
+            s.entries * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+}
+
+}  // namespace
+}  // namespace bsg
