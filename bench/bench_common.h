@@ -6,6 +6,7 @@
 // comparisons (see DESIGN.md §1).
 #pragma once
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
 #include <string>
@@ -160,6 +161,16 @@ inline std::vector<uint64_t> BenchSeeds() { return {17}; }
 
 inline void PrintHeader(const char* title) {
   std::printf("\n=== %s ===\n\n", title);
+}
+
+/// p-th percentile (0..1) by nearest-rank with rounding, the convention
+/// every serving bench shares so latency numbers stay comparable across
+/// BENCH_*.json files. Takes the sample by value (sorts a copy).
+inline double Percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const size_t idx = static_cast<size_t>(p * (v.size() - 1) + 0.5);
+  return v[idx];
 }
 
 }  // namespace bsg::bench

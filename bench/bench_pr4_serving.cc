@@ -7,7 +7,6 @@
 //
 //   bench_pr4_serving [--out=BENCH_pr4.json] [--threads=T] [--users=600]
 //                     [--requests=400] [--smoke]
-#include <algorithm>
 #include <cstdio>
 #include <numeric>
 #include <string>
@@ -21,17 +20,7 @@
 #include "util/timer.h"
 
 using namespace bsg;
-
-namespace {
-
-double Percentile(std::vector<double> v, double p) {
-  if (v.empty()) return 0.0;
-  std::sort(v.begin(), v.end());
-  const size_t idx = static_cast<size_t>(p * (v.size() - 1) + 0.5);
-  return v[idx];
-}
-
-}  // namespace
+using bsg::bench::Percentile;
 
 int main(int argc, char** argv) {
   FlagParser flags(argc, argv);

@@ -8,11 +8,13 @@
 #    bit-identical results, so a green run at both settings catches both
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
-#    test_parallel, test_buffer_pool, test_subgraph_cache) so data races in
-#    the producer/consumer pipeline, the thread pool, the pooled-slab
-#    handoff and the serving cache fail CI
+#    test_parallel, test_buffer_pool, test_subgraph_cache,
+#    test_ppr_workspace) so data races in the producer/consumer pipeline,
+#    the thread pool, the pooled-slab handoff, the serving cache's
+#    single-flight path and the per-thread subgraph workspaces fail CI
 # 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
-#    scripts/bench.sh JSON emitter at small sizes
+#    scripts/bench.sh JSON emitter at small sizes (bench_pr5_assembly
+#    asserts zero warm-call heap allocations in the PPR workspace)
 # 5. serve smoke: train a tiny model, save a checkpoint, load it in a fresh
 #    process, score the test split through the DetectionEngine and diff the
 #    JSON-lines output (logits at %.17g) against the in-memory model's —
@@ -40,7 +42,8 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=thread" \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
-  --target test_prefetcher test_parallel test_buffer_pool test_subgraph_cache
+  --target test_prefetcher test_parallel test_buffer_pool \
+  test_subgraph_cache test_ppr_workspace
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -50,6 +53,8 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_buffer_pool"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_subgraph_cache"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_ppr_workspace"
 
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \

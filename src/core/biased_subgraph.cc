@@ -9,43 +9,99 @@
 
 namespace bsg {
 
-namespace {
+SubgraphWorkspace& ThreadLocalSubgraphWorkspace() {
+  // One workspace per thread: BuildAllSubgraphs' pool workers, the serving
+  // prefetcher's producer thread and direct callers each keep their own
+  // warm scratch. Pool threads are leaked at exit (util/parallel.cc), so
+  // their workspaces are too — the usual leak-at-exit policy.
+  static thread_local SubgraphWorkspace ws;
+  return ws;
+}
 
 // Builds the relation-local adjacency: star edges to the centre plus the
 // original relation edges among selected nodes (Algorithm 1, lines 8-13).
-Csr BuildSubgraphAdjacency(const Csr& relation,
-                           const std::vector<int>& nodes) {
+// Produces exactly the Csr that FromEdgesSymmetric over the star + induced
+// edge list used to: the same per-row neighbour multisets, sorted and
+// deduplicated, so every downstream bit (normalisation, SpMM) is unchanged.
+Csr SubgraphWorkspace::BuildAdjacency(const Csr& relation,
+                                      const std::vector<int>& nodes) {
   const int m = static_cast<int>(nodes.size());
-  Csr induced = relation.InducedSubgraph(nodes);
-  std::vector<std::pair<int, int>> edges;
-  edges.reserve(static_cast<size_t>(m > 0 ? m - 1 : 0) +
-                static_cast<size_t>(induced.num_edges()));
+  if (rows_.size() < static_cast<size_t>(m)) {
+    ++growths_;
+    rows_.resize(m);
+  }
+  for (int i = 0; i < m; ++i) rows_[i].clear();  // capacity retained
+
+  // Stamp the selected nodes into the global->local map (no O(|V|) clear).
+  const int n = relation.num_nodes();
+  if (static_cast<int>(map_stamp_.size()) < n) {
+    ++growths_;
+    map_stamp_.resize(n, 0u);
+    local_index_.resize(n);
+  }
+  if (++map_epoch_ == 0) {  // uint32 wrap: bulk-clear once, restart at 1
+    std::fill(map_stamp_.begin(), map_stamp_.end(), 0u);
+    map_epoch_ = 1;
+  }
+  for (int i = 0; i < m; ++i) {
+    BSG_CHECK(nodes[i] >= 0 && nodes[i] < n, "subgraph node out of range");
+    map_stamp_[nodes[i]] = map_epoch_;
+    local_index_[nodes[i]] = i;
+  }
+
   // Star: every selected node connects to the centre (local id 0).
-  for (int i = 1; i < m; ++i) edges.emplace_back(0, i);
-  // Induced original edges.
-  for (int u = 0; u < induced.num_nodes(); ++u) {
-    for (const int* p = induced.NeighborsBegin(u); p != induced.NeighborsEnd(u);
-         ++p) {
-      edges.emplace_back(u, *p);
+  for (int i = 1; i < m; ++i) {
+    rows_[0].push_back(i);
+    rows_[i].push_back(0);
+  }
+  // Induced original edges, both directions (the relations are handed in
+  // symmetrised, but symmetry is enforced here regardless — the same
+  // contract FromEdgesSymmetric provided).
+  for (int i = 0; i < m; ++i) {
+    const int u = nodes[i];
+    for (const int* p = relation.NeighborsBegin(u);
+         p != relation.NeighborsEnd(u); ++p) {
+      const int v = *p;
+      if (map_stamp_[v] != map_epoch_) continue;
+      const int j = local_index_[v];
+      rows_[i].push_back(j);
+      rows_[j].push_back(i);
     }
   }
-  return Csr::FromEdgesSymmetric(m, edges);
+  for (int i = 0; i < m; ++i) {
+    std::vector<int>& row = rows_[i];
+    std::sort(row.begin(), row.end());
+    row.erase(std::unique(row.begin(), row.end()), row.end());
+  }
+  return Csr::FromSortedRows(m, rows_);
 }
-
-}  // namespace
 
 BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
                                    const Matrix& hidden_reps, int center,
                                    const BiasedSubgraphConfig& cfg) {
+  return BuildBiasedSubgraph(g, hidden_reps, center, cfg,
+                             &ThreadLocalSubgraphWorkspace());
+}
+
+BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
+                                   const Matrix& hidden_reps, int center,
+                                   const BiasedSubgraphConfig& cfg,
+                                   SubgraphWorkspace* ws,
+                                   const std::vector<double>* reps_self_dots) {
+  BSG_CHECK(ws != nullptr, "null subgraph workspace");
   BSG_CHECK(center >= 0 && center < g.num_nodes, "centre out of range");
   BSG_CHECK(hidden_reps.rows() == g.num_nodes, "hidden reps size mismatch");
+  BSG_CHECK(reps_self_dots == nullptr ||
+                static_cast<int>(reps_self_dots->size()) == g.num_nodes,
+            "self-dots size mismatch");
   BiasedSubgraph out;
   out.center = center;
   out.per_relation.reserve(g.relations.size());
 
   for (const Csr& relation : g.relations) {
-    // Line 3: PPR vector and candidate neighbourhood.
-    SparseVec pi = ApproximatePpr(relation, center, cfg.ppr);
+    // Line 3: PPR vector and candidate neighbourhood (workspace push is
+    // bit-identical to the hash-map reference).
+    const SparseVec& pi = ws->ppr_.ApproximatePpr(relation, center, cfg.ppr);
     // Max-normalise PPR so both score components live on [0, 1].
     double pi_max = 0.0;
     for (const auto& [node, score] : pi) {
@@ -54,8 +110,14 @@ BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
     if (pi_max <= 0.0) pi_max = 1.0;
 
     // Lines 4-5: combined score over candidates (centre excluded).
-    std::vector<std::pair<double, int>> scored;  // (-score, node) for sort
-    scored.reserve(pi.size());
+    std::vector<std::pair<double, int>>& scored = ws->scored_;
+    scored.clear();
+    if (scored.capacity() < pi.size()) {
+      ++ws->growths_;
+      scored.reserve(pi.size());
+    }
+    const double center_dot =
+        reps_self_dots == nullptr ? 0.0 : (*reps_self_dots)[center];
     for (const auto& [node, score] : pi) {
       if (node == center) continue;
       double pi_norm = score / pi_max;
@@ -63,19 +125,28 @@ BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
       if (cfg.ppr_only) {
         combined = pi_norm;
       } else {
-        double sim = NodeSimilarity(hidden_reps, center, node);
+        // With precomputed self-dots the cosine's norm terms are hoisted;
+        // the value is bit-identical to NodeSimilarity (the accumulators
+        // of the fused RowCosine loop are independent).
+        double sim = reps_self_dots == nullptr
+                         ? NodeSimilarity(hidden_reps, center, node)
+                         : NodeSimilarityWithDots(hidden_reps, center, node,
+                                                  center_dot,
+                                                  (*reps_self_dots)[node]);
         combined = cfg.lambda * pi_norm + (1.0 - cfg.lambda) * sim;
       }
       scored.emplace_back(-combined, node);
     }
-    // Line 6: top-k (deterministic tie-break by node id).
+    // Line 6: top-k (deterministic tie-break by node id — elements are
+    // distinct pairs, so the selected prefix is unique).
     int take = std::min<int>(cfg.k, static_cast<int>(scored.size()));
     std::partial_sort(scored.begin(), scored.begin() + take, scored.end());
 
     RelationSubgraph rel;
+    rel.nodes.reserve(static_cast<size_t>(take) + 1);
     rel.nodes.push_back(center);
     for (int i = 0; i < take; ++i) rel.nodes.push_back(scored[i].second);
-    rel.adj = BuildSubgraphAdjacency(relation, rel.nodes);
+    rel.adj = ws->BuildAdjacency(relation, rel.nodes);
     out.per_relation.push_back(std::move(rel));
   }
   return out;
@@ -83,14 +154,26 @@ BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
 
 std::vector<BiasedSubgraph> BuildAllSubgraphs(
     const HeteroGraph& g, const Matrix& hidden_reps,
-    const BiasedSubgraphConfig& cfg) {
+    const BiasedSubgraphConfig& cfg,
+    const std::vector<double>* reps_self_dots) {
   // Embarrassingly parallel over centre nodes: every centre runs its own
   // PPR + scoring against read-only inputs and writes a pre-sized slot, so
   // the output order (and every subgraph) is identical to the serial loop.
+  // Each pool worker assembles through its own thread-local
+  // SubgraphWorkspace, so the sweep allocates only the subgraphs it
+  // returns once the per-thread scratch is warm; the Eq. 6 self-dots are
+  // hoisted once for the whole sweep (or supplied by the caller).
+  std::vector<double> local_dots;
+  if (reps_self_dots == nullptr) {
+    local_dots = RowSelfDots(hidden_reps);
+    reps_self_dots = &local_dots;
+  }
   std::vector<BiasedSubgraph> out(g.num_nodes);
   ParallelFor(0, g.num_nodes, 1, [&](int64_t v0, int64_t v1) {
     for (int v = static_cast<int>(v0); v < static_cast<int>(v1); ++v) {
-      out[v] = BuildBiasedSubgraph(g, hidden_reps, v, cfg);
+      out[v] = BuildBiasedSubgraph(g, hidden_reps, v, cfg,
+                                   &ThreadLocalSubgraphWorkspace(),
+                                   reps_self_dots);
     }
   });
   return out;

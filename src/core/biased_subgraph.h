@@ -12,10 +12,13 @@
 //      G_r edges among selected nodes are retained -> connected subgraph
 #pragma once
 
+#include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "graph/hetero_graph.h"
 #include "ppr/ppr.h"
+#include "ppr/ppr_workspace.h"
 #include "tensor/matrix.h"
 
 namespace bsg {
@@ -41,17 +44,84 @@ struct BiasedSubgraph {
   std::vector<RelationSubgraph> per_relation;  ///< aligned with g.relations
 };
 
-/// Runs Algorithm 1 for one centre node.
+class SubgraphWorkspace;
+
+/// Runs Algorithm 1 for one centre node. Scratch comes from the calling
+/// thread's reusable SubgraphWorkspace, so repeated calls on one thread
+/// allocate only the returned subgraph itself.
 BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
                                    const Matrix& hidden_reps, int center,
                                    const BiasedSubgraphConfig& cfg);
 
+/// As above, with an explicit workspace (tests and benches use this to
+/// control reuse and observe allocation counters) and optionally the
+/// precomputed RowSelfDots of `hidden_reps`: repeated-call sites (the
+/// all-nodes sweep, the serving miss path) hoist the per-candidate norm
+/// work out of the Eq. 6 cosine — bit-identical either way.
+BiasedSubgraph BuildBiasedSubgraph(const HeteroGraph& g,
+                                   const Matrix& hidden_reps, int center,
+                                   const BiasedSubgraphConfig& cfg,
+                                   SubgraphWorkspace* ws,
+                                   const std::vector<double>* reps_self_dots =
+                                       nullptr);
+
+/// Reusable scratch for zero-allocation subgraph assembly: the dense
+/// epoch-stamped PPR workspace, the candidate scoring buffer, a stamped
+/// global->local node-index map and pooled per-row edge buffers for the
+/// CSR-native star + induced adjacency construction. Single-threaded
+/// state: one workspace per thread. `ThreadLocalSubgraphWorkspace()` is
+/// how production call sites get theirs — BuildAllSubgraphs' parallel
+/// workers, the serving prefetcher's producer thread and any direct caller
+/// each reuse their own across calls, graphs and configs.
+class SubgraphWorkspace {
+ public:
+  PprWorkspace& ppr() { return ppr_; }
+
+  /// Growth events of the workspace's scratch (PPR buffer growths plus the
+  /// candidate buffer, node-index map and row table). Stabilises once the
+  /// thread has assembled a representative set of targets; the exact
+  /// zero-allocation check in tests/benches is an operator-new probe.
+  uint64_t buffer_growths() const { return ppr_.buffer_growths() + growths_; }
+
+ private:
+  friend BiasedSubgraph BuildBiasedSubgraph(
+      const HeteroGraph& g, const Matrix& hidden_reps, int center,
+      const BiasedSubgraphConfig& cfg, SubgraphWorkspace* ws,
+      const std::vector<double>* reps_self_dots);
+
+  /// CSR-native star + induced adjacency over `nodes` (global ids, centre
+  /// first): bit-identical to Csr::FromEdgesSymmetric over the star edges
+  /// plus the relation's induced edges, built without the intermediate
+  /// induced CSR, the per-call O(|V|) position vector or the edge-pair
+  /// list. Only the returned Csr's two arrays are allocated when warm.
+  Csr BuildAdjacency(const Csr& relation, const std::vector<int>& nodes);
+
+  PprWorkspace ppr_;
+  std::vector<std::pair<double, int>> scored_;  ///< (-score, node) buffer
+
+  // Stamped global->local map (same trick as PprWorkspace: a slot is live
+  // iff its stamp equals the current epoch, so no O(|V|) clear per call).
+  uint32_t map_epoch_ = 0;
+  std::vector<uint32_t> map_stamp_;
+  std::vector<int> local_index_;
+  std::vector<std::vector<int>> rows_;  ///< pooled per-local-row edge buffers
+
+  uint64_t growths_ = 0;  ///< local (non-PPR) scratch growth events
+};
+
+/// The calling thread's lazily constructed workspace (thread_local; sized
+/// to the largest graph the thread has assembled against).
+SubgraphWorkspace& ThreadLocalSubgraphWorkspace();
+
 /// Builds subgraphs for every node (the paper precomputes and stores them;
 /// §III-F "for each node in the training set, we perform the subgraph
-/// construction, and store the constructed subgraphs").
-std::vector<BiasedSubgraph> BuildAllSubgraphs(const HeteroGraph& g,
-                                              const Matrix& hidden_reps,
-                                              const BiasedSubgraphConfig& cfg);
+/// construction, and store the constructed subgraphs"). Pass the
+/// RowSelfDots of `hidden_reps` if already computed; otherwise they are
+/// computed once for the sweep.
+std::vector<BiasedSubgraph> BuildAllSubgraphs(
+    const HeteroGraph& g, const Matrix& hidden_reps,
+    const BiasedSubgraphConfig& cfg,
+    const std::vector<double>* reps_self_dots = nullptr);
 
 /// Homophily of the centre within its biased subgraph: fraction of selected
 /// neighbours (union over relations) sharing the centre's label. Returns -1

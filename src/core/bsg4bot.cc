@@ -47,8 +47,10 @@ void Bsg4Bot::Prepare() {
     // model's (BuildAllSubgraphs is deterministic in its inputs).
     cfg_.pretrain.seed = cfg_.seed ^ 0xAB54A98CEB1F0AD2ULL;
     pretrain_ = PretrainClassifier(graph_, cfg_.pretrain);
+    hidden_self_dots_ = RowSelfDots(pretrain_.hidden_reps);
   }
-  subgraphs_ = BuildAllSubgraphs(graph_, pretrain_.hidden_reps, cfg_.subgraph);
+  subgraphs_ = BuildAllSubgraphs(graph_, pretrain_.hidden_reps, cfg_.subgraph,
+                                 &hidden_self_dots_);
   prepare_seconds_ = timer.Seconds();
   prepared_ = true;
   if (cfg_.verbose) {
@@ -481,6 +483,7 @@ Status Bsg4Bot::RestoreFromCheckpoint(const Checkpoint& ckpt) {
     params[i]->value = *staged[i];
   }
   pretrain_.hidden_reps = *hidden_reps;
+  hidden_self_dots_ = RowSelfDots(pretrain_.hidden_reps);
   pretrain_.probs = *probs;
   // Informational metrics travel along when present.
   if (ckpt.MetaNum("pretrain.fit.accuracy").ok()) {
@@ -553,8 +556,14 @@ BiasedSubgraph Bsg4Bot::AssembleSubgraph(int center) const {
             "AssembleSubgraph without pre-classifier state "
             "(run Prepare() or restore a checkpoint)");
   BSG_CHECK(center >= 0 && center < graph_.num_nodes, "centre out of range");
+  // Scratch comes from the calling thread's SubgraphWorkspace, so the
+  // serving producer thread (and any other caller) assembles repeated
+  // misses without re-allocating PPR state — and stays thread-safe, since
+  // no workspace is shared across threads. The cached self-dots hoist the
+  // Eq. 6 norm terms (refreshed wherever hidden_reps is set).
   return BuildBiasedSubgraph(graph_, pretrain_.hidden_reps, center,
-                             cfg_.subgraph);
+                             cfg_.subgraph, &ThreadLocalSubgraphWorkspace(),
+                             &hidden_self_dots_);
 }
 
 Matrix Bsg4Bot::ScoreBatch(const SubgraphBatch& batch) {

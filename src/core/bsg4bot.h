@@ -173,6 +173,10 @@ class Bsg4Bot : private MiniBatchProgram {
   bool prepared_ = false;
   bool pretrain_restored_ = false;  ///< checkpoint restore replaced pretraining
   PretrainResult pretrain_;
+  /// RowSelfDots of pretrain_.hidden_reps, refreshed whenever the hidden
+  /// representations are (re)set: AssembleSubgraph hoists the Eq. 6 norm
+  /// terms through it (bit-identical to the inline cosine).
+  std::vector<double> hidden_self_dots_;
   std::vector<BiasedSubgraph> subgraphs_;
   double prepare_seconds_ = 0.0;
 

@@ -59,6 +59,32 @@ Csr Csr::FromEdgesSymmetric(int num_nodes,
   return PackFromAdjacency(num_nodes, &adj);
 }
 
+Csr Csr::FromSortedRows(int num_nodes,
+                        const std::vector<std::vector<int>>& rows) {
+  BSG_CHECK(num_nodes >= 0 && static_cast<size_t>(num_nodes) <= rows.size(),
+            "FromSortedRows: fewer rows than nodes");
+  Csr out;
+  out.num_nodes_ = num_nodes;
+  out.indptr_.assign(num_nodes + 1, 0);
+  int64_t total = 0;
+  for (int u = 0; u < num_nodes; ++u) {
+    const std::vector<int>& row = rows[u];
+    for (size_t i = 0; i < row.size(); ++i) {
+      BSG_CHECK(row[i] >= 0 && row[i] < num_nodes,
+                "FromSortedRows: index out of range");
+      BSG_CHECK(i == 0 || row[i - 1] < row[i],
+                "FromSortedRows: row not sorted and deduplicated");
+    }
+    total += static_cast<int64_t>(row.size());
+    out.indptr_[u + 1] = total;
+  }
+  out.indices_.reserve(total);
+  for (int u = 0; u < num_nodes; ++u) {
+    out.indices_.insert(out.indices_.end(), rows[u].begin(), rows[u].end());
+  }
+  return out;
+}
+
 bool Csr::HasEdge(int u, int v) const {
   BSG_CHECK(u >= 0 && u < num_nodes_, "HasEdge src out of range");
   return std::binary_search(NeighborsBegin(u), NeighborsEnd(u), v);
@@ -89,12 +115,31 @@ Csr Csr::Transposed() const {
 }
 
 Csr Csr::WithSelfLoops() const {
-  std::vector<std::vector<int>> adj(num_nodes_);
+  // CSR-native: rows are already sorted and deduplicated (the invariant
+  // HasEdge relies on), so the self loop merges into each row in one pass —
+  // no per-row vectors, no re-sort. Same result as appending u to every
+  // adjacency list and re-packing. This runs per relation on every stacked
+  // subgraph batch (Normalized kSym), so it is warm-path code.
+  Csr out;
+  out.num_nodes_ = num_nodes_;
+  out.indptr_.assign(num_nodes_ + 1, 0);
+  int64_t total = 0;
   for (int u = 0; u < num_nodes_; ++u) {
-    adj[u].assign(NeighborsBegin(u), NeighborsEnd(u));
-    adj[u].push_back(u);
+    total += Degree(u) + (HasEdge(u, u) ? 0 : 1);
+    out.indptr_[u + 1] = total;
   }
-  return PackFromAdjacency(num_nodes_, &adj);
+  out.indices_.resize(total);
+  int64_t w = 0;
+  for (int u = 0; u < num_nodes_; ++u) {
+    const int* begin = NeighborsBegin(u);
+    const int* end = NeighborsEnd(u);
+    const int* pos = std::lower_bound(begin, end, u);
+    for (const int* p = begin; p != pos; ++p) out.indices_[w++] = *p;
+    out.indices_[w++] = u;                 // the (possibly new) self loop
+    if (pos != end && *pos == u) ++pos;    // skip the original copy
+    for (const int* p = pos; p != end; ++p) out.indices_[w++] = *p;
+  }
+  return out;
 }
 
 Csr Csr::Normalized(CsrNorm norm) const {

@@ -39,6 +39,14 @@ class Csr {
   /// deduplicated in place.
   static Csr FromAdjacencyLists(std::vector<std::vector<int>> adj);
 
+  /// Builds a CSR from `num_nodes` adjacency rows that are already sorted
+  /// and deduplicated (checked); rows beyond `num_nodes` are ignored. Rows
+  /// are copied, not consumed, so callers can keep them as pooled scratch —
+  /// the zero-scratch-allocation path of the subgraph assembler. The
+  /// result's two arrays are the only allocations performed.
+  static Csr FromSortedRows(int num_nodes,
+                            const std::vector<std::vector<int>>& rows);
+
   int num_nodes() const { return num_nodes_; }
   int64_t num_edges() const { return static_cast<int64_t>(indices_.size()); }
 

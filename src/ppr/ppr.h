@@ -1,10 +1,15 @@
 // Personalized PageRank.
 //
-// Two implementations:
+// Three implementations:
+//  - PprWorkspace::ApproximatePpr (ppr_workspace.h): the production hot
+//    path — the same forward push over a reusable epoch-stamped dense
+//    workspace, zero heap allocations when warm, bit-identical to the
+//    hash-map implementation below.
 //  - ApproximatePpr: Andersen-Chung-Lang forward push (the sequential
-//    instantiation of the approximate scheme the paper cites [29]). Visits
-//    only the neighbourhood where mass concentrates, so cost is independent
-//    of graph size for fixed epsilon.
+//    instantiation of the approximate scheme the paper cites [29]) over
+//    per-call hash maps. Visits only the neighbourhood where mass
+//    concentrates, so cost is independent of graph size for fixed epsilon.
+//    Retained as the byte-exact oracle the workspace is pinned against.
 //  - ExactPpr: dense power iteration, used as a test oracle and for small
 //    graphs.
 //
@@ -33,7 +38,9 @@ using SparseVec = std::vector<std::pair<int, double>>;
 
 /// Forward-push approximate PPR from `source`. Returned entries are the
 /// settled mass p[u]; they sum to <= 1 and approximate the true PPR up to
-/// eps * deg(u) per node. The source itself is included.
+/// eps * deg(u) per node. The source itself is included. Allocates fresh
+/// hash maps per call — hot paths use PprWorkspace (ppr_workspace.h),
+/// which is bit-identical; this stays as the reference/oracle.
 SparseVec ApproximatePpr(const Csr& graph, int source, const PprConfig& cfg);
 
 /// Dense power-iteration PPR from `source` (test oracle; O(iters * |E|)).
@@ -41,7 +48,14 @@ std::vector<double> ExactPpr(const Csr& graph, int source, double alpha,
                              int iters = 100);
 
 /// Top-k entries of a sparse vector by score (descending; source excluded if
-/// `exclude` >= 0). Ties broken by node id for determinism.
+/// `exclude` >= 0), written into `*out` (cleared first; its capacity is
+/// reused, so a caller-owned warm buffer makes the call allocation-free).
+/// Ties broken by node id for determinism. When k covers every candidate
+/// the partial-sort + truncate pass is skipped and the candidates are
+/// sorted directly in the output buffer.
+void TopKInto(const SparseVec& vec, int k, SparseVec* out, int exclude = -1);
+
+/// TopKInto into a freshly allocated vector.
 SparseVec TopK(const SparseVec& vec, int k, int exclude = -1);
 
 }  // namespace bsg

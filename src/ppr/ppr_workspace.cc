@@ -1,0 +1,125 @@
+#include "ppr/ppr_workspace.h"
+
+#include <algorithm>
+
+#include "util/status.h"
+
+namespace bsg {
+
+void PprWorkspace::Reserve(int num_nodes) {
+  if (static_cast<int>(state_.size()) >= num_nodes) return;
+  ++buffer_growths_;
+  // Stale stamps survive the resize: anything below the current epoch is
+  // dead by definition, and fresh slots start at stamp 0 (< any live
+  // epoch).
+  state_.resize(num_nodes);
+  queue_.resize(num_nodes);
+  // Every node can be touched at most once per call, so capacity n makes
+  // the collection buffers allocation-free no matter which source runs.
+  touched_.reserve(num_nodes);
+  result_.reserve(num_nodes);
+}
+
+void PprWorkspace::BumpEpoch() {
+  if (++epoch_ == 0) {
+    // uint32 wrap: stamps written ~4 billion calls ago could alias the new
+    // epoch. Bulk-clear once and restart at 1 (0 stays "never stamped" —
+    // the dequeue marker relies on the live epoch never being 0).
+    for (NodeState& s : state_) {
+      s.stamp = 0;
+      s.queue_stamp = 0;
+    }
+    epoch_ = 1;
+  }
+}
+
+const SparseVec& PprWorkspace::ApproximatePpr(const Csr& graph, int source,
+                                              const PprConfig& cfg) {
+  const int n = graph.num_nodes();
+  BSG_CHECK(source >= 0 && source < n, "bad PPR source");
+  BSG_CHECK(cfg.alpha > 0.0 && cfg.alpha < 1.0, "alpha out of range");
+  BSG_CHECK(cfg.epsilon > 0.0, "epsilon must be positive");
+  Reserve(n);
+  BumpEpoch();
+  ++calls_;
+  touched_.clear();
+
+  // Lazily activates a node's slot for this epoch (the dense analogue of
+  // the hash maps' insert-on-first-access). Degree is a pure lookup, so
+  // snapshotting it here — rather than at the reference implementation's
+  // later use sites — changes no value and no floating-point operation.
+  auto touch = [&](int u) -> NodeState& {
+    NodeState& s = state_[u];
+    if (s.stamp != epoch_) {
+      s.stamp = epoch_;
+      s.residual = 0.0;
+      s.settled = 0.0;
+      s.degree = graph.Degree(u);
+      touched_.push_back(u);
+    }
+    return s;
+  };
+
+  // FIFO ring over queue_: a node is in the queue iff its queue_stamp
+  // equals the epoch, so at most n entries are outstanding and head/tail
+  // simply wrap at the buffer capacity.
+  const int cap = static_cast<int>(queue_.size());
+  int head = 0, tail = 0, in_flight = 0;
+  {
+    NodeState& src = touch(source);
+    src.residual = 1.0;
+    src.queue_stamp = epoch_;
+  }
+  queue_[tail] = source;
+  if (++tail == cap) tail = 0;
+  ++in_flight;
+
+  const double eps = cfg.epsilon;
+  int pushes = 0;
+  while (in_flight > 0 && pushes < cfg.max_pushes) {
+    const int u = queue_[head];
+    if (++head == cap) head = 0;
+    --in_flight;
+    NodeState& su = state_[u];  // u was queued, so u is stamped
+    su.queue_stamp = 0;         // dequeued (live epochs are never 0)
+    const double ru = su.residual;
+    const int deg = su.degree;
+    if (deg == 0) {
+      // Dangling node: settle all residual mass here.
+      su.settled += ru;
+      su.residual = 0.0;
+      continue;
+    }
+    if (ru < eps * deg) continue;
+    ++pushes;
+    su.settled += cfg.alpha * ru;
+    const double push_mass = (1.0 - cfg.alpha) * ru / deg;
+    su.residual = 0.0;
+    for (const int* q = graph.NeighborsBegin(u); q != graph.NeighborsEnd(u);
+         ++q) {
+      const int v = *q;
+      NodeState& sv = touch(v);
+      const double rv = (sv.residual += push_mass);
+      // Same admission value as the reference (eps * max(deg, 1)), read
+      // from the slot the touch just pulled into cache.
+      if (sv.queue_stamp != epoch_ && rv >= eps * std::max(sv.degree, 1)) {
+        queue_[tail] = v;
+        if (++tail == cap) tail = 0;
+        ++in_flight;
+        sv.queue_stamp = epoch_;
+      }
+    }
+  }
+
+  // Same output contract as the reference: positive settled mass only,
+  // sorted by node id (pair ordering). std::sort is in-place — no
+  // allocation — and touched_/result_ have capacity n.
+  result_.clear();
+  for (const int u : touched_) {
+    if (state_[u].settled > 0.0) result_.emplace_back(u, state_[u].settled);
+  }
+  std::sort(result_.begin(), result_.end());
+  return result_;
+}
+
+}  // namespace bsg

@@ -1,0 +1,90 @@
+// Zero-allocation forward-push PPR: a reusable, epoch-stamped dense
+// workspace.
+//
+// ApproximatePpr (ppr.h) builds fresh unordered_map/unordered_set/deque
+// structures on every call, which makes per-target subgraph assembly — the
+// cold path of both training (BuildAllSubgraphs) and serving
+// (DetectionEngine cache misses) — allocation-bound. A PprWorkspace holds
+// dense arrays sized to the graph and replays the exact push sequence of
+// the hash-map implementation on top of them, so results are bit-identical
+// (ApproximatePpr stays in the tree as the test oracle) while a warm call
+// performs zero heap allocations.
+//
+// The stamp-versioning trick: instead of clearing O(n) state between
+// calls, every per-node slot carries a uint32 stamp and is considered
+// live only when its stamp equals the workspace's current epoch. Bumping
+// the epoch (one increment) invalidates all residual/settled/queue state
+// at once; slots are lazily re-initialised on first touch. On the rare
+// epoch wrap-around the stamps are bulk-cleared once.
+//
+// A workspace is single-threaded state: give each thread its own (the
+// subgraph assembler keeps one per worker thread; see biased_subgraph.h).
+// It may be reused freely across graphs, sources and configs — buffers
+// only ever grow, and `buffer_growths()` exposes how often they did, which
+// is exactly the workspace's heap-allocation count.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/csr.h"
+#include "ppr/ppr.h"
+
+namespace bsg {
+
+/// Reusable dense state for forward-push PPR. One instance per thread.
+class PprWorkspace {
+ public:
+  /// Forward-push approximate PPR from `source`, bit-identical to
+  /// bsg::ApproximatePpr (same push order, same floating-point operation
+  /// order, same node-id-sorted output). The returned reference points
+  /// into the workspace and is valid until the next call.
+  const SparseVec& ApproximatePpr(const Csr& graph, int source,
+                                  const PprConfig& cfg);
+
+  /// Result of the last ApproximatePpr call.
+  const SparseVec& result() const { return result_; }
+
+  /// Total ApproximatePpr calls served.
+  uint64_t calls() const { return calls_; }
+  /// Times any internal buffer had to grow (== heap allocations incurred).
+  /// Stable across warm calls: (calls() rising, buffer_growths() flat) is
+  /// the zero-allocation regression check used by tests and benches.
+  uint64_t buffer_growths() const { return buffer_growths_; }
+  /// Node capacity the dense arrays are currently sized for.
+  int capacity_nodes() const { return static_cast<int>(state_.size()); }
+
+  /// Test hook: forces the epoch counter (e.g. next to UINT32_MAX) so the
+  /// wrap-around path is exercisable without 2^32 calls.
+  void OverrideEpochForTest(uint32_t epoch) { epoch_ = epoch; }
+
+ private:
+  /// Grows the dense arrays to at least `num_nodes` slots.
+  void Reserve(int num_nodes);
+  /// Starts a new call: one increment invalidates all stamped state.
+  void BumpEpoch();
+
+  /// Per-node slot, packed so one push touches one cache line instead of
+  /// parallel arrays (the push loop is random-access bound). The degree is
+  /// snapshotted on first touch: the queue-admission check then reads it
+  /// from the slot it already pulled in, instead of two random indptr
+  /// loads per neighbour visit.
+  struct NodeState {
+    double residual = 0.0;     ///< r, valid iff stamp == epoch_
+    double settled = 0.0;      ///< p, valid iff stamp == epoch_
+    int32_t degree = 0;        ///< out-degree, valid iff stamp == epoch_
+    uint32_t stamp = 0;        ///< residual/settled/degree validity
+    uint32_t queue_stamp = 0;  ///< queue-membership marker
+  };
+
+  uint32_t epoch_ = 0;  ///< slots are live iff their stamp equals this
+  std::vector<NodeState> state_;  ///< dense per-node slots
+  std::vector<int> queue_;        ///< FIFO ring (<= n outstanding)
+  std::vector<int> touched_;      ///< nodes stamped this epoch
+  SparseVec result_;              ///< output of the last call
+
+  uint64_t calls_ = 0;
+  uint64_t buffer_growths_ = 0;
+};
+
+}  // namespace bsg

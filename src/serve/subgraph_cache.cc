@@ -8,11 +8,9 @@ SubgraphCache::SubgraphCache(size_t capacity) : capacity_(capacity) {
   BSG_CHECK(capacity >= 1, "SubgraphCache capacity must be >= 1");
 }
 
-std::shared_ptr<const BiasedSubgraph> SubgraphCache::Lookup(
-    int target, uint64_t version) {
-  lookups_.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
-  auto it = index_.find(Key{target, version});
+std::shared_ptr<const BiasedSubgraph> SubgraphCache::ProbeLocked(
+    const Key& key) {
+  auto it = index_.find(key);
   if (it == index_.end()) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return nullptr;
@@ -20,6 +18,13 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::Lookup(
   hits_.fetch_add(1, std::memory_order_relaxed);
   lru_.splice(lru_.begin(), lru_, it->second);  // bump to most-recent
   return it->second->sub;
+}
+
+std::shared_ptr<const BiasedSubgraph> SubgraphCache::Lookup(
+    int target, uint64_t version) {
+  lookups_.fetch_add(1, std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  return ProbeLocked(Key{target, version});
 }
 
 std::shared_ptr<const BiasedSubgraph> SubgraphCache::Insert(
@@ -44,11 +49,66 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::Insert(
 
 std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
     int target, uint64_t version, const Builder& build) {
-  if (std::shared_ptr<const BiasedSubgraph> hit = Lookup(target, version)) {
-    return hit;
+  const Key key{target, version};
+  for (;;) {
+    std::shared_ptr<Flight> flight;
+    {
+      // Probe and flight registration are one critical section: a miss
+      // either finds an in-flight build to join or atomically claims the
+      // key.
+      lookups_.fetch_add(1, std::memory_order_relaxed);
+      std::unique_lock<std::mutex> lock(mu_);
+      if (auto hit = ProbeLocked(key)) return hit;
+      auto fit = inflight_.find(key);
+      if (fit != inflight_.end()) {
+        // Coalesce: another thread is already building this key — park on
+        // its ticket (outside the cache lock) and share the result.
+        flight = fit->second;
+        coalesced_misses_.fetch_add(1, std::memory_order_relaxed);
+        lock.unlock();
+        std::unique_lock<std::mutex> flock(flight->m);
+        flight->cv.wait(flock, [&] { return flight->done; });
+        if (flight->sub != nullptr) return flight->sub;
+        // The builder we joined threw: re-run the whole probe (counted as
+        // a fresh lookup) — this thread may now build, or find an entry.
+        continue;
+      }
+      flight = std::make_shared<Flight>();
+      inflight_.emplace(key, flight);
+    }
+
+    // This thread owns the key's single build. It runs outside every lock,
+    // so builds of distinct keys overlap freely.
+    std::shared_ptr<const BiasedSubgraph> admitted;
+    try {
+      auto built = std::make_shared<const BiasedSubgraph>(build(target));
+      admitted = Insert(target, version, std::move(built));
+    } catch (...) {
+      // Builder failed: resolve the ticket empty and retire it, so parked
+      // waiters retry instead of sleeping forever and future misses of
+      // this key are not poisoned. The exception propagates to this
+      // caller only.
+      ResolveFlight(key, flight, nullptr);
+      throw;
+    }
+    ResolveFlight(key, flight, admitted);
+    return admitted;
   }
-  auto built = std::make_shared<const BiasedSubgraph>(build(target));
-  return Insert(target, version, std::move(built));
+}
+
+void SubgraphCache::ResolveFlight(
+    const Key& key, const std::shared_ptr<Flight>& flight,
+    std::shared_ptr<const BiasedSubgraph> sub) {
+  {
+    std::lock_guard<std::mutex> flock(flight->m);
+    flight->done = true;
+    flight->sub = std::move(sub);
+  }
+  flight->cv.notify_all();
+  // Retire the ticket after resolving it: successful builds are already in
+  // index_, so probes in between never reach inflight_.
+  std::lock_guard<std::mutex> lock(mu_);
+  inflight_.erase(key);
 }
 
 void SubgraphCache::Clear() {
@@ -75,6 +135,7 @@ SubgraphCacheStats SubgraphCache::Stats() const {
   s.lookups = lookups_.load(std::memory_order_relaxed);
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
+  s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);

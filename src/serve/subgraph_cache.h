@@ -13,12 +13,17 @@
 // the same observability style as BufferPool.
 //
 // Capacity is a subgraph count; bytes are tracked (approximate resident
-// size) for the stats surface. Misses build OUTSIDE the lock: two threads
-// missing the same key may both build, and the second insert is dropped in
-// favour of the first (single-flight de-duplication is a listed next step).
+// size) for the stats surface. Misses build OUTSIDE the lock, and
+// GetOrBuild is single-flight: the first thread to miss a key becomes its
+// builder while concurrent missers of the same (target, graph-version) key
+// park on that build's ticket and share the result, so N simultaneous
+// requests for one cold account cost one PPR + assembly instead of N
+// (`coalesced_misses` counts the parked ones). Direct Insert() races are
+// still resolved first-build-wins.
 #pragma once
 
 #include <atomic>
+#include <condition_variable>
 #include <cstddef>
 #include <cstdint>
 #include <functional>
@@ -36,9 +41,13 @@ namespace bsg {
 struct SubgraphCacheStats {
   uint64_t lookups = 0;    ///< total Lookup()/GetOrBuild() probes
   uint64_t hits = 0;       ///< probes served from the cache
-  uint64_t misses = 0;     ///< probes that had to build
+  uint64_t misses = 0;     ///< probes that had to build or wait on a build
   uint64_t inserts = 0;    ///< entries admitted
   uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+  /// Misses that joined an in-flight build of the same key instead of
+  /// building themselves (single-flight de-duplication; a subset of
+  /// `misses`). misses - coalesced_misses = builds actually run.
+  uint64_t coalesced_misses = 0;
   uint64_t entries = 0;         ///< cached subgraphs right now
   uint64_t resident_bytes = 0;  ///< approximate bytes held right now
 
@@ -68,7 +77,11 @@ class SubgraphCache {
       int target, uint64_t version, std::shared_ptr<const BiasedSubgraph> sub);
 
   /// Lookup, or build-and-insert on a miss. The build runs outside the
-  /// cache lock.
+  /// cache lock and is single-flight per key: concurrent missers of the
+  /// same (target, version) block until the first builder finishes and
+  /// share its result. Builds of distinct keys proceed concurrently. A
+  /// throwing builder propagates to its own caller only; joined waiters
+  /// wake and retry (no permanently parked threads, no poisoned keys).
   std::shared_ptr<const BiasedSubgraph> GetOrBuild(int target,
                                                    uint64_t version,
                                                    const Builder& build);
@@ -108,19 +121,38 @@ class SubgraphCache {
     std::shared_ptr<const BiasedSubgraph> sub;
     size_t bytes = 0;
   };
+  /// Single-flight ticket: the first thread to miss a key builds while
+  /// later missers block on `cv` until `done`, then share `sub`. Waiters
+  /// hold a shared_ptr to the ticket, so it stays valid after the builder
+  /// retires it from `inflight_`.
+  struct Flight {
+    std::mutex m;
+    std::condition_variable cv;
+    bool done = false;
+    std::shared_ptr<const BiasedSubgraph> sub;
+  };
 
   // Must hold mu_. Pops the LRU tail until size <= capacity_.
   void EvictLocked();
+  // Must hold mu_. The shared hit/miss probe: returns the entry (bumped to
+  // most-recent) or null, updating hit/miss counters.
+  std::shared_ptr<const BiasedSubgraph> ProbeLocked(const Key& key);
+  // Publishes a build outcome on `flight` (null sub = builder failed, the
+  // waiters retry), wakes every waiter and retires the ticket.
+  void ResolveFlight(const Key& key, const std::shared_ptr<Flight>& flight,
+                     std::shared_ptr<const BiasedSubgraph> sub);
 
   const size_t capacity_;
 
   mutable std::mutex mu_;
   std::list<Entry> lru_;  // front = most recent
   std::unordered_map<Key, std::list<Entry>::iterator, KeyHash> index_;
+  std::unordered_map<Key, std::shared_ptr<Flight>, KeyHash> inflight_;
 
   std::atomic<uint64_t> lookups_{0};
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> coalesced_misses_{0};
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> entries_{0};

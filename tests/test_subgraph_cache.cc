@@ -1,6 +1,8 @@
 // SubgraphCache: LRU eviction order, capacity bound, counter accuracy,
-// graph-version keying, and concurrent GetOrBuild (run under TSan in CI).
+// graph-version keying, concurrent GetOrBuild and single-flight miss
+// de-duplication (run under TSan in CI).
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <thread>
 #include <vector>
@@ -116,6 +118,155 @@ TEST(SubgraphCache, GetOrBuildBuildsOncePerKeyWhenWarm) {
   EXPECT_EQ(s.lookups, 24u);
   EXPECT_EQ(s.hits, 16u);
   EXPECT_GE(s.HitRate(), 0.6);
+}
+
+TEST(SubgraphCache, SingleFlightCoalescesConcurrentMissesOfOneKey) {
+  // N threads miss the same cold key at once: exactly one build must run,
+  // the rest park on the flight and share the builder's entry. The builder
+  // waits (bounded) until every other thread has registered as coalesced,
+  // so the assertion is exact rather than racy.
+  SubgraphCache cache(8);
+  constexpr int kThreads = 6;
+  std::atomic<int> builds{0};
+  auto builder = [&](int t) {
+    builds.fetch_add(1);
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (cache.Stats().coalesced_misses <
+               static_cast<uint64_t>(kThreads - 1) &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return FakeSubgraph(t);
+  };
+  std::vector<std::shared_ptr<const BiasedSubgraph>> results(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back(
+        [&, w] { results[w] = cache.GetOrBuild(42, 0, builder); });
+  }
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(builds.load(), 1);
+  for (int w = 0; w < kThreads; ++w) {
+    ASSERT_NE(results[w], nullptr);
+    EXPECT_EQ(results[w].get(), results[0].get());  // one shared instance
+  }
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.lookups, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(s.misses, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(s.coalesced_misses, static_cast<uint64_t>(kThreads - 1));
+  EXPECT_EQ(s.inserts, 1u);
+}
+
+TEST(SubgraphCache, SingleFlightDoesNotSerializeDistinctKeys) {
+  // Key 1's builder blocks until key 2's build has completed: if builds of
+  // distinct keys were serialized, this would deadlock (bounded by the
+  // timeout, which then fails the test).
+  SubgraphCache cache(8);
+  std::atomic<bool> other_done{false};
+  std::thread blocked([&] {
+    cache.GetOrBuild(1, 0, [&](int t) {
+      const auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      while (!other_done.load() &&
+             std::chrono::steady_clock::now() < deadline) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      return FakeSubgraph(t);
+    });
+  });
+  std::thread other([&] {
+    cache.GetOrBuild(2, 0, FakeSubgraph);
+    other_done.store(true);
+  });
+  blocked.join();
+  other.join();
+  EXPECT_TRUE(other_done.load());
+  EXPECT_EQ(cache.Stats().coalesced_misses, 0u);
+  EXPECT_EQ(cache.Stats().inserts, 2u);
+}
+
+TEST(SubgraphCache, ThrowingBuilderRetiresTicketAndWakesWaiters) {
+  // A builder that throws must not leave its single-flight ticket behind:
+  // the key would otherwise park every future misser forever.
+  SubgraphCache cache(8);
+  struct BuildFailed {};
+  EXPECT_THROW(
+      cache.GetOrBuild(
+          3, 0, [](int) -> BiasedSubgraph { throw BuildFailed{}; }),
+      BuildFailed);
+  // The key recovers: the next misser becomes a fresh builder.
+  auto sub = cache.GetOrBuild(3, 0, FakeSubgraph);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->center, 3);
+
+  // Concurrent flavour: waiters parked on a doomed flight wake and retry.
+  std::atomic<int> attempts{0};
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> succeeded{0};
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      for (;;) {
+        try {
+          auto got = cache.GetOrBuild(7, 0, [&](int t) -> BiasedSubgraph {
+            // First two builders fail; later ones (retried waiters
+            // included) succeed.
+            if (attempts.fetch_add(1) < 2) {
+              std::this_thread::sleep_for(std::chrono::milliseconds(2));
+              throw BuildFailed{};
+            }
+            return FakeSubgraph(t);
+          });
+          if (got != nullptr && got->center == 7) succeeded.fetch_add(1);
+          return;
+        } catch (const BuildFailed&) {
+          // The throwing builder's own caller retries too.
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(succeeded.load(), kThreads);
+}
+
+TEST(SubgraphCache, SingleFlightStressOverSmallKeySet) {
+  // Many threads hammer a handful of keys with a non-trivial builder: every
+  // result must be correct, and builds must never exceed inserts + lost
+  // Insert races (misses - coalesced = builds actually run).
+  SubgraphCache cache(16);
+  constexpr int kThreads = 8;
+  constexpr int kOps = 500;
+  constexpr int kKeys = 4;
+  std::atomic<int> builds{0};
+  std::atomic<int> wrong{0};
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&, w] {
+      for (int i = 0; i < kOps; ++i) {
+        const int t = (i + w) % kKeys;
+        // Version churn forces periodic rebuild storms.
+        const uint64_t version = static_cast<uint64_t>(i / 100);
+        auto sub = cache.GetOrBuild(t, version, [&](int target) {
+          builds.fetch_add(1);
+          std::this_thread::sleep_for(std::chrono::microseconds(200));
+          return FakeSubgraph(target);
+        });
+        if (sub == nullptr || sub->center != t) wrong.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.hits + s.misses, s.lookups);
+  // Exact balance: every non-coalesced miss ran the builder exactly once.
+  EXPECT_EQ(static_cast<uint64_t>(builds.load()),
+            s.misses - s.coalesced_misses);
 }
 
 TEST(SubgraphCache, ConcurrentGetOrBuildIsSafeAndConsistent) {
