@@ -1,0 +1,213 @@
+// Machine-readable mixed-precision serving benchmark: f32 vs f64 batched
+// throughput (cold and warm), single-target latency percentiles for both
+// precisions, the parity profile of the f32 path (max per-logit deviation
+// and argmax identity over the whole corpus, asserted), and the pooled
+// batch-stacking workspace's heap traffic (exact, via a counting operator
+// new — warm Stack/Recycle cycles are asserted allocation-free). Writes a
+// flat JSON metrics file — scripts/bench.sh runs this and checks in
+// BENCH_pr6.json, the fourth datapoint of the perf trajectory.
+//
+// The acceptance contract of the PR is asserted at full size: f32 warm
+// batched throughput >= 1.4x f64, no argmax flip anywhere, and ~0 warm
+// heap allocations per stacked batch.
+//
+//   bench_pr6_mixed_precision [--out=BENCH_pr6.json] [--threads=T]
+//                             [--users=600] [--requests=400] [--reps=3]
+//                             [--smoke]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/subgraph_batch.h"
+#include "serve/engine.h"
+#include "util/alloc_probe.h"  // replaces operator new: exact alloc counts
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+using namespace bsg;
+using bsg::bench::Percentile;
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv);
+  const bool smoke = flags.Has("smoke");
+  SetNumThreads(flags.GetInt("threads", 0));
+  const int users = flags.GetInt("users", smoke ? 240 : 600);
+  const int requests = flags.GetInt("requests", smoke ? 120 : 400);
+  const int reps = flags.GetInt("reps", smoke ? 1 : 3);
+  const std::string out_path = flags.GetString("out", "BENCH_pr6.json");
+
+  bench::PrintHeader("PR6 mixed precision: f32 serving vs the f64 oracle");
+  bench::BenchJson json;
+  json.Str("meta.bench", "pr6_mixed_precision");
+  json.Num("meta.threads", NumThreads());
+  json.Num("meta.smoke", smoke ? 1 : 0);
+  json.Num("meta.users", users);
+  json.Num("meta.requests", requests);
+  json.Num("meta.reps", reps);
+
+  // --- the serving subject: same recipe as bench_pr4/pr5 ------------------
+  DatasetConfig dc = Twibot20Sim();
+  dc.num_users = users;
+  dc.tweets_per_user = 12;
+  dc.seed = 17;
+  HeteroGraph g = BuildBenchmarkGraph(dc);
+
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = smoke ? 10 : 30;
+  cfg.subgraph.k = smoke ? 12 : 24;
+  cfg.hidden = smoke ? 12 : 32;
+  cfg.max_epochs = smoke ? 4 : 10;
+  cfg.min_epochs = cfg.max_epochs;
+  Bsg4Bot model(g, cfg);
+  model.Fit();
+
+  // Identical request stream for both precisions (bench_pr4/pr5 recipe).
+  Rng rng(99);
+  const int hot_set = std::min(g.num_nodes, 48);
+  std::vector<int> stream(static_cast<size_t>(requests));
+  for (int i = 0; i < requests; ++i) {
+    stream[i] = rng.Uniform() < 0.8
+                    ? static_cast<int>(rng.UniformInt(hot_set))
+                    : static_cast<int>(rng.UniformInt(g.num_nodes));
+  }
+
+  EngineConfig f64_cfg;
+  f64_cfg.cache_capacity = static_cast<size_t>(g.num_nodes);
+  EngineConfig f32_cfg = f64_cfg;
+  f32_cfg.precision = EngineConfig::Precision::kF32;
+  DetectionEngine f64_engine(&model, f64_cfg);
+  DetectionEngine f32_engine(&model, f32_cfg);
+
+  // --- parity: per-logit deviation and argmax identity ---------------------
+  std::vector<Score> oracle = f64_engine.ScoreBatch(stream);
+  std::vector<Score> fast = f32_engine.ScoreBatch(stream);
+  BSG_CHECK(oracle.size() == fast.size(), "lost scores");
+  double max_dev = 0.0;
+  int flips = 0;
+  for (size_t i = 0; i < oracle.size(); ++i) {
+    const double dh = std::abs(fast[i].logit_human - oracle[i].logit_human) /
+                      (1.0 + std::abs(oracle[i].logit_human));
+    const double db = std::abs(fast[i].logit_bot - oracle[i].logit_bot) /
+                      (1.0 + std::abs(oracle[i].logit_bot));
+    max_dev = std::max(max_dev, std::max(dh, db));
+    if (fast[i].label != oracle[i].label) ++flips;
+  }
+  json.Num("parity.max_logit_rel_dev", max_dev);
+  json.Num("parity.argmax_flips", flips);
+  // The documented parity bound (README "Mixed-precision serving").
+  BSG_CHECK(max_dev <= 5e-3, "f32 logits outside the documented tolerance");
+  BSG_CHECK(flips == 0, "f32 argmax flipped against the f64 oracle");
+  std::printf("parity: max rel deviation %.2e, %d argmax flips over %d "
+              "targets\n",
+              max_dev, flips, requests);
+
+  // --- batched throughput, both precisions (best-of-reps) ------------------
+  double f64_cold = 1e300, f64_warm = 1e300;
+  double f32_cold = 1e300, f32_warm = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    f64_engine.cache().Clear();
+    WallTimer t1;
+    f64_engine.ScoreBatch(stream);
+    f64_cold = std::min(f64_cold, t1.Seconds());
+    WallTimer t2;
+    f64_engine.ScoreBatch(stream);
+    f64_warm = std::min(f64_warm, t2.Seconds());
+
+    f32_engine.cache().Clear();
+    WallTimer t3;
+    f32_engine.ScoreBatch(stream);
+    f32_cold = std::min(f32_cold, t3.Seconds());
+    WallTimer t4;
+    f32_engine.ScoreBatch(stream);
+    f32_warm = std::min(f32_warm, t4.Seconds());
+  }
+  json.Num("serve.f64_batched_cold_targets_per_s", requests / f64_cold);
+  json.Num("serve.f64_batched_warm_targets_per_s", requests / f64_warm);
+  json.Num("serve.f32_batched_cold_targets_per_s", requests / f32_cold);
+  json.Num("serve.f32_batched_warm_targets_per_s", requests / f32_warm);
+  const double warm_speedup = f64_warm / f32_warm;
+  json.Num("serve.f32_warm_speedup_x", warm_speedup);
+  json.Num("serve.f32_cold_speedup_x", f64_cold / f32_cold);
+  std::printf("batched warm: %.0f targets/s f64, %.0f f32 (%.2fx)\n",
+              requests / f64_warm, requests / f32_warm, warm_speedup);
+  // The PR's throughput bar. Smoke sizes are latency-noise dominated, so
+  // the assertion only gates full-size runs.
+  BSG_CHECK(smoke || warm_speedup >= 1.4,
+            "f32 warm batched serving below the 1.4x acceptance bar");
+
+  // --- single-target latency, both precisions (warm cache) -----------------
+  for (int pass = 0; pass < 2; ++pass) {
+    DetectionEngine& engine = pass == 0 ? f64_engine : f32_engine;
+    const char* tag = pass == 0 ? "f64" : "f32";
+    std::vector<double> lat_ms;
+    lat_ms.reserve(stream.size());
+    for (int t : stream) {
+      WallTimer one;
+      engine.ScoreOne(t);
+      lat_ms.push_back(one.Seconds() * 1e3);
+    }
+    json.Num(std::string("serve.") + tag + "_latency_p50_ms",
+             Percentile(lat_ms, 0.50));
+    json.Num(std::string("serve.") + tag + "_latency_p95_ms",
+             Percentile(lat_ms, 0.95));
+  }
+
+  // --- pooled batch stacking: warm heap traffic (exact) --------------------
+  {
+    std::vector<int> batch_targets(
+        stream.begin(),
+        stream.begin() + std::min<size_t>(stream.size(),
+                                          static_cast<size_t>(
+                                              model.config().batch_size)));
+    std::sort(batch_targets.begin(), batch_targets.end());
+    batch_targets.erase(
+        std::unique(batch_targets.begin(), batch_targets.end()),
+        batch_targets.end());
+    std::vector<BiasedSubgraph> subs;
+    subs.reserve(batch_targets.size());
+    for (int t : batch_targets) subs.push_back(model.AssembleSubgraph(t));
+    std::vector<const BiasedSubgraph*> ptrs;
+    for (const BiasedSubgraph& s : subs) ptrs.push_back(&s);
+
+    BatchStacker stacker(g.num_relations(), /*with_f32_weights=*/true);
+    for (int i = 0; i < 3; ++i) {
+      stacker.Recycle(stacker.Stack(ptrs, batch_targets));  // warm-up
+    }
+    const int cycles = smoke ? 50 : 200;
+    const uint64_t before = t_allocs;
+    WallTimer t;
+    for (int i = 0; i < cycles; ++i) {
+      stacker.Recycle(stacker.Stack(ptrs, batch_targets));
+    }
+    const double stack_s = t.Seconds();
+    const double allocs_per_batch =
+        static_cast<double>(t_allocs - before) / cycles;
+    json.Num("stacking.warm_heap_allocs_per_batch", allocs_per_batch);
+    json.Num("stacking.batches_per_s", cycles / stack_s);
+    json.Num("stacking.batch_width", static_cast<double>(batch_targets.size()));
+    std::printf("stacking: %.0f batches/s, %.2f allocs/batch warm\n",
+                cycles / stack_s, allocs_per_batch);
+    // The zero-allocation contract of the pooled workspace, at every size.
+    BSG_CHECK(allocs_per_batch == 0.0,
+              "warm pooled batch stacking allocated on the heap");
+  }
+
+  // --- engine-level observability ------------------------------------------
+  EngineStats fs = f32_engine.Stats();
+  json.Num("engine.f32_pool_hit_rate", fs.PoolHitRate());
+  json.Num("engine.f32_stacker_carcass_reuses",
+           static_cast<double>(fs.stacker.carcass_reuses));
+  json.Num("engine.f32_stacker_csr_reuses",
+           static_cast<double>(fs.stacker.csr_reuses));
+  BufferPoolStats pool = BufferPool::Global().Stats();
+  json.Num("pool.lock_contention", static_cast<double>(pool.lock_contention));
+
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("metrics written to %s\n", out_path.c_str());
+  return 0;
+}

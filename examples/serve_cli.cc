@@ -18,8 +18,10 @@
 //   echo "17" | ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt -
 //   ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt --ids=3,17,255
 //
-// Output is JSON lines: one {"id","bot_prob","label","logits"} object per
-// scored account; engine/cache stats go to stderr with --stats.
+// Output is JSON lines: one {"id","bot_prob","label","precision","logits"}
+// object per scored account; engine/cache stats go to stderr with --stats.
+// --precision=f32 serves through the model's float shadow (vectorized
+// mixed-precision path); the default f64 stays bit-identical to training.
 #include <cmath>
 #include <cstdio>
 #include <cstring>
@@ -49,6 +51,9 @@ void PrintUsage() {
       "  --ids=1,2,3 | --ids-file=PATH | -        accounts to score\n"
       "                        (default: the test split)\n"
       "  --single              score one account per forward pass\n"
+      "  --precision=f64|f32   serving arithmetic (default f64, the\n"
+      "                        bit-exact oracle; f32 is the vectorized\n"
+      "                        mixed-precision path)\n"
       "  --cache-capacity=N    max cached subgraphs (default 4096)\n"
       "  --score-out=PATH      write JSON lines here instead of stdout\n"
       "  --stats               engine/cache counters to stderr\n");
@@ -66,22 +71,24 @@ Result<DatasetConfig> PresetConfig(const std::string& preset) {
 // The raw-logit overload is for the train-mode oracle (PredictLogits has
 // no Score objects); its softmax/argmax mirror DetectionEngine's, which
 // the CI smoke diff pins: the two paths must print identical bytes.
-void PrintScore(std::FILE* out, int id, double logit_human, double logit_bot) {
+void PrintScore(std::FILE* out, int id, double logit_human, double logit_bot,
+                const char* precision) {
   const double m = logit_human > logit_bot ? logit_human : logit_bot;
   const double eh = std::exp(logit_human - m);
   const double eb = std::exp(logit_bot - m);
   std::fprintf(out,
                "{\"id\":%d,\"bot_prob\":%.6f,\"label\":%d,"
-               "\"logits\":[%.17g,%.17g]}\n",
-               id, eb / (eh + eb), logit_bot > logit_human ? 1 : 0,
+               "\"precision\":\"%s\",\"logits\":[%.17g,%.17g]}\n",
+               id, eb / (eh + eb), logit_bot > logit_human ? 1 : 0, precision,
                logit_human, logit_bot);
 }
 
-void PrintScore(std::FILE* out, const Score& s) {
+void PrintScore(std::FILE* out, const Score& s, const char* precision) {
   std::fprintf(out,
                "{\"id\":%d,\"bot_prob\":%.6f,\"label\":%d,"
-               "\"logits\":[%.17g,%.17g]}\n",
-               s.target, s.bot_prob, s.label, s.logit_human, s.logit_bot);
+               "\"precision\":\"%s\",\"logits\":[%.17g,%.17g]}\n",
+               s.target, s.bot_prob, s.label, precision, s.logit_human,
+               s.logit_bot);
 }
 
 // Rejects ids outside [0, num_nodes) before they can index anything.
@@ -216,8 +223,9 @@ int TrainAndSave(const FlagParser& flags, const std::string& ckpt_path) {
   }
   Matrix logits = model.PredictLogits(targets);
   for (size_t i = 0; i < targets.size(); ++i) {
+    // PredictLogits is the f64 oracle by definition.
     PrintScore(out, targets[i], logits(static_cast<int>(i), 0),
-               logits(static_cast<int>(i), 1));
+               logits(static_cast<int>(i), 1), "f64");
   }
   if (out != stdout) std::fclose(out);
   return 0;
@@ -284,9 +292,18 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
     return 1;
   }
 
+  const std::string precision = flags.GetString("precision", "f64");
+  if (precision != "f64" && precision != "f32") {
+    std::fprintf(stderr, "bad --precision '%s' (want f64 or f32)\n",
+                 precision.c_str());
+    return 1;
+  }
+
   EngineConfig ecfg;
   ecfg.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  ecfg.precision = precision == "f32" ? EngineConfig::Precision::kF32
+                                      : EngineConfig::Precision::kF64;
   DetectionEngine engine(&model, ecfg);
 
   std::vector<int> targets = ResolveTargets(flags, graph);
@@ -300,9 +317,11 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
     }
   }
   if (flags.Has("single")) {
-    for (int t : targets) PrintScore(out, engine.ScoreOne(t));
+    for (int t : targets) PrintScore(out, engine.ScoreOne(t), precision.c_str());
   } else {
-    for (const Score& s : engine.ScoreBatch(targets)) PrintScore(out, s);
+    for (const Score& s : engine.ScoreBatch(targets)) {
+      PrintScore(out, s, precision.c_str());
+    }
   }
   if (out != stdout) std::fclose(out);
 
@@ -324,6 +343,13 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
                  static_cast<unsigned long long>(s.cache.entries),
                  static_cast<double>(s.cache.resident_bytes) / (1 << 20),
                  static_cast<unsigned long long>(s.cache.evictions));
+    std::fprintf(stderr,
+                 "stacker: %llu batches, %llu carcass reuses, %llu csr "
+                 "reuses, %llu f32-weight reuses\n",
+                 static_cast<unsigned long long>(s.stacker.batches_stacked),
+                 static_cast<unsigned long long>(s.stacker.carcass_reuses),
+                 static_cast<unsigned long long>(s.stacker.csr_reuses),
+                 static_cast<unsigned long long>(s.stacker.weights_f32_reuses));
   }
   return 0;
 }

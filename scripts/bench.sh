@@ -1,8 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable perf benches: builds (if needed) and runs the hot-path,
-# serving and subgraph-assembly benchmarks, writing the BENCH_pr3.json /
-# BENCH_pr4.json / BENCH_pr5.json perf-trajectory snapshots at the repo
-# root.
+# serving, subgraph-assembly and mixed-precision benchmarks, writing the
+# BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json / BENCH_pr6.json
+# perf-trajectory snapshots at the repo root.
 #
 #   scripts/bench.sh [--smoke] [build_dir]
 #
@@ -27,22 +27,29 @@ done
 
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
-  --target bench_pr3_hotpath bench_pr4_serving bench_pr5_assembly
+  --target bench_pr3_hotpath bench_pr4_serving bench_pr5_assembly \
+  bench_pr6_mixed_precision
 
 OUT_PR3="BENCH_pr3.json"
 OUT_PR4="BENCH_pr4.json"
 OUT_PR5="BENCH_pr5.json"
+OUT_PR6="BENCH_pr6.json"
 if [[ -n "$SMOKE" ]]; then
   # Smoke runs write to scratch paths: they exist to prove the benches and
   # emitter work, not to overwrite the checked-in trajectory numbers.
   # bench_pr5_assembly also asserts the zero-warm-allocation contract of
   # the PPR workspace at smoke sizes, so CI catches regressions.
+  # bench_pr6_mixed_precision asserts the f32 parity tolerance, argmax
+  # identity and the zero-warm-allocation stacking contract at smoke sizes
+  # too (the 1.4x throughput bar only gates full-size runs).
   OUT_PR3="$BUILD_DIR/BENCH_pr3.smoke.json"
   OUT_PR4="$BUILD_DIR/BENCH_pr4.smoke.json"
   OUT_PR5="$BUILD_DIR/BENCH_pr5.smoke.json"
+  OUT_PR6="$BUILD_DIR/BENCH_pr6.smoke.json"
 fi
 
 "$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT_PR3"
 "$BUILD_DIR/bench/bench_pr4_serving" $SMOKE --out="$OUT_PR4"
 "$BUILD_DIR/bench/bench_pr5_assembly" $SMOKE --out="$OUT_PR5"
-echo "bench metrics written to $OUT_PR3, $OUT_PR4 and $OUT_PR5"
+"$BUILD_DIR/bench/bench_pr6_mixed_precision" $SMOKE --out="$OUT_PR6"
+echo "bench metrics written to $OUT_PR3, $OUT_PR4, $OUT_PR5 and $OUT_PR6"

@@ -19,6 +19,9 @@
 #    process, score the test split through the DetectionEngine and diff the
 #    JSON-lines output (logits at %.17g) against the in-memory model's —
 #    the bit-identity contract of the serving subsystem, end to end
+# 6. BSG_MARCH_NATIVE=ON build running the f32 suites: the mixed-precision
+#    parity tolerance must hold under full-width SIMD codegen too, not just
+#    the portable baseline
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -75,3 +78,14 @@ trap 'rm -rf "$SERVE_TMP"' EXIT
   --score-out="$SERVE_TMP/serve_scores.jsonl" --stats
 diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_scores.jsonl"
 echo "serve smoke: checkpointed engine logits bit-identical to the trained model"
+
+echo "=== BSG_MARCH_NATIVE=ON: f32 parity under native SIMD ==="
+NATIVE_BUILD_DIR="${BUILD_DIR}-native"
+cmake -B "$NATIVE_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
+  -DBSG_MARCH_NATIVE=ON -DBSG_BUILD_BENCHES=OFF
+cmake --build "$NATIVE_BUILD_DIR" -j "$JOBS" \
+  --target test_matrix_f test_f32_parity test_batch_stacker
+"$NATIVE_BUILD_DIR/test_matrix_f"
+"$NATIVE_BUILD_DIR/test_f32_parity"
+"$NATIVE_BUILD_DIR/test_batch_stacker"
+echo "native-SIMD f32 suites green"

@@ -311,6 +311,8 @@ double Bsg4Bot::TransferEvaluate(Bsg4Bot* other,
               "transfer parameter shape mismatch");
     other->store_.params()[i]->value = store_.params()[i]->value;
   }
+  // The transferred doubles invalidate any f32 shadow the target held.
+  other->f32_.reset();
   Matrix logits = other->PredictLogits(nodes);
   std::vector<int> local_labels(nodes.size());
   std::vector<int> all(nodes.size());
@@ -500,6 +502,10 @@ Status Bsg4Bot::RestoreFromCheckpoint(const Checkpoint& ckpt) {
   pretrain_restored_ = true;
   prepared_ = false;
   subgraphs_.clear();
+  // A live f32 shadow mirrors the parameters just replaced — refresh it so
+  // a serving process that reloads a checkpoint keeps scoring the new
+  // weights (the one-time weight conversion happens here, at load time).
+  if (f32_ != nullptr) RefreshF32Shadow();
   return Status::OK();
 }
 

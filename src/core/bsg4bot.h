@@ -14,6 +14,7 @@
 #include <memory>
 
 #include "core/biased_subgraph.h"
+#include "core/bsg4bot_f32.h"
 #include "core/pretrain.h"
 #include "core/semantic_attention.h"
 #include "core/subgraph_batch.h"
@@ -136,6 +137,24 @@ class Bsg4Bot : private MiniBatchProgram {
   /// batch (the DetectionEngine's forward entry point).
   Matrix ScoreBatch(const SubgraphBatch& batch);
 
+  // --- mixed-precision serving (core/bsg4bot_f32.h) ---
+
+  /// Materialises the f32 shadow of the frozen model if absent: one
+  /// narrowing pass over every weight, the features and the pre-classifier
+  /// state. Call once the model is final (after Fit() or a restore);
+  /// RestoreFromCheckpoint refreshes an existing shadow in place, so a
+  /// checkpoint reload can never leave it stale. Mutating parameters any
+  /// other way (training, TransferEvaluate) drops or invalidates it.
+  void EnsureF32Shadow();
+  bool has_f32_shadow() const { return f32_ != nullptr; }
+
+  /// f32 forward over an externally assembled batch, widened to f64 logits
+  /// (|batch centres| x 2). Requires EnsureF32Shadow(). No bit-exactness
+  /// contract: agrees with ScoreBatch within the tolerance documented in
+  /// README "Mixed-precision serving" (asserted by tests/test_f32_parity);
+  /// the f64 path remains the accuracy oracle.
+  Matrix ScoreBatchF32(const SubgraphBatch& batch) const;
+
   const Bsg4BotConfig& config() const { return cfg_; }
   const HeteroGraph& graph() const { return graph_; }
 
@@ -148,6 +167,8 @@ class Bsg4Bot : private MiniBatchProgram {
 
  private:
   void BuildNetwork();
+  /// Rebuilds the f32 shadow from the current f64 state unconditionally.
+  void RefreshF32Shadow();
   /// Fixes batch composition (one shuffle of train_idx) and assembles the
   /// validation batches. Idempotent.
   void EnsureBatchComposition();
@@ -203,6 +224,9 @@ class Bsg4Bot : private MiniBatchProgram {
   std::vector<std::vector<Linear>> gcn_;  // [relation][layer]
   SemanticAttention fuse_;
   Linear head_;
+
+  /// Mixed-precision serving shadow (null until EnsureF32Shadow()).
+  std::unique_ptr<Bsg4BotF32> f32_;
 
   // Last member: the producer thread reads subgraphs_/val_batch_centers_,
   // so it must be torn down before them.

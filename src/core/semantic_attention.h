@@ -31,6 +31,11 @@ class SemanticAttention {
   /// Relation weights beta from the last Forward call (diagnostics).
   const std::vector<double>& last_weights() const { return last_weights_; }
 
+  /// The learned parameters, exposed for the f32 serving shadow's one-time
+  /// weight conversion (core/bsg4bot_f32.h).
+  const Linear& proj() const { return proj_; }
+  const Tensor& q() const { return q_; }
+
  private:
   Linear proj_;   // W, b
   Tensor q_;      // att_dim x 1 semantic vector

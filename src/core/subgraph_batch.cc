@@ -43,4 +43,145 @@ SubgraphBatch MakeSubgraphBatch(
   return batch;
 }
 
+BatchStacker::BatchStacker(int num_relations, bool with_f32_weights)
+    : num_relations_(num_relations), with_f32_weights_(with_f32_weights) {
+  BSG_CHECK(num_relations_ > 0, "stacker needs at least one relation");
+}
+
+std::shared_ptr<Csr> BatchStacker::AcquireCsr(bool* reused) {
+  // Caller holds mu_.
+  if (!csr_pool_.empty()) {
+    std::shared_ptr<Csr> c = std::move(csr_pool_.back());
+    csr_pool_.pop_back();
+    *reused = true;
+    return c;
+  }
+  *reused = false;
+  return std::make_shared<Csr>();
+}
+
+std::shared_ptr<std::vector<float>> BatchStacker::AcquireWeightsF32(
+    bool* reused) {
+  // Caller holds mu_.
+  if (!weights_pool_.empty()) {
+    std::shared_ptr<std::vector<float>> w = std::move(weights_pool_.back());
+    weights_pool_.pop_back();
+    *reused = true;
+    return w;
+  }
+  *reused = false;
+  return std::make_shared<std::vector<float>>();
+}
+
+SubgraphBatch BatchStacker::Stack(
+    const std::vector<const BiasedSubgraph*>& subgraphs,
+    const std::vector<int>& centers) {
+  BSG_CHECK(!centers.empty(), "empty batch");
+  BSG_CHECK(subgraphs.size() == centers.size(),
+            "one subgraph per centre required");
+  SubgraphBatch batch;
+  std::vector<std::shared_ptr<Csr>>& csrs = csr_scratch_;
+  csrs.resize(static_cast<size_t>(num_relations_));
+  std::vector<std::shared_ptr<std::vector<float>>>& w32 = w32_scratch_;
+  w32.resize(with_f32_weights_ ? static_cast<size_t>(num_relations_) : 0);
+  {
+    // One lock per batch: pop a carcass and the per-relation storage, then
+    // build unlocked (Recycle may run concurrently from the consumer).
+    std::lock_guard<std::mutex> lock(mu_);
+    ++stats_.batches_stacked;
+    if (!carcasses_.empty()) {
+      batch = std::move(carcasses_.back());
+      carcasses_.pop_back();
+      ++stats_.carcass_reuses;
+    }
+    for (int r = 0; r < num_relations_; ++r) {
+      bool reused = false;
+      csrs[r] = AcquireCsr(&reused);
+      if (reused) ++stats_.csr_reuses;
+      if (with_f32_weights_) {
+        w32[r] = AcquireWeightsF32(&reused);
+        if (reused) ++stats_.weights_f32_reuses;
+      }
+    }
+  }
+
+  // Rebuild inside the carcass: assign/clear keep the vectors' capacity.
+  batch.centers.assign(centers.begin(), centers.end());
+  batch.rel_adjs.clear();
+  batch.rel_adjs.reserve(static_cast<size_t>(num_relations_));
+  batch.rel_node_ids.resize(static_cast<size_t>(num_relations_));
+  batch.rel_center_rows.resize(static_cast<size_t>(num_relations_));
+  batch.rel_weights_f32.clear();
+  if (with_f32_weights_) {
+    batch.rel_weights_f32.reserve(static_cast<size_t>(num_relations_));
+  }
+
+  for (int r = 0; r < num_relations_; ++r) {
+    blocks_.clear();
+    blocks_.reserve(centers.size());
+    std::vector<int>& node_ids = batch.rel_node_ids[r];
+    std::vector<int>& center_rows = batch.rel_center_rows[r];
+    node_ids.clear();
+    center_rows.clear();
+    int offset = 0;
+    for (size_t i = 0; i < centers.size(); ++i) {
+      const BiasedSubgraph& sub = *subgraphs[i];
+      BSG_CHECK(sub.center == centers[i], "subgraph index mismatch");
+      const RelationSubgraph& rel = sub.per_relation[r];
+      blocks_.push_back(&rel.adj);
+      center_rows.push_back(offset);  // centre is local row 0
+      node_ids.insert(node_ids.end(), rel.nodes.begin(), rel.nodes.end());
+      offset += static_cast<int>(rel.nodes.size());
+    }
+    Csr::StackSymNormalizedInto(blocks_, csrs[r].get(), &inv_sqrt_deg_);
+    if (with_f32_weights_) {
+      const std::vector<double>& wd = csrs[r]->weights();
+      std::vector<float>& wf = *w32[r];
+      wf.resize(wd.size());
+      for (size_t e = 0; e < wd.size(); ++e) {
+        wf[e] = static_cast<float>(wd[e]);
+      }
+      batch.rel_weights_f32.push_back(std::move(w32[r]));
+    }
+    // bwd aliases fwd: the stacked subgraph adjacency is symmetric (edges
+    // are inserted both ways when the subgraph is built), so A^T == A — and
+    // inference never runs the backward pass that would read it. This drops
+    // MakeSpMat's per-batch transpose entirely.
+    std::shared_ptr<const Csr> fwd = std::move(csrs[r]);
+    batch.rel_adjs.push_back(SpMat{fwd, fwd});
+  }
+  return batch;
+}
+
+void BatchStacker::Recycle(SubgraphBatch&& batch) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (SpMat& adj : batch.rel_adjs) {
+    adj.bwd.reset();  // usually an alias of fwd; drop it first
+    if (adj.fwd != nullptr && adj.fwd.use_count() == 1) {
+      // Sole owner: the arrays can be rebuilt in place next batch. A CSR
+      // still shared elsewhere dies with its last owner instead.
+      csr_pool_.push_back(std::const_pointer_cast<Csr>(adj.fwd));
+    }
+    adj.fwd.reset();
+  }
+  batch.rel_adjs.clear();
+  for (std::shared_ptr<const std::vector<float>>& w : batch.rel_weights_f32) {
+    if (w != nullptr && w.use_count() == 1) {
+      weights_pool_.push_back(
+          std::const_pointer_cast<std::vector<float>>(w));
+    }
+    w.reset();
+  }
+  batch.rel_weights_f32.clear();
+  batch.centers.clear();
+  // rel_node_ids / rel_center_rows keep their inner vectors (and their
+  // capacity) inside the carcass.
+  carcasses_.push_back(std::move(batch));
+}
+
+BatchStackerStats BatchStacker::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
 }  // namespace bsg

@@ -99,6 +99,20 @@ class Csr {
   /// total node count of the preceding graphs. Weights carried through.
   static Csr BlockDiagonal(const std::vector<const Csr*>& graphs);
 
+  /// Fused serving-path stacking kernel: writes into *out the equivalent of
+  /// BlockDiagonal(graphs).Normalized(CsrNorm::kSym) — block-diagonal
+  /// stacking, self-loop insertion and symmetric normalisation in one pass.
+  /// out's arrays and the caller-owned inv_sqrt_deg scratch are resized,
+  /// never shrunk, so repeated calls reuse their capacity (the pooled
+  /// batch-stacking path performs zero heap allocations once warm). The
+  /// blocks must be unweighted with sorted, deduplicated rows (the
+  /// BiasedSubgraph invariant). Bit-identical to the unfused pipeline: the
+  /// self-loop row merge replays WithSelfLoops and the weights are the same
+  /// 1/sqrt(deg) products Normalized(kSym) writes.
+  static void StackSymNormalizedInto(const std::vector<const Csr*>& graphs,
+                                     Csr* out,
+                                     std::vector<double>* inv_sqrt_deg);
+
   /// Validates structural invariants (sorted indptr, in-range indices).
   Status Validate() const;
 

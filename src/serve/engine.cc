@@ -24,12 +24,20 @@ DetectionEngine::DetectionEngine(Bsg4Bot* model, EngineConfig cfg)
       cfg_(cfg),
       batch_size_(cfg.batch_size > 0 ? cfg.batch_size
                                      : model->config().batch_size),
-      cache_(cfg.cache_capacity) {
+      cache_(cfg.cache_capacity),
+      stacker_(model->graph().num_relations(),
+               /*with_f32_weights=*/cfg.precision ==
+                   EngineConfig::Precision::kF32) {
   BSG_CHECK(model_ != nullptr, "null model");
   BSG_CHECK(model_->inference_ready(),
             "DetectionEngine needs an inference-ready model "
             "(Fit() or LoadCheckpoint() first)");
   BSG_CHECK(batch_size_ > 0, "non-positive engine batch size");
+  if (cfg_.precision == EngineConfig::Precision::kF32) {
+    // One narrowing pass over the parameters; every subsequent f32 forward
+    // reads the shadow.
+    model_->EnsureF32Shadow();
+  }
   if (cfg_.trim_pool_on_start) {
     // Train->inference phase boundary: the pool's parked slabs are sized
     // for training's peak working set (full-width batches, gradients,
@@ -44,10 +52,12 @@ Score DetectionEngine::ScoreOne(int target) {
   std::shared_ptr<const BiasedSubgraph> sub = cache_.GetOrBuild(
       target, cfg_.graph_version,
       [this](int t) { return model_->AssembleSubgraph(t); });
-  SubgraphBatch batch =
-      MakeSubgraphBatch({sub.get()}, {target}, model_->graph().num_relations());
+  chunk_scratch_.assign(1, target);
+  subs_scratch_.assign(1, sub.get());
+  SubgraphBatch batch = stacker_.Stack(subs_scratch_, chunk_scratch_);
   Score score;
   ScoreAssembled(batch, &score);
+  stacker_.Recycle(std::move(batch));
   ++stats_.single_requests;
   ++stats_.targets_scored;
   return score;
@@ -78,10 +88,12 @@ std::vector<Score> DetectionEngine::ScoreBatch(
     for (size_t c = 0; c < num_chunks; ++c) {
       SubgraphBatch batch = prefetcher_->Next();
       ScoreAssembled(batch, &scores[c * width]);
+      stacker_.Recycle(std::move(batch));
     }
   } else {
     SubgraphBatch batch = AssembleChunk(0);
     ScoreAssembled(batch, scores.data());
+    stacker_.Recycle(std::move(batch));
   }
   stats_.targets_scored += targets.size();
   pending_targets_.clear();
@@ -92,28 +104,30 @@ SubgraphBatch DetectionEngine::AssembleChunk(int chunk_index) {
   const size_t width = static_cast<size_t>(batch_size_);
   const size_t begin = static_cast<size_t>(chunk_index) * width;
   const size_t end = std::min(pending_targets_.size(), begin + width);
-  std::vector<int> chunk(pending_targets_.begin() + begin,
-                         pending_targets_.begin() + end);
+  chunk_scratch_.assign(pending_targets_.begin() + begin,
+                        pending_targets_.begin() + end);
   // Hold the shared_ptrs until the batch is stacked: an eviction between
   // probe and stacking must not free a subgraph we are reading.
-  std::vector<std::shared_ptr<const BiasedSubgraph>> held;
-  held.reserve(chunk.size());
-  std::vector<const BiasedSubgraph*> subs;
-  subs.reserve(chunk.size());
-  for (int t : chunk) {
-    held.push_back(cache_.GetOrBuild(
+  held_scratch_.clear();
+  subs_scratch_.clear();
+  for (int t : chunk_scratch_) {
+    held_scratch_.push_back(cache_.GetOrBuild(
         t, cfg_.graph_version,
         [this](int target) { return model_->AssembleSubgraph(target); }));
-    subs.push_back(held.back().get());
+    subs_scratch_.push_back(held_scratch_.back().get());
   }
-  return MakeSubgraphBatch(subs, chunk, model_->graph().num_relations());
+  SubgraphBatch batch = stacker_.Stack(subs_scratch_, chunk_scratch_);
+  held_scratch_.clear();
+  return batch;
 }
 
 void DetectionEngine::ScoreAssembled(const SubgraphBatch& batch, Score* out) {
   // Arena-scoped forward: the logits graph's transient slabs return to the
   // pool when `logits` dies, so warm requests allocate nothing new.
   TensorArena arena;
-  Matrix logits = model_->ScoreBatch(batch);
+  Matrix logits = cfg_.precision == EngineConfig::Precision::kF32
+                      ? model_->ScoreBatchF32(batch)
+                      : model_->ScoreBatch(batch);
   for (size_t i = 0; i < batch.centers.size(); ++i) {
     Score& s = out[i];
     s.target = batch.centers[i];
@@ -130,6 +144,7 @@ void DetectionEngine::ScoreAssembled(const SubgraphBatch& batch, Score* out) {
 EngineStats DetectionEngine::Stats() const {
   EngineStats s = stats_;
   s.cache = cache_.Stats();
+  s.stacker = stacker_.Stats();
   return s;
 }
 

@@ -16,7 +16,18 @@
 //     hits);
 //   - engine startup calls BufferPool::Trim(): training's peak working set
 //     is cold once the model is frozen, and the trimmed bytes are reported
-//     in the engine stats (the train->inference phase policy).
+//     in the engine stats (the train->inference phase policy);
+//   - batches are stacked through a pooled BatchStacker workspace (fused
+//     block-diagonal + normalisation into recycled storage), so warm
+//     serving performs ~0 heap allocations per batch for stacking;
+//   - EngineConfig::precision selects the scoring arithmetic: kF64 (the
+//     default and the accuracy oracle — logits bit-identical to
+//     PredictLogits) or kF32, which scores through the model's one-time
+//     converted float shadow (vectorized kernels, no autograd graph).
+//     Subgraph assembly stays f64 in both modes, so cache entries are
+//     shared and both precisions score identical subgraphs; f32 logits
+//     agree with the oracle within the tolerance documented in README
+//     "Mixed-precision serving" (pinned by tests/test_f32_parity).
 //
 // Determinism: with the engine batch width equal to the model's training
 // batch_size, ScoreBatch over a centre list produces logits bit-identical
@@ -42,6 +53,13 @@ namespace bsg {
 
 /// Serving knobs.
 struct EngineConfig {
+  /// Scoring arithmetic of the serving forward pass. Nested in the config:
+  /// the namespace-level name is taken by the metrics function
+  /// bsg::Precision(), which would hide an enum of the same name.
+  enum class Precision {
+    kF64,  ///< double precision — the bit-identity oracle path
+    kF32,  ///< float shadow — vectorized, tolerance-checked against kF64
+  };
   /// Mini-batch width for coalesced scoring. 0 = the model's training
   /// batch_size (which makes batched scores bit-identical to
   /// PredictLogits).
@@ -55,6 +73,9 @@ struct EngineConfig {
   uint64_t graph_version = 0;
   /// Release the training phase's parked pool slabs at engine startup.
   bool trim_pool_on_start = true;
+  /// Scoring arithmetic. kF32 materialises the model's f32 shadow at engine
+  /// construction (one narrowing pass) and scores through it.
+  Precision precision = Precision::kF64;
 };
 
 /// One scored account.
@@ -77,6 +98,7 @@ struct EngineStats {
   uint64_t pool_acquires = 0;
   uint64_t pool_hits = 0;
   SubgraphCacheStats cache;  ///< snapshot of the subgraph cache
+  BatchStackerStats stacker;  ///< pooled batch-stacking workspace traffic
 
   double PoolHitRate() const {
     return pool_acquires == 0 ? 0.0
@@ -120,10 +142,20 @@ class DetectionEngine {
   const EngineConfig cfg_;
   const int batch_size_;
   SubgraphCache cache_;
+  /// Pooled stacking workspace (f32 edge weights materialised when the
+  /// engine scores in kF32).
+  BatchStacker stacker_;
 
   // State of the in-flight ScoreBatch request, read by AssembleChunk from
   // the producer thread. Only valid between StartEpoch and the last Next().
   std::vector<int> pending_targets_;
+  // Assembly scratch, reused across chunks. Touched only by whichever
+  // thread is currently assembling (the producer during a streamed
+  // ScoreBatch, the caller otherwise) — never both at once, per the
+  // engine's external-serialisation contract.
+  std::vector<int> chunk_scratch_;
+  std::vector<std::shared_ptr<const BiasedSubgraph>> held_scratch_;
+  std::vector<const BiasedSubgraph*> subs_scratch_;
 
   EngineStats stats_;
 

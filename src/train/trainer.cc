@@ -166,11 +166,18 @@ TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
 
   WallTimer total_timer;
   StepPoolStats pool_stats;
+  // Async path: epoch e+1 is armed at the end of epoch e (see below), so
+  // after epoch 0 the order is already drawn when the loop comes around.
+  bool armed = false;
+  std::vector<int> order;
   for (int epoch = 0; epoch < cfg.max_epochs; ++epoch) {
-    std::vector<int> order = program->EpochBatchOrder(epoch);
+    if (!armed) {
+      order = program->EpochBatchOrder(epoch);
+      if (prefetcher != nullptr) prefetcher->StartEpoch(order);
+    }
+    armed = false;
     BSG_CHECK(static_cast<int>(order.size()) == num_batches,
               "epoch order length mismatch");
-    if (prefetcher != nullptr) prefetcher->StartEpoch(order);
 
     double epoch_loss = 0.0;
     int batches = 0;
@@ -196,6 +203,20 @@ TrainResult TrainMiniBatch(MiniBatchProgram* program, const TrainConfig& cfg) {
       pool_stats.Absorb(arena);
     }
     if (batches > 0) epoch_loss /= batches;
+
+    // Epoch-boundary prefetch: draw epoch e+1's order and arm the producer
+    // *before* the validation pass, so assembly of the next epoch's first
+    // batches overlaps Validate(). Only the shuffle draw moves ahead of
+    // Validate(), which consumes no program RNG, so the draw sequence — and
+    // every loss bit — is unchanged from drawing at the top of the loop.
+    // If this turns out to be the final epoch (early stop below, or
+    // max_epochs reached next iteration), the armed work is discarded by
+    // CancelEpoch() after the loop.
+    if (prefetcher != nullptr && epoch + 1 < cfg.max_epochs) {
+      order = program->EpochBatchOrder(epoch + 1);
+      prefetcher->StartEpoch(order);
+      armed = true;
+    }
 
     EvalResult val = program->Validate();
     if (tracker.Record(program->ProgramName(), epoch, epoch_loss, val,

@@ -29,6 +29,15 @@ size_t BufferPool::BucketCapacity(size_t n) {
   return c;
 }
 
+std::unique_lock<std::mutex> BufferPool::LockShard(Shard& shard) {
+  std::unique_lock<std::mutex> lock(shard.mu, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    lock_contention_.fetch_add(1, std::memory_order_relaxed);
+    lock.lock();
+  }
+  return lock;
+}
+
 double* BufferPool::Acquire(size_t n, size_t* capacity) {
   if (n == 0) {
     *capacity = 0;
@@ -38,12 +47,14 @@ double* BufferPool::Acquire(size_t n, size_t* capacity) {
   *capacity = cap;
   acquires_.fetch_add(1, std::memory_order_relaxed);
   live_bytes_.fetch_add(cap * sizeof(double), std::memory_order_relaxed);
+  const size_t idx = BucketIndex(cap);
+  BSG_CHECK(idx < kNumShards, "slab beyond the largest pool bucket");
   {
-    std::lock_guard<std::mutex> lock(mu_);
-    const size_t idx = BucketIndex(cap);
-    if (idx < free_.size() && !free_[idx].empty()) {
-      double* p = free_[idx].back();
-      free_[idx].pop_back();
+    Shard& shard = shards_[idx];
+    std::unique_lock<std::mutex> lock = LockShard(shard);
+    if (!shard.slabs.empty()) {
+      double* p = shard.slabs.back();
+      shard.slabs.pop_back();
       hits_.fetch_add(1, std::memory_order_relaxed);
       free_slabs_.fetch_sub(1, std::memory_order_relaxed);
       free_bytes_.fetch_sub(cap * sizeof(double), std::memory_order_relaxed);
@@ -62,24 +73,25 @@ void BufferPool::Release(double* p, size_t capacity) {
   live_bytes_.fetch_sub(capacity * sizeof(double), std::memory_order_relaxed);
   free_slabs_.fetch_add(1, std::memory_order_relaxed);
   free_bytes_.fetch_add(capacity * sizeof(double), std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(mu_);
   const size_t idx = BucketIndex(capacity);
-  if (idx >= free_.size()) free_.resize(idx + 1);
-  free_[idx].push_back(p);
+  BSG_CHECK(idx < kNumShards, "slab beyond the largest pool bucket");
+  Shard& shard = shards_[idx];
+  std::unique_lock<std::mutex> lock = LockShard(shard);
+  shard.slabs.push_back(p);
 }
 
 uint64_t BufferPool::Trim() {
-  std::vector<std::vector<double*>> drained;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    drained.swap(free_);
-  }
   uint64_t slabs = 0, bytes = 0;
-  for (size_t idx = 0; idx < drained.size(); ++idx) {
+  for (size_t idx = 0; idx < kNumShards; ++idx) {
+    std::vector<double*> drained;
+    {
+      std::unique_lock<std::mutex> lock = LockShard(shards_[idx]);
+      drained.swap(shards_[idx].slabs);
+    }
     const size_t cap = kMinSlabDoubles << idx;
-    slabs += drained[idx].size();
-    bytes += drained[idx].size() * cap * sizeof(double);
-    for (double* p : drained[idx]) delete[] p;
+    slabs += drained.size();
+    bytes += drained.size() * cap * sizeof(double);
+    for (double* p : drained) delete[] p;
   }
   trims_.fetch_add(1, std::memory_order_relaxed);
   trimmed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
@@ -99,6 +111,7 @@ BufferPoolStats BufferPool::Stats() const {
   s.free_slabs = free_slabs_.load(std::memory_order_relaxed);
   s.free_bytes = free_bytes_.load(std::memory_order_relaxed);
   s.live_bytes = live_bytes_.load(std::memory_order_relaxed);
+  s.lock_contention = lock_contention_.load(std::memory_order_relaxed);
   return s;
 }
 
@@ -137,6 +150,7 @@ BufferPoolStats TensorArena::Delta() const {
   d.releases = now.releases - start_.releases;
   d.trims = now.trims - start_.trims;
   d.trimmed_bytes = now.trimmed_bytes - start_.trimmed_bytes;
+  d.lock_contention = now.lock_contention - start_.lock_contention;
   d.free_slabs = now.free_slabs;
   d.free_bytes = now.free_bytes;
   d.live_bytes = now.live_bytes;

@@ -12,9 +12,12 @@
 //     released slab is reusable by any request that rounds to the same
 //     bucket and the pool holds at most O(log n) distinct size classes.
 //   - Thread-safe: ops allocate from pool workers and the batch prefetcher's
-//     producer thread. One mutex guards the free lists (acquire/release are
-//     a pointer push/pop; the critical section is tiny next to any kernel),
-//     counters are atomics readable without the lock.
+//     producer thread. The free lists are sharded per bucket — every size
+//     class has its own cache-line-aligned mutex + stack — so threads only
+//     contend when they race on the *same* slab size (acquire/release are a
+//     pointer push/pop; the critical section is tiny next to any kernel).
+//     Lock waits are counted in stats.lock_contention; counters are atomics
+//     readable without any lock.
 //   - Slabs are never scrubbed: Acquire returns stale contents. Matrix keeps
 //     its vector-like fill semantics on top; kernels that overwrite every
 //     element use Matrix::Uninit and skip the fill entirely.
@@ -50,6 +53,10 @@ struct BufferPoolStats {
   uint64_t free_slabs = 0;  ///< slabs parked in free lists right now
   uint64_t free_bytes = 0;  ///< bytes parked in free lists right now
   uint64_t live_bytes = 0;  ///< bytes in slabs currently handed out
+  /// Acquire/Release calls that found their bucket's lock already held and
+  /// had to wait. With per-bucket shards this stays ~0 unless threads race
+  /// on the same size class.
+  uint64_t lock_contention = 0;
 
   double HitRate() const {
     return acquires == 0 ? 0.0
@@ -64,6 +71,11 @@ class BufferPool {
   /// Smallest slab capacity, in doubles. Requests below this round up so
   /// tiny matrices (1x1 losses, bias rows) share one bucket.
   static constexpr size_t kMinSlabDoubles = 64;
+
+  /// Number of per-bucket free-list shards. Bucket i holds slabs of
+  /// kMinSlabDoubles << i doubles, so 40 shards cover slabs up to ~2^45
+  /// doubles — far beyond any allocatable size on this hardware.
+  static constexpr size_t kNumShards = 40;
 
   /// The process-wide pool used by Matrix. Never destroyed (slabs released
   /// from static-storage matrices at exit must still have a home).
@@ -96,8 +108,16 @@ class BufferPool {
   BufferPool() = default;
   ~BufferPool() = delete;  // global: intentionally leaked
 
-  mutable std::mutex mu_;
-  std::vector<std::vector<double*>> free_;  // [bucket] -> LIFO slab stack
+  /// One free list per size class, each on its own cache line so bucket
+  /// locks never false-share.
+  struct alignas(64) Shard {
+    std::mutex mu;
+    std::vector<double*> slabs;  // LIFO stack
+  };
+  /// Locks `shard.mu`, counting a contention event if it was already held.
+  std::unique_lock<std::mutex> LockShard(Shard& shard);
+
+  Shard shards_[kNumShards];
 
   std::atomic<uint64_t> acquires_{0};
   std::atomic<uint64_t> hits_{0};
@@ -108,6 +128,7 @@ class BufferPool {
   std::atomic<uint64_t> free_slabs_{0};
   std::atomic<uint64_t> free_bytes_{0};
   std::atomic<uint64_t> live_bytes_{0};
+  std::atomic<uint64_t> lock_contention_{0};
 };
 
 /// RAII handle to one pooled slab with vector-like value semantics: copies
