@@ -1,0 +1,312 @@
+// Machine-readable concurrent-serving benchmark: the ServingFrontend's
+// worker-count sweep (cold/warm batched throughput at 1/2/4 workers — the
+// repo's first multi-core-ready serving datapoint), warm single-target
+// latency percentiles through the queue vs the direct engine (the queueing
+// overhead), a deliberate-overload run (bounded queue, exact shed
+// accounting, conservation asserted), and a hot graph swap (stale-version
+// purge counters; zero stale residents asserted). Writes a flat JSON
+// metrics file — scripts/bench.sh runs this and checks in BENCH_pr7.json,
+// the fifth datapoint of the perf trajectory.
+//
+// The acceptance contract of the PR is asserted at every size: no-overload
+// sweeps shed nothing and every worker count reproduces the serial
+// engine's logits bit-for-bit; the overload run conserves every request
+// (submitted == served + shed + closed) with a bounded queue; the swap
+// leaves zero stale-version residents.
+//
+//   bench_pr7_frontend [--out=BENCH_pr7.json] [--threads=T] [--users=600]
+//                      [--chunks=16] [--clients=4] [--reps=3] [--smoke]
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "serve/frontend.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bsg;
+using bsg::bench::Percentile;
+
+namespace {
+
+// Scores every chunk through the front-end from `clients` submitting
+// threads and returns the wall time; scores land in order in `out`.
+double RunStream(ServingFrontend* frontend,
+                 const std::vector<std::vector<int>>& chunks, int clients,
+                 std::vector<std::vector<Score>>* out) {
+  out->assign(chunks.size(), {});
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      // Each client owns a strided slice of the stream and waits on its
+      // own futures — submission and completion interleave across clients.
+      std::vector<std::pair<size_t, std::future<FrontendResult>>> futures;
+      for (size_t i = static_cast<size_t>(c); i < chunks.size();
+           i += static_cast<size_t>(clients)) {
+        futures.emplace_back(i, frontend->Submit(chunks[i]));
+      }
+      for (auto& [i, f] : futures) {
+        FrontendResult res = f.get();
+        BSG_CHECK(res.status == RequestStatus::kOk,
+                  "no-overload stream must never shed");
+        (*out)[i] = std::move(res.scores);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.Seconds();
+}
+
+void CheckBitIdentical(const std::vector<std::vector<Score>>& got,
+                       const std::vector<std::vector<Score>>& oracle) {
+  BSG_CHECK(got.size() == oracle.size(), "lost requests");
+  for (size_t r = 0; r < got.size(); ++r) {
+    BSG_CHECK(got[r].size() == oracle[r].size(), "lost scores");
+    for (size_t i = 0; i < got[r].size(); ++i) {
+      BSG_CHECK(std::memcmp(&got[r][i].logit_human,
+                            &oracle[r][i].logit_human, sizeof(double)) == 0 &&
+                    std::memcmp(&got[r][i].logit_bot, &oracle[r][i].logit_bot,
+                                sizeof(double)) == 0,
+                "front-end logits drifted from the serial engine oracle");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv, {"smoke"});
+  const bool smoke = flags.Has("smoke");
+  SetNumThreads(flags.GetInt("threads", 0));
+  const int users = flags.GetInt("users", smoke ? 240 : 600);
+  const int num_chunks = flags.GetInt("chunks", smoke ? 6 : 16);
+  const int clients = flags.GetInt("clients", 4);
+  const int reps = flags.GetInt("reps", smoke ? 1 : 3);
+  const std::string out_path = flags.GetString("out", "BENCH_pr7.json");
+
+  bench::PrintHeader("PR7 concurrent front-end: worker sweep + shed + swap");
+  bench::BenchJson json;
+  json.Str("meta.bench", "pr7_frontend");
+  json.Num("meta.threads", NumThreads());
+  // The sweep's scaling headroom is bounded by the machine: on a 1-core
+  // host the worker counts timeshare and the curve is legitimately flat.
+  json.Num("meta.hardware_cores",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  json.Num("meta.smoke", smoke ? 1 : 0);
+  json.Num("meta.users", users);
+  json.Num("meta.clients", clients);
+  json.Num("meta.reps", reps);
+
+  // --- the serving subject: same recipe as bench_pr4/pr5/pr6 --------------
+  DatasetConfig dc = Twibot20Sim();
+  dc.num_users = users;
+  dc.tweets_per_user = 12;
+  dc.seed = 17;
+  HeteroGraph g = BuildBenchmarkGraph(dc);
+
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = smoke ? 10 : 30;
+  cfg.subgraph.k = smoke ? 12 : 24;
+  cfg.hidden = smoke ? 12 : 32;
+  cfg.max_epochs = smoke ? 4 : 10;
+  cfg.min_epochs = cfg.max_epochs;
+  Bsg4Bot model(g, cfg);
+  model.Fit();
+
+  // Engine-width chunks over mostly-distinct targets: the cold pass is
+  // assembly-bound (PPR + top-k per miss), which is exactly the work the
+  // worker pool can overlap.
+  EngineConfig ecfg;
+  ecfg.cache_capacity = static_cast<size_t>(g.num_nodes);
+  const int width = model.config().batch_size;
+  Rng rng(99);
+  std::vector<std::vector<int>> chunks(static_cast<size_t>(num_chunks));
+  for (auto& chunk : chunks) {
+    chunk.resize(static_cast<size_t>(width));
+    for (int& t : chunk) t = static_cast<int>(rng.UniformInt(g.num_nodes));
+  }
+  const double total_targets = static_cast<double>(num_chunks) * width;
+  json.Num("meta.stream_targets", total_targets);
+
+  // Serial oracle: the single-threaded engine over the same chunks.
+  std::vector<std::vector<Score>> oracle(chunks.size());
+  {
+    DetectionEngine engine(&model, ecfg);
+    for (size_t r = 0; r < chunks.size(); ++r) {
+      oracle[r] = engine.ScoreBatch(chunks[r]);
+    }
+  }
+
+  // --- worker sweep: cold + warm throughput, bit-identity, zero sheds -----
+  for (int workers : {1, 2, 4}) {
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = workers;
+    fcfg.queue_capacity = chunks.size();  // no-overload by construction
+    ServingFrontend frontend(&engine, fcfg);
+
+    double cold = 1e300, warm = 1e300;
+    std::vector<std::vector<Score>> got;
+    for (int r = 0; r < reps; ++r) {
+      engine.cache().Clear();
+      cold = std::min(cold, RunStream(&frontend, chunks, clients, &got));
+      CheckBitIdentical(got, oracle);
+      warm = std::min(warm, RunStream(&frontend, chunks, clients, &got));
+      CheckBitIdentical(got, oracle);
+    }
+    FrontendStats fs = frontend.Stats();
+    BSG_CHECK(fs.shed_requests == 0, "no-overload sweep shed a request");
+    BSG_CHECK(fs.served_requests ==
+                  static_cast<uint64_t>(num_chunks) * 2 * reps,
+              "sweep lost requests");
+
+    const std::string p = "sweep.w" + std::to_string(workers) + ".";
+    json.Num(p + "cold_targets_per_s", total_targets / cold);
+    json.Num(p + "warm_targets_per_s", total_targets / warm);
+    json.Num(p + "shed_requests", static_cast<double>(fs.shed_requests));
+    json.Num(p + "queue_depth_peak", static_cast<double>(fs.queue_depth_peak));
+    std::printf(
+        "workers=%d: cold %8.1f targets/s, warm %8.1f targets/s, "
+        "shed 0, bit-identical to serial oracle\n",
+        workers, total_targets / cold, total_targets / warm);
+  }
+
+  // --- warm single-target latency: queue overhead vs the direct engine ----
+  {
+    DetectionEngine engine(&model, ecfg);
+    const int singles = smoke ? 60 : 200;
+    std::vector<int> hot(static_cast<size_t>(singles));
+    for (int& t : hot) t = static_cast<int>(rng.UniformInt(g.num_nodes));
+    for (int t : hot) engine.ScoreOne(t);  // warm the cache
+
+    std::vector<double> direct_ms, queued_ms;
+    for (int t : hot) {
+      WallTimer timer;
+      engine.ScoreOne(t);
+      direct_ms.push_back(timer.Millis());
+    }
+    FrontendConfig fcfg;
+    fcfg.workers = 1;
+    ServingFrontend frontend(&engine, fcfg);
+    for (int t : hot) {
+      WallTimer timer;
+      FrontendResult res = frontend.ScoreOne(t);
+      BSG_CHECK(res.status == RequestStatus::kOk, "warm single shed");
+      queued_ms.push_back(timer.Millis());
+    }
+    json.Num("single.direct_p50_ms", Percentile(direct_ms, 0.50));
+    json.Num("single.direct_p95_ms", Percentile(direct_ms, 0.95));
+    json.Num("single.queued_p50_ms", Percentile(queued_ms, 0.50));
+    json.Num("single.queued_p95_ms", Percentile(queued_ms, 0.95));
+    std::printf("warm single p95: direct %.3f ms, through front-end %.3f ms\n",
+                Percentile(direct_ms, 0.95), Percentile(queued_ms, 0.95));
+  }
+
+  // --- deliberate overload: bounded queue, sheds reported, conservation ---
+  {
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = 4;  // clients outrun the queue on purpose
+    ServingFrontend frontend(&engine, fcfg);
+
+    const int blast_clients = 8;
+    const int per_client = smoke ? 8 : 24;
+    std::atomic<uint64_t> ok{0}, shed{0};
+    std::vector<std::thread> threads;
+    for (int c = 0; c < blast_clients; ++c) {
+      threads.emplace_back([&, c] {
+        Rng local(static_cast<uint64_t>(1000 + c));
+        for (int i = 0; i < per_client; ++i) {
+          FrontendResult res = frontend.ScoreOne(
+              static_cast<int>(local.UniformInt(g.num_nodes)));
+          (res.status == RequestStatus::kOk ? ok : shed).fetch_add(1);
+        }
+      });
+    }
+    for (std::thread& t : threads) t.join();
+    frontend.Close();
+
+    FrontendStats fs = frontend.Stats();
+    BSG_CHECK(fs.submitted_requests ==
+                  static_cast<uint64_t>(blast_clients) * per_client,
+              "overload lost submissions");
+    BSG_CHECK(fs.submitted_requests == fs.served_requests +
+                                           fs.shed_requests +
+                                           fs.closed_requests,
+              "overload accounting identity violated");
+    BSG_CHECK(fs.served_requests == ok.load() &&
+                  fs.shed_requests == shed.load(),
+              "stats disagree with what the clients observed");
+    BSG_CHECK(fs.queue_depth_peak <= fcfg.queue_capacity,
+              "queue exceeded its bound");
+    json.Num("overload.submitted", static_cast<double>(fs.submitted_requests));
+    json.Num("overload.served", static_cast<double>(fs.served_requests));
+    json.Num("overload.shed", static_cast<double>(fs.shed_requests));
+    json.Num("overload.shed_rate", fs.ShedRate());
+    json.Num("overload.queue_depth_peak",
+             static_cast<double>(fs.queue_depth_peak));
+    std::printf(
+        "overload: %llu submitted -> %llu served + %llu shed "
+        "(rate %.3f), queue peak %llu (cap %zu)\n",
+        static_cast<unsigned long long>(fs.submitted_requests),
+        static_cast<unsigned long long>(fs.served_requests),
+        static_cast<unsigned long long>(fs.shed_requests), fs.ShedRate(),
+        static_cast<unsigned long long>(fs.queue_depth_peak),
+        fcfg.queue_capacity);
+  }
+
+  // --- hot swap: purge counters, zero stale-version residents -------------
+  {
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = chunks.size();
+    ServingFrontend frontend(&engine, fcfg);
+
+    std::vector<std::vector<Score>> got;
+    RunStream(&frontend, chunks, clients, &got);  // populate version 0
+    const SubgraphCacheStats before = engine.cache().Stats();
+
+    WallTimer timer;
+    frontend.SwapGraph(&model, engine.graph_version() + 1);
+    const double swap_ms = timer.Millis();
+
+    const SubgraphCacheStats after = engine.cache().Stats();
+    BSG_CHECK(after.entries == 0, "stale-version residents survived swap");
+    BSG_CHECK(after.version_evictions - before.version_evictions ==
+                  before.entries,
+              "purge count does not balance the pre-swap residency");
+
+    RunStream(&frontend, chunks, clients, &got);  // re-assemble at version 1
+    CheckBitIdentical(got, oracle);  // same weights -> same logits
+    const SubgraphCacheStats rewarmed = engine.cache().Stats();
+    BSG_CHECK(rewarmed.inserts == rewarmed.entries + rewarmed.evictions +
+                                      rewarmed.version_evictions,
+              "cache books do not balance after the swap");
+
+    json.Num("swap.resident_before", static_cast<double>(before.entries));
+    json.Num("swap.version_evictions",
+             static_cast<double>(after.version_evictions));
+    json.Num("swap.stale_residents_after", static_cast<double>(after.entries));
+    json.Num("swap.barrier_ms", swap_ms);
+    json.Num("swap.graph_swaps",
+             static_cast<double>(frontend.Stats().graph_swaps));
+    std::printf(
+        "swap: purged %llu stale subgraph(s) in %.3f ms, 0 stale residents, "
+        "post-swap logits bit-identical\n",
+        static_cast<unsigned long long>(after.version_evictions), swap_ms);
+  }
+
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("metrics written to %s\n", out_path.c_str());
+  return 0;
+}

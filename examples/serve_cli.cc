@@ -22,9 +22,23 @@
 // object per scored account; engine/cache stats go to stderr with --stats.
 // --precision=f32 serves through the model's float shadow (vectorized
 // mixed-precision path); the default f64 stays bit-identical to training.
+//
+// Concurrent serving: --workers=N routes requests through the
+// ServingFrontend (bounded queue via --queue-cap, latency shedding via
+// --shed-p95-ms). The target list is split into engine-width chunks — the
+// same compositions the serial path scores — so logits are bit-identical
+// at any worker count (the CI smoke diffs --workers=4 against
+// --workers=1). --swap-demo exercises the hot-swap path: a SIGHUP handler
+// restores a standby model from the same checkpoint and SwapGraph()s to
+// it mid-serve (the demo raises the signal itself; `kill -HUP` lands the
+// same way), then verifies the purge counters and post-swap bit-identity.
+#include <algorithm>
 #include <cmath>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <future>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -32,13 +46,19 @@
 #include "datagen/config.h"
 #include "features/feature_pipeline.h"
 #include "io/checkpoint.h"
-#include "serve/engine.h"
+#include "serve/frontend.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
 using namespace bsg;
 
 namespace {
+
+// Set by the SIGHUP handler, polled by the serve path: the operator's
+// "new graph snapshot is ready" signal.
+volatile std::sig_atomic_t g_swap_requested = 0;
+
+void OnSigHup(int) { g_swap_requested = 1; }
 
 void PrintUsage() {
   std::printf(
@@ -55,8 +75,18 @@ void PrintUsage() {
       "                        bit-exact oracle; f32 is the vectorized\n"
       "                        mixed-precision path)\n"
       "  --cache-capacity=N    max cached subgraphs (default 4096)\n"
+      "  --workers=N           serve through the concurrent front-end with\n"
+      "                        N worker threads (0 = direct engine path;\n"
+      "                        logits are bit-identical either way)\n"
+      "  --queue-cap=N         bounded request queue depth (default 256;\n"
+      "                        a full queue sheds, it never blocks)\n"
+      "  --shed-p95-ms=X       latency budget: shed when the estimated\n"
+      "                        queueing delay exceeds X ms (0 = off)\n"
+      "  --swap-demo           hot-swap on SIGHUP: restore a standby model\n"
+      "                        from the same checkpoint, SwapGraph() to it,\n"
+      "                        verify the stale-version purge + bit-identity\n"
       "  --score-out=PATH      write JSON lines here instead of stdout\n"
-      "  --stats               engine/cache counters to stderr\n");
+      "  --stats               engine/cache/front-end counters to stderr\n");
 }
 
 Result<DatasetConfig> PresetConfig(const std::string& preset) {
@@ -163,6 +193,50 @@ bool VerifyScaler(const Checkpoint& ckpt, const std::string& prefix,
   return means != nullptr && stddevs != nullptr &&
          SameRowVector(*means, scaler.means()) &&
          SameRowVector(*stddevs, scaler.stddevs());
+}
+
+// Scores through the front-end, splitting the target list into
+// engine-width chunks so every request carries the same batch composition
+// the serial path would score — that is what keeps logits bit-identical
+// across worker counts. Shed requests are counted, not silently skipped.
+std::vector<Score> ScoreThroughFrontend(ServingFrontend* frontend, int width,
+                                        const std::vector<int>& targets,
+                                        bool single, uint64_t* shed_requests) {
+  std::vector<std::future<FrontendResult>> futures;
+  if (single) {
+    for (int t : targets) futures.push_back(frontend->SubmitOne(t));
+  } else {
+    for (size_t b = 0; b < targets.size(); b += static_cast<size_t>(width)) {
+      const size_t e = std::min(targets.size(), b + static_cast<size_t>(width));
+      futures.push_back(frontend->Submit(
+          std::vector<int>(targets.begin() + b, targets.begin() + e)));
+    }
+  }
+  std::vector<Score> scores;
+  scores.reserve(targets.size());
+  uint64_t shed = 0;
+  for (std::future<FrontendResult>& f : futures) {
+    FrontendResult res = f.get();
+    if (res.status == RequestStatus::kOk) {
+      scores.insert(scores.end(), res.scores.begin(), res.scores.end());
+    } else {
+      ++shed;
+    }
+  }
+  *shed_requests = shed;
+  return scores;
+}
+
+bool SameLogits(const std::vector<Score>& a, const std::vector<Score>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (std::memcmp(&a[i].logit_human, &b[i].logit_human, sizeof(double)) !=
+            0 ||
+        std::memcmp(&a[i].logit_bot, &b[i].logit_bot, sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return true;
 }
 
 int TrainAndSave(const FlagParser& flags, const std::string& ckpt_path) {
@@ -305,6 +379,23 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
   ecfg.precision = precision == "f32" ? EngineConfig::Precision::kF32
                                       : EngineConfig::Precision::kF64;
   DetectionEngine engine(&model, ecfg);
+  // The hot-swap demo's standby model: declared before the front-end so it
+  // outlives the workers that may be scoring through it.
+  std::unique_ptr<Bsg4Bot> standby;
+
+  const int workers = flags.GetInt("workers", 0);
+  if (workers < 0) {
+    std::fprintf(stderr, "--workers must be >= 0\n");
+    return 1;
+  }
+  std::unique_ptr<ServingFrontend> frontend;
+  if (workers >= 1) {
+    FrontendConfig fcfg;
+    fcfg.workers = workers;
+    fcfg.queue_capacity = static_cast<size_t>(flags.GetInt("queue-cap", 256));
+    fcfg.shed_p95_ms = flags.GetDouble("shed-p95-ms", 0.0);
+    frontend = std::make_unique<ServingFrontend>(&engine, fcfg);
+  }
 
   std::vector<int> targets = ResolveTargets(flags, graph);
   if (!ValidateTargets(targets, graph.num_nodes)) return 1;
@@ -316,14 +407,85 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
       return 1;
     }
   }
-  if (flags.Has("single")) {
-    for (int t : targets) PrintScore(out, engine.ScoreOne(t), precision.c_str());
+  const bool single = flags.Has("single");
+  if (flags.Has("swap-demo")) std::signal(SIGHUP, OnSigHup);
+
+  std::vector<Score> scores;
+  if (frontend != nullptr) {
+    uint64_t shed = 0;
+    scores = ScoreThroughFrontend(frontend.get(), engine.batch_size(),
+                                  targets, single, &shed);
+    if (shed > 0) {
+      std::fprintf(stderr,
+                   "front-end shed %llu request(s) — raise --queue-cap or "
+                   "--shed-p95-ms to serve the full list\n",
+                   static_cast<unsigned long long>(shed));
+    }
+  } else if (single) {
+    for (int t : targets) scores.push_back(engine.ScoreOne(t));
   } else {
-    for (const Score& s : engine.ScoreBatch(targets)) {
-      PrintScore(out, s, precision.c_str());
+    scores = engine.ScoreBatch(targets);
+  }
+  for (const Score& s : scores) PrintScore(out, s, precision.c_str());
+  if (out != stdout) std::fclose(out);
+
+  if (flags.Has("swap-demo")) {
+    // The demo raises the operator's signal itself so the whole hot-swap
+    // path runs unattended; an external `kill -HUP` takes the same route.
+    std::raise(SIGHUP);
+    if (g_swap_requested != 0) {
+      g_swap_requested = 0;
+      // Restore the standby from the same checkpoint: same weights, so the
+      // swap's correctness is directly observable — stale entries purged,
+      // post-swap logits bit-identical to the pre-swap pass.
+      Result<Bsg4BotConfig> standby_cfg = Bsg4Bot::CheckpointConfig(ckpt);
+      if (!standby_cfg.ok()) {
+        std::fprintf(stderr, "%s\n", standby_cfg.status().ToString().c_str());
+        return 1;
+      }
+      standby = std::make_unique<Bsg4Bot>(graph, standby_cfg.MoveValueOrDie());
+      Status restore = standby->RestoreFromCheckpoint(ckpt);
+      if (!restore.ok()) {
+        std::fprintf(stderr, "standby restore failed: %s\n",
+                     restore.ToString().c_str());
+        return 1;
+      }
+      const SubgraphCacheStats before = engine.cache().Stats();
+      const uint64_t next_version = engine.graph_version() + 1;
+      if (frontend != nullptr) {
+        frontend->SwapGraph(standby.get(), next_version);
+      } else {
+        engine.SwapModel(standby.get(), next_version);
+      }
+      const SubgraphCacheStats after = engine.cache().Stats();
+      const uint64_t stale_residents = after.entries;  // purge empties it
+
+      std::vector<Score> rescored;
+      if (frontend != nullptr) {
+        uint64_t shed = 0;
+        rescored = ScoreThroughFrontend(frontend.get(), engine.batch_size(),
+                                        targets, single, &shed);
+      } else if (single) {
+        for (int t : targets) rescored.push_back(engine.ScoreOne(t));
+      } else {
+        rescored = engine.ScoreBatch(targets);
+      }
+      const bool identical = SameLogits(scores, rescored);
+      std::fprintf(
+          stderr,
+          "swap demo: SIGHUP -> graph version %llu; purged %llu stale "
+          "subgraph(s) (version_evictions %llu -> %llu, residents after "
+          "swap %llu); post-swap logits bit-identical: %s\n",
+          static_cast<unsigned long long>(next_version),
+          static_cast<unsigned long long>(after.version_evictions -
+                                          before.version_evictions),
+          static_cast<unsigned long long>(before.version_evictions),
+          static_cast<unsigned long long>(after.version_evictions),
+          static_cast<unsigned long long>(stale_residents),
+          identical ? "yes" : "NO");
+      if (!identical || stale_residents != 0) return 1;
     }
   }
-  if (out != stdout) std::fclose(out);
 
   if (flags.Has("stats")) {
     EngineStats s = engine.Stats();
@@ -350,6 +512,22 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
                  static_cast<unsigned long long>(s.stacker.carcass_reuses),
                  static_cast<unsigned long long>(s.stacker.csr_reuses),
                  static_cast<unsigned long long>(s.stacker.weights_f32_reuses));
+    if (frontend != nullptr) {
+      FrontendStats fs = frontend->Stats();
+      std::fprintf(
+          stderr,
+          "front-end: %d workers, %llu requests (%llu served, %llu shed "
+          "[%llu queue-full, %llu latency], shed rate %.3f), queue depth "
+          "peak %llu, %llu graph swap(s), est %.3f ms/target\n",
+          workers, static_cast<unsigned long long>(fs.submitted_requests),
+          static_cast<unsigned long long>(fs.served_requests),
+          static_cast<unsigned long long>(fs.shed_requests),
+          static_cast<unsigned long long>(fs.shed_queue_full),
+          static_cast<unsigned long long>(fs.shed_latency), fs.ShedRate(),
+          static_cast<unsigned long long>(fs.queue_depth_peak),
+          static_cast<unsigned long long>(fs.graph_swaps),
+          fs.ms_per_target_estimate);
+    }
   }
   return 0;
 }
@@ -357,7 +535,10 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  FlagParser flags(argc, argv);
+  // Declaring the booleans keeps a bare `--stats ids.txt` from swallowing
+  // the file as the flag's value (util/flags.h).
+  FlagParser flags(argc, argv,
+                   {"train", "single", "stats", "help", "swap-demo"});
   if (flags.Has("help")) {
     PrintUsage();
     return 0;

@@ -9,16 +9,22 @@
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
 #    test_parallel, test_buffer_pool, test_subgraph_cache,
-#    test_ppr_workspace) so data races in the producer/consumer pipeline,
-#    the thread pool, the pooled-slab handoff, the serving cache's
-#    single-flight path and the per-thread subgraph workspaces fail CI
+#    test_ppr_workspace, test_frontend) so data races in the
+#    producer/consumer pipeline, the thread pool, the pooled-slab handoff,
+#    the serving cache's single-flight path, the per-thread subgraph
+#    workspaces and the concurrent serving front-end (worker pool, shed
+#    accounting, hot swap, Stats polling) fail CI
 # 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
 #    scripts/bench.sh JSON emitter at small sizes (bench_pr5_assembly
 #    asserts zero warm-call heap allocations in the PPR workspace)
 # 5. serve smoke: train a tiny model, save a checkpoint, load it in a fresh
 #    process, score the test split through the DetectionEngine and diff the
 #    JSON-lines output (logits at %.17g) against the in-memory model's —
-#    the bit-identity contract of the serving subsystem, end to end
+#    the bit-identity contract of the serving subsystem, end to end; then
+#    re-serve through the concurrent front-end at --workers=1 and
+#    --workers=4 and diff those too (worker count must not perturb logits),
+#    and run the --swap-demo hot-swap path (SIGHUP -> SwapGraph -> stale
+#    purge -> post-swap bit-identity, verified in-process)
 # 6. BSG_MARCH_NATIVE=ON build running the f32 suites: the mixed-precision
 #    parity tolerance must hold under full-width SIMD codegen too, not just
 #    the portable baseline
@@ -46,7 +52,7 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
   --target test_prefetcher test_parallel test_buffer_pool \
-  test_subgraph_cache test_ppr_workspace
+  test_subgraph_cache test_ppr_workspace test_frontend
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -58,6 +64,8 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_subgraph_cache"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_ppr_workspace"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_frontend"
 
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
@@ -78,6 +86,23 @@ trap 'rm -rf "$SERVE_TMP"' EXIT
   --score-out="$SERVE_TMP/serve_scores.jsonl" --stats
 diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_scores.jsonl"
 echo "serve smoke: checkpointed engine logits bit-identical to the trained model"
+
+echo "=== concurrent serve smoke (--workers=4 vs --workers=1 logit diff) ==="
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_w1.jsonl" --workers=1
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_w4.jsonl" --workers=4 --stats
+diff "$SERVE_TMP/serve_w1.jsonl" "$SERVE_TMP/serve_w4.jsonl"
+diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_w4.jsonl"
+echo "concurrent serve smoke: 4-worker front-end logits bit-identical to 1-worker and to the trained model"
+
+echo "=== hot-swap smoke (SIGHUP -> SwapGraph -> purge -> bit-identity) ==="
+# serve_cli exits non-zero if stale-version entries survive the swap or the
+# post-swap logits drift, so this line alone is the assertion.
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_swap.jsonl" --workers=2 --swap-demo
+diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_swap.jsonl"
+echo "hot-swap smoke: stale versions purged, post-swap logits bit-identical"
 
 echo "=== BSG_MARCH_NATIVE=ON: f32 parity under native SIMD ==="
 NATIVE_BUILD_DIR="${BUILD_DIR}-native"

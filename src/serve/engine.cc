@@ -19,132 +19,228 @@ double BotProbability(double logit_human, double logit_bot) {
 
 }  // namespace
 
+/// Returns the scratch to the free list when the call unwinds.
+class DetectionEngine::ScratchLease {
+ public:
+  explicit ScratchLease(DetectionEngine* engine)
+      : engine_(engine), scratch_(engine->AcquireScratch()) {}
+  ~ScratchLease() { engine_->ReleaseScratch(scratch_); }
+  ScratchLease(const ScratchLease&) = delete;
+  ScratchLease& operator=(const ScratchLease&) = delete;
+  CallScratch& operator*() const { return *scratch_; }
+
+ private:
+  DetectionEngine* const engine_;
+  CallScratch* const scratch_;
+};
+
 DetectionEngine::DetectionEngine(Bsg4Bot* model, EngineConfig cfg)
     : model_(model),
       cfg_(cfg),
       batch_size_(cfg.batch_size > 0 ? cfg.batch_size
                                      : model->config().batch_size),
-      cache_(cfg.cache_capacity),
-      stacker_(model->graph().num_relations(),
-               /*with_f32_weights=*/cfg.precision ==
-                   EngineConfig::Precision::kF32) {
-  BSG_CHECK(model_ != nullptr, "null model");
-  BSG_CHECK(model_->inference_ready(),
+      num_relations_(model->graph().num_relations()),
+      graph_version_(cfg.graph_version),
+      cache_(cfg.cache_capacity) {
+  BSG_CHECK(model != nullptr, "null model");
+  BSG_CHECK(model->inference_ready(),
             "DetectionEngine needs an inference-ready model "
             "(Fit() or LoadCheckpoint() first)");
   BSG_CHECK(batch_size_ > 0, "non-positive engine batch size");
   if (cfg_.precision == EngineConfig::Precision::kF32) {
     // One narrowing pass over the parameters; every subsequent f32 forward
     // reads the shadow.
-    model_->EnsureF32Shadow();
+    model->EnsureF32Shadow();
   }
   if (cfg_.trim_pool_on_start) {
     // Train->inference phase boundary: the pool's parked slabs are sized
     // for training's peak working set (full-width batches, gradients,
     // optimiser state) — serving re-warms only what it needs.
-    stats_.pool_trimmed_bytes = BufferPool::Global().Trim();
+    pool_trimmed_bytes_.store(BufferPool::Global().Trim(),
+                              std::memory_order_relaxed);
   }
 }
 
 DetectionEngine::~DetectionEngine() = default;
 
+DetectionEngine::CallScratch* DetectionEngine::AcquireScratch() {
+  {
+    std::lock_guard<std::mutex> lock(scratch_mu_);
+    if (!free_scratch_.empty()) {
+      CallScratch* cs = free_scratch_.back();
+      free_scratch_.pop_back();
+      return cs;
+    }
+  }
+  // First call on this concurrency level: grow the pool. Constructed
+  // outside the lock (BatchStacker construction allocates), registered
+  // under it.
+  auto fresh = std::make_unique<CallScratch>(
+      num_relations_, cfg_.precision == EngineConfig::Precision::kF32);
+  CallScratch* cs = fresh.get();
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  all_scratch_.push_back(std::move(fresh));
+  return cs;
+}
+
+void DetectionEngine::ReleaseScratch(CallScratch* scratch) {
+  scratch->pending.clear();
+  scratch->held.clear();
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  free_scratch_.push_back(scratch);
+}
+
 Score DetectionEngine::ScoreOne(int target) {
+  ScratchLease lease(this);
+  CallScratch& cs = *lease;
+  cs.model = model_.load(std::memory_order_acquire);
+  cs.version = graph_version_.load(std::memory_order_acquire);
   std::shared_ptr<const BiasedSubgraph> sub = cache_.GetOrBuild(
-      target, cfg_.graph_version,
-      [this](int t) { return model_->AssembleSubgraph(t); });
-  chunk_scratch_.assign(1, target);
-  subs_scratch_.assign(1, sub.get());
-  SubgraphBatch batch = stacker_.Stack(subs_scratch_, chunk_scratch_);
+      target, cs.version,
+      [&cs](int t) { return cs.model->AssembleSubgraph(t); });
+  cs.chunk.assign(1, target);
+  cs.subs.assign(1, sub.get());
+  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
   Score score;
-  ScoreAssembled(batch, &score);
-  stacker_.Recycle(std::move(batch));
-  ++stats_.single_requests;
-  ++stats_.targets_scored;
+  ScoreAssembled(cs, batch, &score);
+  cs.stacker.Recycle(std::move(batch));
+  single_requests_.fetch_add(1, std::memory_order_relaxed);
+  targets_scored_.fetch_add(1, std::memory_order_relaxed);
   return score;
 }
 
 std::vector<Score> DetectionEngine::ScoreBatch(
     const std::vector<int>& targets) {
-  ++stats_.batch_requests;
+  batch_requests_.fetch_add(1, std::memory_order_relaxed);
   std::vector<Score> scores(targets.size());
   if (targets.empty()) return scores;
 
+  ScratchLease lease(this);
+  CallScratch& cs = *lease;
+  cs.model = model_.load(std::memory_order_acquire);
+  cs.version = graph_version_.load(std::memory_order_acquire);
+
   const size_t width = static_cast<size_t>(batch_size_);
   const size_t num_chunks = (targets.size() + width - 1) / width;
-  pending_targets_ = targets;
+  cs.pending = targets;
 
   if (num_chunks > 1) {
     // Coalesced streaming: chunk assembly — cache probes plus PPR builds
-    // for the misses — runs on the producer thread while this thread runs
-    // the previous chunk's forward pass.
-    if (prefetcher_ == nullptr) {
-      prefetcher_ = std::make_unique<BatchPrefetcher>(
-          [this](int index) { return AssembleChunk(index); },
+    // for the misses — runs on this scratch's producer thread while this
+    // thread runs the previous chunk's forward pass.
+    if (cs.prefetcher == nullptr) {
+      // The callback binds the scratch, not the request: scratches live as
+      // long as the engine, so the producer thread can outlive this call.
+      CallScratch* bound = &cs;
+      cs.prefetcher = std::make_unique<BatchPrefetcher>(
+          [this, bound](int index) { return AssembleChunk(*bound, index); },
           cfg_.prefetch_depth);
     }
     std::vector<int> order(num_chunks);
     std::iota(order.begin(), order.end(), 0);
-    prefetcher_->StartEpoch(std::move(order));
+    cs.prefetcher->StartEpoch(std::move(order));
     for (size_t c = 0; c < num_chunks; ++c) {
-      SubgraphBatch batch = prefetcher_->Next();
-      ScoreAssembled(batch, &scores[c * width]);
-      stacker_.Recycle(std::move(batch));
+      SubgraphBatch batch = cs.prefetcher->Next();
+      ScoreAssembled(cs, batch, &scores[c * width]);
+      cs.stacker.Recycle(std::move(batch));
     }
   } else {
-    SubgraphBatch batch = AssembleChunk(0);
-    ScoreAssembled(batch, scores.data());
-    stacker_.Recycle(std::move(batch));
+    SubgraphBatch batch = AssembleChunk(cs, 0);
+    ScoreAssembled(cs, batch, scores.data());
+    cs.stacker.Recycle(std::move(batch));
   }
-  stats_.targets_scored += targets.size();
-  pending_targets_.clear();
+  targets_scored_.fetch_add(targets.size(), std::memory_order_relaxed);
   return scores;
 }
 
-SubgraphBatch DetectionEngine::AssembleChunk(int chunk_index) {
+SubgraphBatch DetectionEngine::AssembleChunk(CallScratch& cs,
+                                             int chunk_index) {
   const size_t width = static_cast<size_t>(batch_size_);
   const size_t begin = static_cast<size_t>(chunk_index) * width;
-  const size_t end = std::min(pending_targets_.size(), begin + width);
-  chunk_scratch_.assign(pending_targets_.begin() + begin,
-                        pending_targets_.begin() + end);
+  const size_t end = std::min(cs.pending.size(), begin + width);
+  cs.chunk.assign(cs.pending.begin() + begin, cs.pending.begin() + end);
   // Hold the shared_ptrs until the batch is stacked: an eviction between
   // probe and stacking must not free a subgraph we are reading.
-  held_scratch_.clear();
-  subs_scratch_.clear();
-  for (int t : chunk_scratch_) {
-    held_scratch_.push_back(cache_.GetOrBuild(
-        t, cfg_.graph_version,
-        [this](int target) { return model_->AssembleSubgraph(target); }));
-    subs_scratch_.push_back(held_scratch_.back().get());
+  cs.held.clear();
+  cs.subs.clear();
+  for (int t : cs.chunk) {
+    cs.held.push_back(cache_.GetOrBuild(
+        t, cs.version,
+        [&cs](int target) { return cs.model->AssembleSubgraph(target); }));
+    cs.subs.push_back(cs.held.back().get());
   }
-  SubgraphBatch batch = stacker_.Stack(subs_scratch_, chunk_scratch_);
-  held_scratch_.clear();
+  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
+  cs.held.clear();
   return batch;
 }
 
-void DetectionEngine::ScoreAssembled(const SubgraphBatch& batch, Score* out) {
-  // Arena-scoped forward: the logits graph's transient slabs return to the
-  // pool when `logits` dies, so warm requests allocate nothing new.
-  TensorArena arena;
-  Matrix logits = cfg_.precision == EngineConfig::Precision::kF32
-                      ? model_->ScoreBatchF32(batch)
-                      : model_->ScoreBatch(batch);
-  for (size_t i = 0; i < batch.centers.size(); ++i) {
-    Score& s = out[i];
-    s.target = batch.centers[i];
-    s.logit_human = logits(static_cast<int>(i), 0);
-    s.logit_bot = logits(static_cast<int>(i), 1);
-    s.bot_prob = BotProbability(s.logit_human, s.logit_bot);
-    s.label = s.logit_bot > s.logit_human ? 1 : 0;
+void DetectionEngine::ScoreAssembled(CallScratch& cs,
+                                     const SubgraphBatch& batch, Score* out) {
+  {
+    // One forward at a time (shared autograd parameters + the single-slot
+    // parallel pool); other callers keep assembling meanwhile. Arena-scoped
+    // so the logits graph's transient slabs return to the pool when
+    // `logits` dies — warm requests allocate nothing new.
+    std::lock_guard<std::mutex> fwd(forward_mu_);
+    TensorArena arena;
+    Matrix logits = cfg_.precision == EngineConfig::Precision::kF32
+                        ? cs.model->ScoreBatchF32(batch)
+                        : cs.model->ScoreBatch(batch);
+    for (size_t i = 0; i < batch.centers.size(); ++i) {
+      Score& s = out[i];
+      s.target = batch.centers[i];
+      s.logit_human = logits(static_cast<int>(i), 0);
+      s.logit_bot = logits(static_cast<int>(i), 1);
+      s.bot_prob = BotProbability(s.logit_human, s.logit_bot);
+      s.label = s.logit_bot > s.logit_human ? 1 : 0;
+    }
+    pool_acquires_.fetch_add(arena.acquires(), std::memory_order_relaxed);
+    pool_hits_.fetch_add(arena.hits(), std::memory_order_relaxed);
   }
-  ++stats_.batches_run;
-  stats_.pool_acquires += arena.acquires();
-  stats_.pool_hits += arena.hits();
+  batches_run_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void DetectionEngine::SwapModel(Bsg4Bot* model, uint64_t graph_version) {
+  BSG_CHECK(model != nullptr, "null model");
+  BSG_CHECK(model->inference_ready(),
+            "SwapModel needs an inference-ready model");
+  BSG_CHECK(model->graph().num_relations() == num_relations_,
+            "SwapModel across relation counts");
+  BSG_CHECK(cfg_.batch_size > 0 ||
+                model->config().batch_size == batch_size_,
+            "SwapModel would change the engine batch width");
+  BSG_CHECK(graph_version > graph_version_.load(std::memory_order_acquire),
+            "SwapModel graph version must increase");
+  if (cfg_.precision == EngineConfig::Precision::kF32) {
+    model->EnsureF32Shadow();
+  }
+  model_.store(model, std::memory_order_release);
+  graph_version_.store(graph_version, std::memory_order_release);
+  // Superseded-version subgraphs would only age out of the LRU; sweep them
+  // now so the new version starts with the full capacity.
+  cache_.EvictWhereVersionBelow(graph_version);
+  graph_swaps_.fetch_add(1, std::memory_order_relaxed);
 }
 
 EngineStats DetectionEngine::Stats() const {
-  EngineStats s = stats_;
+  EngineStats s;
+  s.single_requests = single_requests_.load(std::memory_order_relaxed);
+  s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
+  s.targets_scored = targets_scored_.load(std::memory_order_relaxed);
+  s.batches_run = batches_run_.load(std::memory_order_relaxed);
+  s.graph_swaps = graph_swaps_.load(std::memory_order_relaxed);
+  s.pool_trimmed_bytes = pool_trimmed_bytes_.load(std::memory_order_relaxed);
+  s.pool_acquires = pool_acquires_.load(std::memory_order_relaxed);
+  s.pool_hits = pool_hits_.load(std::memory_order_relaxed);
   s.cache = cache_.Stats();
-  s.stacker = stacker_.Stats();
+  std::lock_guard<std::mutex> lock(scratch_mu_);
+  for (const std::unique_ptr<CallScratch>& cs : all_scratch_) {
+    BatchStackerStats st = cs->stacker.Stats();
+    s.stacker.batches_stacked += st.batches_stacked;
+    s.stacker.carcass_reuses += st.carcass_reuses;
+    s.stacker.csr_reuses += st.csr_reuses;
+    s.stacker.weights_f32_reuses += st.weights_f32_reuses;
+  }
   return s;
 }
 

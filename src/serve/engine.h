@@ -17,7 +17,7 @@
 //   - engine startup calls BufferPool::Trim(): training's peak working set
 //     is cold once the model is frozen, and the trimmed bytes are reported
 //     in the engine stats (the train->inference phase policy);
-//   - batches are stacked through a pooled BatchStacker workspace (fused
+//   - batches are stacked through pooled BatchStacker workspaces (fused
 //     block-diagonal + normalisation into recycled storage), so warm
 //     serving performs ~0 heap allocations per batch for stacking;
 //   - EngineConfig::precision selects the scoring arithmetic: kF64 (the
@@ -32,17 +32,36 @@
 // Determinism: with the engine batch width equal to the model's training
 // batch_size, ScoreBatch over a centre list produces logits bit-identical
 // to Bsg4Bot::PredictLogits over the same list (same chunking, same
-// stacking, dropout off). Semantic attention is batch-global (Eq. 12
-// averages over the batch), so single-target scores legitimately differ
-// from batched scores — both are "the model's answer", for different batch
+// stacking, dropout off) — regardless of how many other threads are
+// scoring concurrently, because logits depend only on the request's own
+// batch composition. Semantic attention is batch-global (Eq. 12 averages
+// over the batch), so single-target scores legitimately differ from
+// batched scores — both are "the model's answer", for different batch
 // compositions.
 //
-// Thread-safety: one engine serves one request stream (calls into the same
-// engine must be externally serialised); the cache and the model's
-// assembly hook are safe for the engine's internal producer thread.
+// Thread-safety contract (since the concurrent serving front-end):
+//
+//   - ScoreOne / ScoreBatch / Stats are safe to call from any number of
+//     threads at once. Each call leases a pooled per-call scratch (chunk
+//     buffers, subgraph holds, a BatchStacker, and a lazily-built
+//     prefetcher bound to that scratch), so assembly — the expensive PPR +
+//     top-k part — runs genuinely in parallel across callers, coalesced
+//     through the cache's single-flight path. Engine counters are atomics
+//     and every per-scratch structure is internally locked, so Stats() is
+//     safe to poll from a monitoring thread mid-ScoreBatch.
+//   - Model forward passes are serialised on an internal mutex: Bsg4Bot's
+//     forward builds an autograd graph over shared parameter tensors and
+//     the util/parallel pool single-files parallel regions anyway, so the
+//     win from concurrency is overlapping one caller's forward with every
+//     other caller's assembly (and with coalesced cache misses).
+//   - SwapModel requires external quiescence: no ScoreOne/ScoreBatch may
+//     be in flight (ServingFrontend::SwapGraph provides exactly that
+//     barrier). Stats/cache reads may continue during a swap.
 #pragma once
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "core/bsg4bot.h"
@@ -68,8 +87,8 @@ struct EngineConfig {
   size_t cache_capacity = 4096;
   /// Batches in flight during batched scoring (2 = double buffer).
   int prefetch_depth = 2;
-  /// Version tag of the underlying graph; bump on graph swap to invalidate
-  /// cached subgraphs.
+  /// Version tag of the underlying graph at construction; SwapModel bumps
+  /// it and purges stale cached subgraphs.
   uint64_t graph_version = 0;
   /// Release the training phase's parked pool slabs at engine startup.
   bool trim_pool_on_start = true;
@@ -87,18 +106,20 @@ struct Score {
   int label = 0;          ///< argmax: 0 human, 1 bot
 };
 
-/// Cumulative engine counters.
+/// Cumulative engine counters (a coherent snapshot of atomics).
 struct EngineStats {
   uint64_t single_requests = 0;  ///< ScoreOne calls
   uint64_t batch_requests = 0;   ///< ScoreBatch calls
   uint64_t targets_scored = 0;   ///< accounts scored, both paths
   uint64_t batches_run = 0;      ///< forward passes executed
+  uint64_t graph_swaps = 0;      ///< SwapModel calls
   uint64_t pool_trimmed_bytes = 0;  ///< bytes released by the startup Trim
   /// Buffer-pool traffic of the engine's forward passes.
   uint64_t pool_acquires = 0;
   uint64_t pool_hits = 0;
   SubgraphCacheStats cache;  ///< snapshot of the subgraph cache
-  BatchStackerStats stacker;  ///< pooled batch-stacking workspace traffic
+  /// Pooled batch-stacking traffic, summed over the per-call scratch pool.
+  BatchStackerStats stacker;
 
   double PoolHitRate() const {
     return pool_acquires == 0 ? 0.0
@@ -119,49 +140,91 @@ class DetectionEngine {
   DetectionEngine(const DetectionEngine&) = delete;
   DetectionEngine& operator=(const DetectionEngine&) = delete;
 
-  /// Scores one account (a batch of one). Latency path.
+  /// Scores one account (a batch of one). Latency path. Thread-safe.
   Score ScoreOne(int target);
 
   /// Scores a list of accounts, coalesced into batch_size mini-batches and
-  /// streamed through the prefetcher. Throughput path; results align with
-  /// `targets`.
+  /// streamed through a per-call prefetcher. Throughput path; results
+  /// align with `targets`. Thread-safe.
   std::vector<Score> ScoreBatch(const std::vector<int>& targets);
 
+  /// Hot-swaps the served model: subsequent requests score through
+  /// `model` under `graph_version`, and every cached subgraph of an older
+  /// version is purged immediately (SubgraphCache::EvictWhereVersionBelow,
+  /// counted in cache.version_evictions). The new model must be
+  /// inference-ready, share the architecture (relation count; training
+  /// batch width when EngineConfig::batch_size == 0), and outlive the
+  /// engine; `graph_version` must be strictly greater than the current
+  /// one. The caller must guarantee no ScoreOne/ScoreBatch is in flight —
+  /// ServingFrontend::SwapGraph wraps this with the worker-drain barrier.
+  void SwapModel(Bsg4Bot* model, uint64_t graph_version);
+
   int batch_size() const { return batch_size_; }
+  /// Version currently being served (bumped by SwapModel).
+  uint64_t graph_version() const {
+    return graph_version_.load(std::memory_order_acquire);
+  }
   EngineStats Stats() const;
   SubgraphCache& cache() { return cache_; }
 
  private:
-  /// Assembles one mini-batch of the current ScoreBatch request through the
-  /// cache. Runs on the prefetcher's producer thread.
-  SubgraphBatch AssembleChunk(int chunk_index);
-  /// Forward pass + logit unpacking for one assembled batch.
-  void ScoreAssembled(const SubgraphBatch& batch, Score* out);
+  /// Everything one in-flight call mutates: chunk scratch, subgraph holds,
+  /// a pooled stacker, the prefetcher bound to this scratch, and the
+  /// (model, version) pair captured at request start so one request is
+  /// internally consistent even around a swap.
+  struct CallScratch {
+    CallScratch(int num_relations, bool with_f32_weights)
+        : stacker(num_relations, with_f32_weights) {}
+    std::vector<int> pending;  ///< the in-flight request's target list
+    std::vector<int> chunk;
+    std::vector<std::shared_ptr<const BiasedSubgraph>> held;
+    std::vector<const BiasedSubgraph*> subs;
+    BatchStacker stacker;
+    Bsg4Bot* model = nullptr;
+    uint64_t version = 0;
+    std::unique_ptr<BatchPrefetcher> prefetcher;  ///< lazily built
+  };
+  /// RAII lease of a CallScratch from the free list.
+  class ScratchLease;
 
-  Bsg4Bot* const model_;
+  CallScratch* AcquireScratch();
+  void ReleaseScratch(CallScratch* scratch);
+  /// Assembles one mini-batch of the scratch's in-flight request through
+  /// the cache. Runs on the scratch's prefetcher producer thread (or the
+  /// caller, single-chunk requests).
+  SubgraphBatch AssembleChunk(CallScratch& cs, int chunk_index);
+  /// Forward pass + logit unpacking for one assembled batch. Serialised on
+  /// forward_mu_.
+  void ScoreAssembled(CallScratch& cs, const SubgraphBatch& batch,
+                      Score* out);
+
+  std::atomic<Bsg4Bot*> model_;
   const EngineConfig cfg_;
   const int batch_size_;
+  const int num_relations_;
+  std::atomic<uint64_t> graph_version_;
   SubgraphCache cache_;
-  /// Pooled stacking workspace (f32 edge weights materialised when the
-  /// engine scores in kF32).
-  BatchStacker stacker_;
 
-  // State of the in-flight ScoreBatch request, read by AssembleChunk from
-  // the producer thread. Only valid between StartEpoch and the last Next().
-  std::vector<int> pending_targets_;
-  // Assembly scratch, reused across chunks. Touched only by whichever
-  // thread is currently assembling (the producer during a streamed
-  // ScoreBatch, the caller otherwise) — never both at once, per the
-  // engine's external-serialisation contract.
-  std::vector<int> chunk_scratch_;
-  std::vector<std::shared_ptr<const BiasedSubgraph>> held_scratch_;
-  std::vector<const BiasedSubgraph*> subs_scratch_;
+  /// Serialises model forward passes (see the thread-safety contract).
+  std::mutex forward_mu_;
 
-  EngineStats stats_;
+  std::atomic<uint64_t> single_requests_{0};
+  std::atomic<uint64_t> batch_requests_{0};
+  std::atomic<uint64_t> targets_scored_{0};
+  std::atomic<uint64_t> batches_run_{0};
+  std::atomic<uint64_t> graph_swaps_{0};
+  std::atomic<uint64_t> pool_trimmed_bytes_{0};
+  std::atomic<uint64_t> pool_acquires_{0};
+  std::atomic<uint64_t> pool_hits_{0};
 
-  // Last member: the producer reads pending_targets_/cache_, so it must be
-  // torn down first.
-  std::unique_ptr<BatchPrefetcher> prefetcher_;
+  // Last members: scratches own prefetchers whose producer threads read
+  // cache_ and the model through AssembleChunk, so they must be torn down
+  // first. all_scratch_ owns every scratch ever created (stable addresses;
+  // Stats() aggregates stacker counters across it), free_scratch_ holds
+  // the ones not currently leased.
+  mutable std::mutex scratch_mu_;
+  std::vector<std::unique_ptr<CallScratch>> all_scratch_;
+  std::vector<CallScratch*> free_scratch_;
 };
 
 }  // namespace bsg

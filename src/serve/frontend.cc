@@ -1,0 +1,224 @@
+#include "serve/frontend.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace bsg {
+
+namespace {
+
+void Resolve(std::promise<FrontendResult>* promise, RequestStatus status,
+             std::vector<Score> scores = {}) {
+  FrontendResult result;
+  result.status = status;
+  result.scores = std::move(scores);
+  promise->set_value(std::move(result));
+}
+
+}  // namespace
+
+ServingFrontend::ServingFrontend(DetectionEngine* engine, FrontendConfig cfg)
+    : engine_(engine), cfg_(cfg), queue_(cfg.queue_capacity) {
+  BSG_CHECK(engine != nullptr, "null engine");
+  BSG_CHECK(cfg_.workers >= 0, "negative worker count");
+  BSG_CHECK(cfg_.cost_ewma_alpha > 0.0 && cfg_.cost_ewma_alpha <= 1.0,
+            "cost_ewma_alpha must be in (0, 1]");
+  ms_per_target_ = cfg_.initial_ms_per_target;
+  workers_.reserve(static_cast<size_t>(cfg_.workers));
+  for (int i = 0; i < cfg_.workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ServingFrontend::~ServingFrontend() { Close(); }
+
+std::future<FrontendResult> ServingFrontend::Submit(std::vector<int> targets) {
+  return SubmitInternal(std::move(targets), /*single=*/false);
+}
+
+std::future<FrontendResult> ServingFrontend::SubmitOne(int target) {
+  return SubmitInternal({target}, /*single=*/true);
+}
+
+FrontendResult ServingFrontend::ScoreBatch(std::vector<int> targets) {
+  return Submit(std::move(targets)).get();
+}
+
+FrontendResult ServingFrontend::ScoreOne(int target) {
+  return SubmitOne(target).get();
+}
+
+std::future<FrontendResult> ServingFrontend::SubmitInternal(
+    std::vector<int> targets, bool single) {
+  submitted_requests_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t n = static_cast<uint64_t>(targets.size());
+  targets_submitted_.fetch_add(n, std::memory_order_relaxed);
+
+  std::promise<FrontendResult> promise;
+  std::future<FrontendResult> future = promise.get_future();
+
+  if (closed_.load(std::memory_order_acquire)) {
+    closed_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_closed_.fetch_add(n, std::memory_order_relaxed);
+    Resolve(&promise, RequestStatus::kClosed);
+    return future;
+  }
+  if (targets.empty()) {
+    // A zero-target batch is trivially served; don't spend a queue slot.
+    served_requests_.fetch_add(1, std::memory_order_relaxed);
+    Resolve(&promise, RequestStatus::kOk);
+    return future;
+  }
+
+  // Latency admission: price the backlog ahead of this request with the
+  // learned per-target cost. Unknown cost (estimate 0) admits — the model
+  // learns from the first served requests.
+  if (cfg_.shed_p95_ms > 0.0) {
+    const double est = CostEstimate();
+    if (est > 0.0) {
+      const int64_t inflight =
+          inflight_targets_.load(std::memory_order_relaxed);
+      const double lanes = static_cast<double>(std::max(cfg_.workers, 1));
+      const double wait_ms =
+          static_cast<double>(inflight + static_cast<int64_t>(n)) * est /
+          lanes;
+      if (wait_ms > cfg_.shed_p95_ms) {
+        shed_latency_.fetch_add(1, std::memory_order_relaxed);
+        targets_shed_.fetch_add(n, std::memory_order_relaxed);
+        Resolve(&promise, RequestStatus::kShed);
+        return future;
+      }
+    }
+  }
+
+  // Count the targets as in flight before the push: a worker may pop and
+  // finish the request before TryPush even returns.
+  inflight_targets_.fetch_add(static_cast<int64_t>(n),
+                              std::memory_order_relaxed);
+  Request req;
+  req.targets = std::move(targets);
+  req.single = single;
+  req.promise = std::move(promise);
+  size_t depth_after = 0;
+  if (!queue_.TryPush(std::move(req), &depth_after)) {
+    inflight_targets_.fetch_sub(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+    // TryPush leaves the value untouched on failure, so req still owns the
+    // promise. Queue-full and racing-with-Close both shed here; Close's
+    // backlog accounting only covers requests that made it into the queue.
+    shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
+    targets_shed_.fetch_add(n, std::memory_order_relaxed);
+    Resolve(&req.promise, RequestStatus::kShed);
+    return future;
+  }
+  // Racy max update is fine: the peak is a monotone statistic.
+  uint64_t peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  while (depth_after > peak &&
+         !queue_depth_peak_.compare_exchange_weak(
+             peak, depth_after, std::memory_order_relaxed)) {
+  }
+  return future;
+}
+
+void ServingFrontend::WorkerLoop() {
+  while (std::optional<Request> req = queue_.Pop()) {
+    {
+      // Swap gate: don't start new engine work while a swap drains, and
+      // advertise this worker as busy so SwapGraph can wait us out.
+      std::unique_lock<std::mutex> gate(gate_mu_);
+      gate_cv_.wait(gate, [this] { return !swap_in_progress_; });
+      ++busy_workers_;
+    }
+    const uint64_t n = static_cast<uint64_t>(req->targets.size());
+    WallTimer timer;
+    FrontendResult result;
+    result.status = RequestStatus::kOk;
+    if (req->single) {
+      result.scores.push_back(engine_->ScoreOne(req->targets[0]));
+    } else {
+      result.scores = engine_->ScoreBatch(req->targets);
+    }
+    ObserveCost(timer.Millis() / static_cast<double>(n));
+    inflight_targets_.fetch_sub(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+    served_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_served_.fetch_add(n, std::memory_order_relaxed);
+    req->promise.set_value(std::move(result));
+    {
+      std::lock_guard<std::mutex> gate(gate_mu_);
+      --busy_workers_;
+    }
+    // Wakes a waiting SwapGraph (and fellow workers parked on the gate).
+    gate_cv_.notify_all();
+  }
+}
+
+void ServingFrontend::ObserveCost(double ms_per_target) {
+  if (cfg_.freeze_cost_model) return;
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  ms_per_target_ = ms_per_target_ == 0.0
+                       ? ms_per_target
+                       : cfg_.cost_ewma_alpha * ms_per_target +
+                             (1.0 - cfg_.cost_ewma_alpha) * ms_per_target_;
+}
+
+double ServingFrontend::CostEstimate() const {
+  std::lock_guard<std::mutex> lock(cost_mu_);
+  return ms_per_target_;
+}
+
+void ServingFrontend::SwapGraph(Bsg4Bot* model, uint64_t graph_version) {
+  std::unique_lock<std::mutex> gate(gate_mu_);
+  // Stop workers from starting new requests, then wait for the in-flight
+  // ones to finish. Queued requests stay queued and score on the new graph.
+  swap_in_progress_ = true;
+  gate_cv_.wait(gate, [this] { return busy_workers_ == 0; });
+  engine_->SwapModel(model, graph_version);
+  swap_in_progress_ = false;
+  graph_swaps_.fetch_add(1, std::memory_order_relaxed);
+  gate.unlock();
+  gate_cv_.notify_all();
+}
+
+void ServingFrontend::Close() {
+  std::lock_guard<std::mutex> close_lock(close_mu_);
+  if (closed_.exchange(true, std::memory_order_acq_rel)) return;
+  // Fail the backlog explicitly — every future resolves, nothing is
+  // dropped silently. Workers see the closed queue and exit once their
+  // current request completes.
+  std::vector<Request> backlog = queue_.Drain();
+  for (Request& req : backlog) {
+    const uint64_t n = static_cast<uint64_t>(req.targets.size());
+    inflight_targets_.fetch_sub(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+    closed_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_closed_.fetch_add(n, std::memory_order_relaxed);
+    Resolve(&req.promise, RequestStatus::kClosed);
+  }
+  for (std::thread& worker : workers_) {
+    if (worker.joinable()) worker.join();
+  }
+  workers_.clear();
+}
+
+FrontendStats ServingFrontend::Stats() const {
+  FrontendStats s;
+  s.submitted_requests = submitted_requests_.load(std::memory_order_relaxed);
+  s.served_requests = served_requests_.load(std::memory_order_relaxed);
+  s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
+  s.shed_latency = shed_latency_.load(std::memory_order_relaxed);
+  s.shed_requests = s.shed_queue_full + s.shed_latency;
+  s.closed_requests = closed_requests_.load(std::memory_order_relaxed);
+  s.targets_submitted = targets_submitted_.load(std::memory_order_relaxed);
+  s.targets_served = targets_served_.load(std::memory_order_relaxed);
+  s.targets_shed = targets_shed_.load(std::memory_order_relaxed);
+  s.targets_closed = targets_closed_.load(std::memory_order_relaxed);
+  s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
+  s.graph_swaps = graph_swaps_.load(std::memory_order_relaxed);
+  s.ms_per_target_estimate = CostEstimate();
+  s.engine = engine_->Stats();
+  return s;
+}
+
+}  // namespace bsg

@@ -1,0 +1,204 @@
+// Concurrent serving front-end: worker pool + bounded queue + admission
+// control + hot graph swap over a DetectionEngine.
+//
+// Every BENCH number before PR 7 drove the engine from a single front-end
+// thread. The cache's single-flight misses, the sharded buffer pool and
+// the per-call engine scratch exist precisely so N workers can score at
+// once — this class is the component that actually does it:
+//
+//   - requests (one account, or a batch of accounts) enter a bounded MPMC
+//     queue and resolve through a std::future<FrontendResult>; a pool of
+//     worker threads drains the queue through the engine, whose per-call
+//     scratch + single-flight cache make concurrent scoring safe and
+//     deduplicated;
+//   - admission control sheds instead of queueing beyond the latency
+//     budget: when the queue is full, or when the estimated queueing delay
+//     ahead of a new request (inflight targets x learned ms/target /
+//     workers) exceeds shed_p95_ms, the request resolves immediately with
+//     RequestStatus::kShed — callers are never blocked and nothing is
+//     dropped silently. Sheds are counted per cause (shed_queue_full /
+//     shed_latency) next to queue_depth_peak;
+//   - the per-target cost estimate is an EWMA of observed service time,
+//     seeded by FrontendConfig::initial_ms_per_target (freeze_cost_model
+//     pins it, making shed decisions exactly reproducible in tests);
+//   - SwapGraph(model, version) is the hot-swap barrier: the caller loads
+//     and restores graph v+1 (minutes of work) while workers keep serving
+//     v; the flip itself stops dispatch, waits for in-flight requests to
+//     drain (queued requests stay queued), swaps the engine's model,
+//     purges every cached subgraph of a version < v+1
+//     (SubgraphCache::EvictWhereVersionBelow), and resumes — queued
+//     requests then score on the new graph. Submission stays open for the
+//     whole swap;
+//   - Close() (and the destructor) stops admission, fails the backlog
+//     explicitly with RequestStatus::kClosed, and joins the workers; every
+//     submitted future always resolves.
+//
+// Determinism: a request's logits depend only on its own target list
+// (engine contract), so any worker count — and any interleaving — yields
+// logits bit-identical to a serial DetectionEngine scoring the same
+// request stream (asserted at workers 1/2/4 in tests/test_frontend.cc).
+#pragma once
+
+#include <cstdint>
+#include <future>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "serve/engine.h"
+#include "util/mpmc_queue.h"
+
+namespace bsg {
+
+/// Terminal state of one submitted request.
+enum class RequestStatus {
+  kOk = 0,  ///< scored; FrontendResult::scores aligns with the targets
+  kShed,    ///< refused by admission control (queue full / budget blown)
+  kClosed,  ///< the front-end shut down before this request was served
+};
+
+/// What a submitted future resolves to.
+struct FrontendResult {
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<Score> scores;  ///< empty unless status == kOk
+};
+
+/// Front-end knobs.
+struct FrontendConfig {
+  /// Worker threads draining the queue. 0 is allowed — requests are
+  /// admitted/shed but never served until Close fails them — and exists
+  /// for deterministic admission tests and staged bring-up.
+  int workers = 2;
+  /// Bounded queue depth, in requests. A full queue sheds.
+  size_t queue_capacity = 256;
+  /// p95 latency budget in milliseconds; a request whose estimated
+  /// queueing delay exceeds it is shed at submission. 0 disables
+  /// latency-based shedding (queue-full shedding always applies).
+  double shed_p95_ms = 0.0;
+  /// Seed of the per-target service-cost estimate (ms). 0 = learn from
+  /// the first served request onward.
+  double initial_ms_per_target = 0.0;
+  /// Pin the cost estimate to initial_ms_per_target (reproducible
+  /// admission decisions; tests).
+  bool freeze_cost_model = false;
+  /// EWMA smoothing of the cost estimate: new = a*observed + (1-a)*old.
+  double cost_ewma_alpha = 0.2;
+};
+
+/// Cumulative front-end counters. Requests in flight at snapshot time are
+/// submitted but not yet served/shed/closed, so
+///   submitted_requests >= served + shed + closed.
+struct FrontendStats {
+  uint64_t submitted_requests = 0;
+  uint64_t served_requests = 0;
+  uint64_t shed_requests = 0;     ///< shed_queue_full + shed_latency
+  uint64_t shed_queue_full = 0;   ///< bounded queue was full
+  uint64_t shed_latency = 0;      ///< estimated wait blew shed_p95_ms
+  uint64_t closed_requests = 0;   ///< failed by Close/destructor
+  uint64_t targets_submitted = 0;
+  uint64_t targets_served = 0;
+  uint64_t targets_shed = 0;
+  uint64_t targets_closed = 0;
+  uint64_t queue_depth_peak = 0;  ///< max requests resident in the queue
+  uint64_t graph_swaps = 0;
+  double ms_per_target_estimate = 0.0;  ///< current cost-model value
+  EngineStats engine;  ///< engine/cache/stacker snapshot
+
+  double ShedRate() const {
+    return submitted_requests == 0
+               ? 0.0
+               : static_cast<double>(shed_requests) /
+                     static_cast<double>(submitted_requests);
+  }
+};
+
+/// The concurrent front-end. The engine (and the model behind it) must
+/// outlive the front-end.
+class ServingFrontend {
+ public:
+  ServingFrontend(DetectionEngine* engine, FrontendConfig cfg);
+  ~ServingFrontend();  ///< Close()s.
+
+  ServingFrontend(const ServingFrontend&) = delete;
+  ServingFrontend& operator=(const ServingFrontend&) = delete;
+
+  /// Queues a batch request. Always returns a future that resolves —
+  /// immediately with kShed/kClosed when admission refuses it, with the
+  /// scores once a worker serves it otherwise. Thread-safe.
+  std::future<FrontendResult> Submit(std::vector<int> targets);
+  /// Queues a single-account request (the engine's latency path).
+  std::future<FrontendResult> SubmitOne(int target);
+
+  /// Submit + wait. Thread-safe; callers are the "client threads".
+  FrontendResult ScoreBatch(std::vector<int> targets);
+  FrontendResult ScoreOne(int target);
+
+  /// Hot graph swap (see the file comment for the protocol). `model` must
+  /// be inference-ready and compatible (DetectionEngine::SwapModel checks)
+  /// and `graph_version` strictly greater than the engine's current one.
+  /// Blocks until in-flight requests drain and the flip + stale-entry
+  /// purge complete; concurrent Submit calls stay open throughout.
+  void SwapGraph(Bsg4Bot* model, uint64_t graph_version);
+
+  /// Stops admission, resolves the backlog with kClosed, joins workers.
+  /// Idempotent; called by the destructor.
+  void Close();
+
+  FrontendStats Stats() const;
+  const FrontendConfig& config() const { return cfg_; }
+
+ private:
+  struct Request {
+    std::vector<int> targets;
+    bool single = false;
+    std::promise<FrontendResult> promise;
+  };
+
+  std::future<FrontendResult> SubmitInternal(std::vector<int> targets,
+                                             bool single);
+  void WorkerLoop();
+  /// Folds one observed per-target service time into the EWMA.
+  void ObserveCost(double ms_per_target);
+  double CostEstimate() const;
+
+  DetectionEngine* const engine_;
+  const FrontendConfig cfg_;
+
+  BoundedMpmcQueue<Request> queue_;
+
+  // Swap gate: workers register busy before scoring and drain out for the
+  // duration of a swap; see SwapGraph.
+  mutable std::mutex gate_mu_;
+  std::condition_variable gate_cv_;
+  bool swap_in_progress_ = false;
+  int busy_workers_ = 0;
+
+  // Cost model (EWMA of ms per target), guarded by its own mutex: touched
+  // once per request, never on the per-target hot path.
+  mutable std::mutex cost_mu_;
+  double ms_per_target_ = 0.0;
+
+  std::atomic<bool> closed_{false};
+  std::atomic<uint64_t> submitted_requests_{0};
+  std::atomic<uint64_t> served_requests_{0};
+  std::atomic<uint64_t> shed_queue_full_{0};
+  std::atomic<uint64_t> shed_latency_{0};
+  std::atomic<uint64_t> closed_requests_{0};
+  std::atomic<uint64_t> targets_submitted_{0};
+  std::atomic<uint64_t> targets_served_{0};
+  std::atomic<uint64_t> targets_shed_{0};
+  std::atomic<uint64_t> targets_closed_{0};
+  std::atomic<uint64_t> queue_depth_peak_{0};
+  std::atomic<uint64_t> graph_swaps_{0};
+  /// Targets admitted but not yet finished (queued + being scored) — the
+  /// backlog the admission controller prices.
+  std::atomic<int64_t> inflight_targets_{0};
+
+  std::mutex close_mu_;  ///< serialises Close against itself
+
+  // Last member: workers read everything above.
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace bsg

@@ -119,6 +119,24 @@ void SubgraphCache::Clear() {
   resident_bytes_.store(0, std::memory_order_relaxed);
 }
 
+size_t SubgraphCache::EvictWhereVersionBelow(uint64_t version) {
+  std::lock_guard<std::mutex> lock(mu_);
+  size_t swept = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->key.version >= version) {
+      ++it;
+      continue;
+    }
+    resident_bytes_.fetch_sub(it->bytes, std::memory_order_relaxed);
+    entries_.fetch_sub(1, std::memory_order_relaxed);
+    index_.erase(it->key);
+    it = lru_.erase(it);
+    ++swept;
+  }
+  version_evictions_.fetch_add(swept, std::memory_order_relaxed);
+  return swept;
+}
+
 void SubgraphCache::EvictLocked() {
   while (lru_.size() > capacity_) {
     const Entry& victim = lru_.back();
@@ -138,6 +156,7 @@ SubgraphCacheStats SubgraphCache::Stats() const {
   s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.version_evictions = version_evictions_.load(std::memory_order_relaxed);
   s.entries = entries_.load(std::memory_order_relaxed);
   s.resident_bytes = resident_bytes_.load(std::memory_order_relaxed);
   return s;

@@ -44,6 +44,9 @@ struct SubgraphCacheStats {
   uint64_t misses = 0;     ///< probes that had to build or wait on a build
   uint64_t inserts = 0;    ///< entries admitted
   uint64_t evictions = 0;  ///< entries dropped by the LRU bound
+  /// Entries swept by EvictWhereVersionBelow after a graph swap (stale
+  /// graph versions; disjoint from `evictions`).
+  uint64_t version_evictions = 0;
   /// Misses that joined an in-flight build of the same key instead of
   /// building themselves (single-flight de-duplication; a subset of
   /// `misses`). misses - coalesced_misses = builds actually run.
@@ -88,6 +91,13 @@ class SubgraphCache {
 
   /// Drops every entry (counters keep their cumulative values).
   void Clear();
+
+  /// Sweeps out every entry whose graph version is < `version` and returns
+  /// the count (also accumulated in `version_evictions`). O(resident) —
+  /// called from the hot-swap path so superseded-version subgraphs release
+  /// their capacity immediately instead of squatting in the LRU until they
+  /// age out.
+  size_t EvictWhereVersionBelow(uint64_t version);
 
   size_t capacity() const { return capacity_; }
   SubgraphCacheStats Stats() const;
@@ -155,6 +165,7 @@ class SubgraphCache {
   std::atomic<uint64_t> coalesced_misses_{0};
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> version_evictions_{0};
   std::atomic<uint64_t> entries_{0};
   std::atomic<uint64_t> resident_bytes_{0};
 };

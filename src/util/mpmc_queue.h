@@ -1,0 +1,107 @@
+// Bounded multi-producer / multi-consumer queue for the serving front-end.
+//
+// Design goals, matching the rest of util/:
+//   - Zero dependencies: one mutex + two condition variables. The queue is
+//     not the hot path — every element is a whole scoring request worth
+//     milliseconds of PPR + forward work, so a lock-free ring would buy
+//     nothing measurable here.
+//   - Admission stays non-blocking: TryPush never waits. A full queue is
+//     the caller's signal to shed load, not to block the submitting
+//     thread (bounded queue == bounded memory == bounded queueing delay).
+//   - Consumers block in Pop until an element or Close() arrives; Close()
+//     drains — elements already queued are still handed out, then every
+//     Pop returns nullopt. Drain() instead discards the backlog, handing
+//     the un-served elements back to the caller for explicit accounting
+//     (nothing is dropped silently).
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+
+namespace bsg {
+
+template <typename T>
+class BoundedMpmcQueue {
+ public:
+  /// `capacity` bounds the number of queued (not yet popped) elements.
+  explicit BoundedMpmcQueue(size_t capacity) : capacity_(capacity) {
+    BSG_CHECK(capacity >= 1, "BoundedMpmcQueue capacity must be >= 1");
+  }
+
+  /// Enqueues without blocking. Returns false when the queue is full or
+  /// closed (the element is untouched — the caller sheds or re-routes).
+  /// On success, *depth_after (optional) receives the queue depth right
+  /// after the push, for peak-depth tracking.
+  bool TryPush(T&& value, size_t* depth_after = nullptr) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(value));
+      if (depth_after != nullptr) *depth_after = items_.size();
+    }
+    consumer_cv_.notify_one();
+    return true;
+  }
+
+  /// Blocks until an element is available (returned) or the queue is
+  /// closed and empty (nullopt — the consumer's shutdown signal).
+  std::optional<T> Pop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    consumer_cv_.wait(lock, [&] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return std::nullopt;
+    T value = std::move(items_.front());
+    items_.pop_front();
+    return value;
+  }
+
+  /// Closes the queue: TryPush starts failing, consumers drain what is
+  /// already queued and then see nullopt. Idempotent.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+    }
+    consumer_cv_.notify_all();
+  }
+
+  /// Closes and removes the backlog, returning it so the caller can
+  /// resolve each un-served element explicitly (no silent drops).
+  std::vector<T> Drain() {
+    std::vector<T> backlog;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      closed_ = true;
+      backlog.reserve(items_.size());
+      for (T& item : items_) backlog.push_back(std::move(item));
+      items_.clear();
+    }
+    consumer_cv_.notify_all();
+    return backlog;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return items_.size();
+  }
+  size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return closed_;
+  }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mu_;
+  std::condition_variable consumer_cv_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace bsg

@@ -1,4 +1,8 @@
 // Command-line flag parser.
+#include <set>
+#include <string>
+#include <vector>
+
 #include <gtest/gtest.h>
 
 #include "util/flags.h"
@@ -6,14 +10,16 @@
 namespace bsg {
 namespace {
 
-FlagParser Parse(std::vector<std::string> args) {
+FlagParser Parse(std::vector<std::string> args,
+                 std::set<std::string> boolean_flags = {}) {
   static std::vector<std::string> storage;
   storage = std::move(args);
   storage.insert(storage.begin(), "prog");
   static std::vector<char*> argv;
   argv.clear();
   for (auto& s : storage) argv.push_back(s.data());
-  return FlagParser(static_cast<int>(argv.size()), argv.data());
+  return FlagParser(static_cast<int>(argv.size()), argv.data(),
+                    std::move(boolean_flags));
 }
 
 TEST(Flags, EqualsSyntax) {
@@ -58,6 +64,80 @@ TEST(Flags, BareFlagFollowedByFlag) {
   FlagParser f = Parse({"--verbose", "--k=2"});
   EXPECT_TRUE(f.GetBool("verbose", false));
   EXPECT_EQ(f.GetInt("k", 0), 2);
+}
+
+TEST(Flags, DeclaredBooleanDoesNotSwallowPositional) {
+  // The serve_cli bug: `--stats ids.txt` set stats=ids.txt and dropped the
+  // file from the positional list.
+  FlagParser f = Parse({"--stats", "ids.txt"}, {"stats"});
+  EXPECT_TRUE(f.GetBool("stats", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "ids.txt");
+}
+
+TEST(Flags, DeclaredBooleanStillTakesBooleanLiterals) {
+  FlagParser f = Parse({"--stats", "false", "--train", "1", "ids.txt"},
+                       {"stats", "train"});
+  EXPECT_FALSE(f.GetBool("stats", true));
+  EXPECT_TRUE(f.GetBool("train", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "ids.txt");
+}
+
+TEST(Flags, DeclaredBooleanWithEqualsSyntaxUnchanged) {
+  FlagParser f = Parse({"--stats=false"}, {"stats"});
+  EXPECT_FALSE(f.GetBool("stats", true));
+}
+
+TEST(Flags, UndeclaredFlagStillConsumesFollowingValue) {
+  // Only declared booleans change behaviour; --ids-file ids.txt keeps the
+  // historical space syntax.
+  FlagParser f = Parse({"--ids-file", "ids.txt"}, {"stats"});
+  EXPECT_EQ(f.GetString("ids-file", ""), "ids.txt");
+  EXPECT_TRUE(f.positional().empty());
+}
+
+TEST(Flags, StdinDashStaysPositionalAfterDeclaredBoolean) {
+  FlagParser f = Parse({"--single", "-"}, {"single"});
+  EXPECT_TRUE(f.GetBool("single", false));
+  ASSERT_EQ(f.positional().size(), 1u);
+  EXPECT_EQ(f.positional()[0], "-");
+}
+
+TEST(Flags, StrictIntAcceptsWholeTokenOnly) {
+  FlagParser f = Parse({"--workers=8", "--neg=-3"});
+  EXPECT_EQ(f.GetInt("workers", 0), 8);
+  EXPECT_EQ(f.GetInt("neg", 0), -3);
+}
+
+TEST(FlagsDeathTest, GarbageIntegerAbortsNamingTheFlag) {
+  FlagParser f = Parse({"--workers=abc"});
+  EXPECT_DEATH(f.GetInt("workers", 0), "flag --workers expects an integer");
+}
+
+TEST(FlagsDeathTest, TrailingGarbageIntegerAborts) {
+  FlagParser f = Parse({"--workers=4x"});
+  EXPECT_DEATH(f.GetInt("workers", 0), "flag --workers expects an integer");
+}
+
+TEST(FlagsDeathTest, EmptyIntegerValueAborts) {
+  FlagParser f = Parse({"--workers="});
+  EXPECT_DEATH(f.GetInt("workers", 0), "flag --workers expects an integer");
+}
+
+TEST(FlagsDeathTest, OutOfIntRangeAborts) {
+  FlagParser f = Parse({"--workers=99999999999999"});
+  EXPECT_DEATH(f.GetInt("workers", 0), "flag --workers expects an integer");
+}
+
+TEST(FlagsDeathTest, GarbageDoubleAborts) {
+  FlagParser f = Parse({"--rate=0.5x"});
+  EXPECT_DEATH(f.GetDouble("rate", 0.0), "flag --rate expects a number");
+}
+
+TEST(Flags, StrictDoubleAcceptsScientificNotation) {
+  FlagParser f = Parse({"--rate=2.5e-3"});
+  EXPECT_DOUBLE_EQ(f.GetDouble("rate", 0.0), 2.5e-3);
 }
 
 }  // namespace

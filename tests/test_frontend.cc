@@ -1,0 +1,379 @@
+// ServingFrontend: bit-identity with the serial engine oracle at worker
+// counts 1/2/4 under multi-threaded clients, deterministic load shedding
+// (queue-full and latency-budget) with exact counter accounting, explicit
+// kClosed resolution of the shutdown backlog, conservation under live
+// overload, hot graph swap (stale-version purge + either-version logits
+// during concurrent traffic), and Stats() polling under load (the TSan CI
+// stage runs this whole binary).
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/bsg4bot.h"
+#include "serve/frontend.h"
+#include "test_common.h"
+
+namespace bsg {
+namespace {
+
+using testing::SmallGraph;
+
+Bsg4BotConfig FrontendModelConfig(unsigned seed) {
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = 8;
+  cfg.subgraph.k = 10;
+  cfg.hidden = 12;
+  cfg.batch_size = 16;  // small chunks -> multi-chunk batch requests
+  cfg.max_epochs = 3;
+  cfg.min_epochs = 3;
+  cfg.seed = seed;
+  return cfg;
+}
+
+// One trained model per binary; every test builds its own engine/front-end.
+Bsg4Bot& TrainedModel() {
+  static Bsg4Bot* model = [] {
+    Bsg4Bot* m = new Bsg4Bot(SmallGraph(), FrontendModelConfig(21));
+    m->Fit();
+    return m;
+  }();
+  return *model;
+}
+
+// A second trained model (different seed, same architecture) for swaps.
+Bsg4Bot& SwappedModel() {
+  static Bsg4Bot* model = [] {
+    Bsg4Bot* m = new Bsg4Bot(SmallGraph(), FrontendModelConfig(22));
+    m->Fit();
+    return m;
+  }();
+  return *model;
+}
+
+// The request stream every determinism test replays: a mix of batch
+// requests (multi-chunk and sub-chunk) and singles over the test split.
+std::vector<std::vector<int>> RequestStream() {
+  const std::vector<int>& pool = SmallGraph().test_idx;
+  std::vector<std::vector<int>> requests;
+  size_t i = 0;
+  const size_t sizes[] = {40, 1, 16, 7, 1, 24, 3};  // mixed compositions
+  for (size_t s : sizes) {
+    std::vector<int> req;
+    for (size_t k = 0; k < s; ++k) req.push_back(pool[(i++) % pool.size()]);
+    requests.push_back(std::move(req));
+  }
+  return requests;
+}
+
+std::vector<std::vector<Score>> SerialOracle(
+    Bsg4Bot& model, const std::vector<std::vector<int>>& requests) {
+  DetectionEngine engine(&model, EngineConfig{});
+  std::vector<std::vector<Score>> out;
+  for (const std::vector<int>& req : requests) {
+    out.push_back(req.size() == 1
+                      ? std::vector<Score>{engine.ScoreOne(req[0])}
+                      : engine.ScoreBatch(req));
+  }
+  return out;
+}
+
+void ExpectSameScores(const std::vector<Score>& got,
+                      const std::vector<Score>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_EQ(got[i].target, want[i].target) << i;
+    // Bitwise: the front-end must not perturb the engine's determinism
+    // contract no matter how requests interleave across workers.
+    EXPECT_EQ(got[i].logit_human, want[i].logit_human) << i;
+    EXPECT_EQ(got[i].logit_bot, want[i].logit_bot) << i;
+  }
+}
+
+TEST(ServingFrontend, BitIdenticalToSerialOracleAcrossWorkerCounts) {
+  Bsg4Bot& model = TrainedModel();
+  const std::vector<std::vector<int>> requests = RequestStream();
+  const std::vector<std::vector<Score>> oracle =
+      SerialOracle(model, requests);
+
+  for (int workers : {1, 2, 4}) {
+    DetectionEngine engine(&model, EngineConfig{});
+    FrontendConfig cfg;
+    cfg.workers = workers;
+    ServingFrontend frontend(&engine, cfg);
+
+    // One client thread per request, all submitting at once.
+    std::vector<std::vector<Score>> got(requests.size());
+    std::vector<std::thread> clients;
+    for (size_t r = 0; r < requests.size(); ++r) {
+      clients.emplace_back([&, r] {
+        FrontendResult res =
+            requests[r].size() == 1
+                ? frontend.ScoreOne(requests[r][0])
+                : frontend.ScoreBatch(requests[r]);
+        ASSERT_EQ(res.status, RequestStatus::kOk);
+        got[r] = std::move(res.scores);
+      });
+    }
+    for (std::thread& c : clients) c.join();
+    for (size_t r = 0; r < requests.size(); ++r) {
+      ExpectSameScores(got[r], oracle[r]);
+    }
+
+    FrontendStats stats = frontend.Stats();
+    EXPECT_EQ(stats.submitted_requests, requests.size()) << workers;
+    EXPECT_EQ(stats.served_requests, requests.size()) << workers;
+    // No overload: nothing shed, nothing silently dropped.
+    EXPECT_EQ(stats.shed_requests, 0u) << workers;
+    EXPECT_EQ(stats.ShedRate(), 0.0) << workers;
+    EXPECT_EQ(stats.closed_requests, 0u) << workers;
+    EXPECT_EQ(stats.targets_served, stats.targets_submitted) << workers;
+    EXPECT_GT(stats.ms_per_target_estimate, 0.0) << workers;
+  }
+}
+
+TEST(ServingFrontend, QueueFullShedsWithExactAccounting) {
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 0;  // admission-only: nothing drains, decisions are exact
+  cfg.queue_capacity = 4;
+  ServingFrontend frontend(&engine, cfg);
+
+  std::vector<std::future<FrontendResult>> futures;
+  for (int i = 0; i < 7; ++i) {
+    futures.push_back(frontend.Submit({i, i + 1}));
+  }
+  // First 4 fill the queue; the last 3 must shed immediately.
+  for (int i = 4; i < 7; ++i) {
+    FrontendResult res = futures[static_cast<size_t>(i)].get();
+    EXPECT_EQ(res.status, RequestStatus::kShed) << i;
+    EXPECT_TRUE(res.scores.empty()) << i;
+  }
+  FrontendStats mid = frontend.Stats();
+  EXPECT_EQ(mid.submitted_requests, 7u);
+  EXPECT_EQ(mid.shed_requests, 3u);
+  EXPECT_EQ(mid.shed_queue_full, 3u);
+  EXPECT_EQ(mid.shed_latency, 0u);
+  EXPECT_EQ(mid.targets_shed, 6u);
+  EXPECT_EQ(mid.queue_depth_peak, 4u);
+
+  // Close fails the queued backlog explicitly — every future resolves.
+  frontend.Close();
+  for (int i = 0; i < 4; ++i) {
+    FrontendResult res = futures[static_cast<size_t>(i)].get();
+    EXPECT_EQ(res.status, RequestStatus::kClosed) << i;
+  }
+  FrontendStats end = frontend.Stats();
+  EXPECT_EQ(end.closed_requests, 4u);
+  EXPECT_EQ(end.targets_closed, 8u);
+  // Conservation: every submitted request is served, shed, or closed.
+  EXPECT_EQ(end.submitted_requests,
+            end.served_requests + end.shed_requests + end.closed_requests);
+  EXPECT_EQ(end.targets_submitted,
+            end.targets_served + end.targets_shed + end.targets_closed);
+
+  // Submission after Close resolves kClosed, never hangs.
+  FrontendResult late = frontend.Submit({1, 2, 3}).get();
+  EXPECT_EQ(late.status, RequestStatus::kClosed);
+  EXPECT_EQ(frontend.Stats().closed_requests, 5u);
+}
+
+TEST(ServingFrontend, LatencyBudgetShedsOnFrozenCostModel) {
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 0;  // backlog never drains: inflight_targets is exact
+  cfg.queue_capacity = 64;
+  cfg.shed_p95_ms = 25.0;
+  cfg.initial_ms_per_target = 10.0;
+  cfg.freeze_cost_model = true;
+  ServingFrontend frontend(&engine, cfg);
+
+  // Estimated wait = (inflight + request) * 10ms / max(workers, 1).
+  auto f1 = frontend.Submit({1, 2});     // (0+2)*10 = 20ms <= 25 -> queued
+  auto f2 = frontend.Submit({3, 4});     // (2+2)*10 = 40ms  > 25 -> shed
+  auto f3 = frontend.SubmitOne(5);       // (2+1)*10 = 30ms  > 25 -> shed
+  EXPECT_EQ(f2.get().status, RequestStatus::kShed);
+  EXPECT_EQ(f3.get().status, RequestStatus::kShed);
+
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.shed_latency, 2u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);
+  EXPECT_EQ(stats.targets_shed, 3u);
+  EXPECT_EQ(stats.ms_per_target_estimate, 10.0);  // frozen
+
+  frontend.Close();
+  EXPECT_EQ(f1.get().status, RequestStatus::kClosed);
+}
+
+TEST(ServingFrontend, LiveOverloadConservesEveryRequest) {
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 2;
+  cfg.queue_capacity = 2;  // deliberate overload: clients outrun the queue
+  ServingFrontend frontend(&engine, cfg);
+
+  const std::vector<int>& pool = SmallGraph().test_idx;
+  constexpr int kClients = 6;
+  constexpr int kPerClient = 8;
+  std::atomic<uint64_t> ok{0}, shed{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        std::vector<int> req = {pool[static_cast<size_t>(c * kPerClient + i) %
+                                     pool.size()]};
+        FrontendResult res = frontend.ScoreBatch(std::move(req));
+        if (res.status == RequestStatus::kOk) {
+          ASSERT_EQ(res.scores.size(), 1u);
+          ok.fetch_add(1);
+        } else {
+          ASSERT_EQ(res.status, RequestStatus::kShed);
+          shed.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  frontend.Close();
+
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted_requests,
+            static_cast<uint64_t>(kClients * kPerClient));
+  // The stats agree with what the clients actually observed: sheds are
+  // reported, never silent.
+  EXPECT_EQ(stats.served_requests, ok.load());
+  EXPECT_EQ(stats.shed_requests, shed.load());
+  EXPECT_EQ(stats.submitted_requests,
+            stats.served_requests + stats.shed_requests +
+                stats.closed_requests);
+  EXPECT_LE(stats.queue_depth_peak, 2u);
+}
+
+TEST(ServingFrontend, HotSwapPurgesStaleVersionsAndServesNewGraph) {
+  Bsg4Bot& model_v0 = TrainedModel();
+  Bsg4Bot& model_v1 = SwappedModel();
+  DetectionEngine engine(&model_v0, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 2;
+  ServingFrontend frontend(&engine, cfg);
+
+  const std::vector<std::vector<int>> requests = RequestStream();
+  for (const std::vector<int>& req : requests) {
+    ASSERT_EQ(frontend.ScoreBatch(req).status, RequestStatus::kOk);
+  }
+  SubgraphCacheStats before = engine.cache().Stats();
+  ASSERT_GT(before.entries, 0u);
+  ASSERT_EQ(before.version_evictions, 0u);
+
+  frontend.SwapGraph(&model_v1, /*graph_version=*/1);
+  EXPECT_EQ(engine.graph_version(), 1u);
+  EXPECT_EQ(frontend.Stats().graph_swaps, 1u);
+
+  // Every version-0 resident was purged; the books balance exactly, which
+  // means zero stale-version entries survive the swap.
+  SubgraphCacheStats after = engine.cache().Stats();
+  EXPECT_EQ(after.entries, 0u);
+  EXPECT_EQ(after.version_evictions, before.entries);
+  EXPECT_EQ(after.inserts,
+            after.entries + after.evictions + after.version_evictions);
+
+  // Post-swap traffic scores through the new model, bit-identically to its
+  // serial oracle (fresh assembly: the purge emptied the cache).
+  const std::vector<std::vector<Score>> oracle_v1 =
+      SerialOracle(model_v1, requests);
+  for (size_t r = 0; r < requests.size(); ++r) {
+    FrontendResult res = requests[r].size() == 1
+                             ? frontend.ScoreOne(requests[r][0])
+                             : frontend.ScoreBatch(requests[r]);
+    ASSERT_EQ(res.status, RequestStatus::kOk);
+    ExpectSameScores(res.scores, oracle_v1[r]);
+  }
+}
+
+TEST(ServingFrontend, SwapUnderConcurrentTrafficYieldsOneVersionPerRequest) {
+  Bsg4Bot& model_v0 = TrainedModel();
+  Bsg4Bot& model_v1 = SwappedModel();
+  DetectionEngine engine(&model_v0, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 4;
+  ServingFrontend frontend(&engine, cfg);
+
+  const std::vector<std::vector<int>> requests = RequestStream();
+  const std::vector<std::vector<Score>> oracle_v0 =
+      SerialOracle(model_v0, requests);
+  const std::vector<std::vector<Score>> oracle_v1 =
+      SerialOracle(model_v1, requests);
+
+  // Clients replay the stream while the swap lands mid-traffic. Every
+  // request must match one oracle wholesale — a request served half on v0
+  // and half on v1 would match neither.
+  constexpr int kRounds = 4;
+  std::vector<std::thread> clients;
+  for (size_t r = 0; r < requests.size(); ++r) {
+    clients.emplace_back([&, r] {
+      for (int round = 0; round < kRounds; ++round) {
+        FrontendResult res = frontend.ScoreBatch(requests[r]);
+        ASSERT_EQ(res.status, RequestStatus::kOk);
+        const std::vector<Score>& want =
+            res.scores[0].logit_bot == oracle_v0[r][0].logit_bot
+                ? oracle_v0[r]
+                : oracle_v1[r];
+        ExpectSameScores(res.scores, want);
+      }
+    });
+  }
+  frontend.SwapGraph(&model_v1, /*graph_version=*/1);
+  for (std::thread& c : clients) c.join();
+
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.graph_swaps, 1u);
+  EXPECT_EQ(stats.engine.cache.inserts,
+            stats.engine.cache.entries + stats.engine.cache.evictions +
+                stats.engine.cache.version_evictions);
+}
+
+TEST(ServingFrontend, StatsArePollableUnderLoad) {
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 2;
+  ServingFrontend frontend(&engine, cfg);
+
+  const std::vector<int>& pool = SmallGraph().test_idx;
+  std::atomic<bool> done{false};
+  // A monitoring thread hammers Stats() mid-ScoreBatch — the TSan CI stage
+  // turns any unsynchronised counter into a hard failure here.
+  std::thread monitor([&] {
+    while (!done.load()) {
+      FrontendStats s = frontend.Stats();
+      ASSERT_GE(s.submitted_requests,
+                s.served_requests + s.shed_requests + s.closed_requests);
+    }
+  });
+  std::vector<std::thread> clients;
+  for (int c = 0; c < 3; ++c) {
+    clients.emplace_back([&] {
+      for (int i = 0; i < 6; ++i) {
+        std::vector<int> req(pool.begin(),
+                             pool.begin() + std::min<size_t>(24, pool.size()));
+        ASSERT_EQ(frontend.ScoreBatch(std::move(req)).status,
+                  RequestStatus::kOk);
+      }
+    });
+  }
+  for (std::thread& c : clients) c.join();
+  done.store(true);
+  monitor.join();
+
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.served_requests, 18u);
+  EXPECT_GT(stats.engine.stacker.batches_stacked, 0u);
+}
+
+}  // namespace
+}  // namespace bsg

@@ -88,6 +88,42 @@ TEST(SubgraphCache, GraphVersionPartitionsEntries) {
   EXPECT_NE(cache.Lookup(5, 1), nullptr);
 }
 
+TEST(SubgraphCache, EvictWhereVersionBelowSweepsOnlyStaleVersions) {
+  SubgraphCache cache(16);
+  for (int t = 0; t < 4; ++t) cache.Insert(t, /*version=*/0, Shared(t));
+  for (int t = 0; t < 3; ++t) cache.Insert(t, /*version=*/1, Shared(t));
+  ASSERT_EQ(cache.Stats().entries, 7u);
+
+  EXPECT_EQ(cache.EvictWhereVersionBelow(1), 4u);
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.version_evictions, 4u);
+  EXPECT_EQ(s.evictions, 0u);  // LRU-bound evictions stay separate
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_EQ(s.resident_bytes, 3 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+  // The survivors are exactly the version-1 entries.
+  for (int t = 0; t < 4; ++t) EXPECT_EQ(cache.Lookup(t, 0), nullptr);
+  for (int t = 0; t < 3; ++t) EXPECT_NE(cache.Lookup(t, 1), nullptr);
+
+  // Idempotent: a second sweep at the same threshold finds nothing.
+  EXPECT_EQ(cache.EvictWhereVersionBelow(1), 0u);
+  EXPECT_EQ(cache.Stats().version_evictions, 4u);
+}
+
+TEST(SubgraphCache, VersionSweepCounterBalanceAfterMixedTraffic) {
+  SubgraphCache cache(8);
+  // Overflow the bound at version 0 (LRU evictions), then add version 1
+  // and sweep: inserts must equal resident + LRU-evicted + version-swept.
+  for (int t = 0; t < 20; ++t) cache.Insert(t, 0, Shared(t));
+  for (int t = 0; t < 5; ++t) cache.Insert(t, 1, Shared(t));
+  cache.EvictWhereVersionBelow(1);
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 5u);
+  EXPECT_EQ(s.inserts, s.entries + s.evictions + s.version_evictions);
+  EXPECT_EQ(s.resident_bytes, 5 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+  // Zero stale-version residents: every surviving entry is at version 1.
+  for (int t = 0; t < 20; ++t) EXPECT_EQ(cache.Lookup(t, 0), nullptr);
+}
+
 TEST(SubgraphCache, InsertRaceKeepsFirstEntry) {
   SubgraphCache cache(4);
   auto first = Shared(9);
