@@ -33,6 +33,7 @@
 // it mid-serve (the demo raises the signal itself; `kill -HUP` lands the
 // same way), then verifies the purge counters and post-swap bit-identity.
 #include <algorithm>
+#include <chrono>
 #include <cmath>
 #include <csignal>
 #include <cstdio>
@@ -47,6 +48,7 @@
 #include "features/feature_pipeline.h"
 #include "io/checkpoint.h"
 #include "serve/frontend.h"
+#include "util/fault.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 
@@ -82,6 +84,14 @@ void PrintUsage() {
       "                        a full queue sheds, it never blocks)\n"
       "  --shed-p95-ms=X       latency budget: shed when the estimated\n"
       "                        queueing delay exceeds X ms (0 = off)\n"
+      "  --deadline-ms=X       per-request deadline in ms (0 = none);\n"
+      "                        expired requests resolve kTimeout\n"
+      "  --max-retries=N       retries for retryable engine failures\n"
+      "                        (jittered exponential backoff; default 0)\n"
+      "  --fault-spec=SPEC     arm deterministic fault injection, e.g.\n"
+      "                        'engine.forward:p=0.1;ckpt.read.open:nth=1'\n"
+      "                        (see src/util/fault.h for the grammar)\n"
+      "  --fault-seed=S        seed for probabilistic fault triggers\n"
       "  --swap-demo           hot-swap on SIGHUP: restore a standby model\n"
       "                        from the same checkpoint, SwapGraph() to it,\n"
       "                        verify the stale-version purge + bit-identity\n"
@@ -195,13 +205,38 @@ bool VerifyScaler(const Checkpoint& ckpt, const std::string& prefix,
          SameRowVector(*stddevs, scaler.stddevs());
 }
 
+// Per-outcome tally of front-end requests that did not resolve kOk. These
+// go to stderr only — the stdout JSON contract stays byte-identical on the
+// fault-free path.
+struct NonOkTally {
+  uint64_t shed = 0;
+  uint64_t timed_out = 0;
+  uint64_t failed = 0;
+  uint64_t degraded = 0;
+  uint64_t Total() const { return shed + timed_out + failed + degraded; }
+
+  void Report() const {
+    if (Total() == 0) return;
+    std::fprintf(stderr,
+                 "front-end resolved %llu request(s) without fresh scores: "
+                 "%llu shed, %llu timed out, %llu failed, %llu degraded\n",
+                 static_cast<unsigned long long>(Total()),
+                 static_cast<unsigned long long>(shed),
+                 static_cast<unsigned long long>(timed_out),
+                 static_cast<unsigned long long>(failed),
+                 static_cast<unsigned long long>(degraded));
+  }
+};
+
 // Scores through the front-end, splitting the target list into
 // engine-width chunks so every request carries the same batch composition
 // the serial path would score — that is what keeps logits bit-identical
-// across worker counts. Shed requests are counted, not silently skipped.
+// across worker counts. Non-kOk requests are tallied, not silently
+// skipped; degraded (stale/fallback) scores are NOT merged into the fresh
+// results, so the emitted JSON only ever carries model answers.
 std::vector<Score> ScoreThroughFrontend(ServingFrontend* frontend, int width,
                                         const std::vector<int>& targets,
-                                        bool single, uint64_t* shed_requests) {
+                                        bool single, NonOkTally* tally) {
   std::vector<std::future<FrontendResult>> futures;
   if (single) {
     for (int t : targets) futures.push_back(frontend->SubmitOne(t));
@@ -214,16 +249,29 @@ std::vector<Score> ScoreThroughFrontend(ServingFrontend* frontend, int width,
   }
   std::vector<Score> scores;
   scores.reserve(targets.size());
-  uint64_t shed = 0;
   for (std::future<FrontendResult>& f : futures) {
     FrontendResult res = f.get();
-    if (res.status == RequestStatus::kOk) {
-      scores.insert(scores.end(), res.scores.begin(), res.scores.end());
-    } else {
-      ++shed;
+    switch (res.status) {
+      case RequestStatus::kOk:
+        scores.insert(scores.end(), res.scores.begin(), res.scores.end());
+        break;
+      case RequestStatus::kShed:
+      case RequestStatus::kClosed:
+        ++tally->shed;
+        break;
+      case RequestStatus::kTimeout:
+        ++tally->timed_out;
+        break;
+      case RequestStatus::kFailed:
+        std::fprintf(stderr, "request failed: %s\n",
+                     res.detail.ToString().c_str());
+        ++tally->failed;
+        break;
+      case RequestStatus::kDegraded:
+        ++tally->degraded;
+        break;
     }
   }
-  *shed_requests = shed;
   return scores;
 }
 
@@ -306,6 +354,18 @@ int TrainAndSave(const FlagParser& flags, const std::string& ckpt_path) {
 }
 
 int Serve(const FlagParser& flags, const std::string& ckpt_path) {
+  // Arm fault injection before the checkpoint load so the ckpt.read.*
+  // sites cover it too.
+  if (flags.Has("fault-spec")) {
+    Status armed = FaultInjector::Global().Configure(
+        flags.GetString("fault-spec", ""),
+        static_cast<uint64_t>(flags.GetInt("fault-seed", 0)));
+    if (!armed.ok()) {
+      std::fprintf(stderr, "bad --fault-spec: %s\n",
+                   armed.ToString().c_str());
+      return 1;
+    }
+  }
   Result<Checkpoint> loaded = LoadCheckpoint(ckpt_path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "load failed: %s\n",
@@ -388,12 +448,20 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
     std::fprintf(stderr, "--workers must be >= 0\n");
     return 1;
   }
+  const double deadline_ms = flags.GetDouble("deadline-ms", 0.0);
+  const int max_retries = flags.GetInt("max-retries", 0);
+  if (max_retries < 0) {
+    std::fprintf(stderr, "--max-retries must be >= 0\n");
+    return 1;
+  }
   std::unique_ptr<ServingFrontend> frontend;
   if (workers >= 1) {
     FrontendConfig fcfg;
     fcfg.workers = workers;
     fcfg.queue_capacity = static_cast<size_t>(flags.GetInt("queue-cap", 256));
     fcfg.shed_p95_ms = flags.GetDouble("shed-p95-ms", 0.0);
+    fcfg.default_deadline_ms = deadline_ms;
+    fcfg.max_retries = max_retries;
     frontend = std::make_unique<ServingFrontend>(&engine, fcfg);
   }
 
@@ -410,21 +478,57 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
   const bool single = flags.Has("single");
   if (flags.Has("swap-demo")) std::signal(SIGHUP, OnSigHup);
 
-  std::vector<Score> scores;
-  if (frontend != nullptr) {
-    uint64_t shed = 0;
-    scores = ScoreThroughFrontend(frontend.get(), engine.batch_size(),
-                                  targets, single, &shed);
-    if (shed > 0) {
-      std::fprintf(stderr,
-                   "front-end shed %llu request(s) — raise --queue-cap or "
-                   "--shed-p95-ms to serve the full list\n",
-                   static_cast<unsigned long long>(shed));
+  // The direct (workers == 0) engine path honours --deadline-ms and
+  // --max-retries too, through the Status-returning API: a terminal
+  // failure there is a hard error for the CLI (no degraded mode without
+  // the front-end).
+  const auto score_direct = [&](const std::vector<int>& list,
+                                std::vector<Score>* out) -> Status {
+    const ScoreOptions opts =
+        deadline_ms > 0.0
+            ? ScoreOptions::WithDeadline(
+                  std::chrono::steady_clock::now() +
+                  std::chrono::duration_cast<
+                      std::chrono::steady_clock::duration>(
+                      std::chrono::duration<double, std::milli>(deadline_ms)))
+            : ScoreOptions::None();
+    Status st;
+    for (int attempt = 0;; ++attempt) {
+      if (single) {
+        out->clear();
+        st = Status::OK();
+        for (int t : list) {
+          Score s;
+          st = engine.TryScoreOne(t, opts, &s);
+          if (!st.ok()) break;
+          out->push_back(s);
+        }
+      } else {
+        st = engine.TryScoreBatch(list, opts, out);
+      }
+      if (st.ok() || !IsRetryable(st.code()) || attempt >= max_retries) {
+        return st;
+      }
     }
-  } else if (single) {
-    for (int t : targets) scores.push_back(engine.ScoreOne(t));
+  };
+
+  std::vector<Score> scores;
+  NonOkTally tally;
+  if (frontend != nullptr) {
+    scores = ScoreThroughFrontend(frontend.get(), engine.batch_size(),
+                                  targets, single, &tally);
+    tally.Report();
+    if (tally.shed > 0) {
+      std::fprintf(stderr,
+                   "raise --queue-cap or --shed-p95-ms to serve the full "
+                   "list\n");
+    }
   } else {
-    scores = engine.ScoreBatch(targets);
+    Status st = score_direct(targets, &scores);
+    if (!st.ok()) {
+      std::fprintf(stderr, "scoring failed: %s\n", st.ToString().c_str());
+      return 1;
+    }
   }
   for (const Score& s : scores) PrintScore(out, s, precision.c_str());
   if (out != stdout) std::fclose(out);
@@ -462,13 +566,17 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
 
       std::vector<Score> rescored;
       if (frontend != nullptr) {
-        uint64_t shed = 0;
+        NonOkTally swap_tally;
         rescored = ScoreThroughFrontend(frontend.get(), engine.batch_size(),
-                                        targets, single, &shed);
-      } else if (single) {
-        for (int t : targets) rescored.push_back(engine.ScoreOne(t));
+                                        targets, single, &swap_tally);
+        swap_tally.Report();
       } else {
-        rescored = engine.ScoreBatch(targets);
+        Status rescore = score_direct(targets, &rescored);
+        if (!rescore.ok()) {
+          std::fprintf(stderr, "post-swap scoring failed: %s\n",
+                       rescore.ToString().c_str());
+          return 1;
+        }
       }
       const bool identical = SameLogits(scores, rescored);
       std::fprintf(
@@ -527,6 +635,26 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
           static_cast<unsigned long long>(fs.queue_depth_peak),
           static_cast<unsigned long long>(fs.graph_swaps),
           fs.ms_per_target_estimate);
+      std::fprintf(
+          stderr,
+          "failures: %llu timed out, %llu failed, %llu degraded, %llu "
+          "retries (%llu successful), %llu breaker trip(s)\n",
+          static_cast<unsigned long long>(fs.timed_out_requests),
+          static_cast<unsigned long long>(fs.failed_requests),
+          static_cast<unsigned long long>(fs.degraded_requests),
+          static_cast<unsigned long long>(fs.retries),
+          static_cast<unsigned long long>(fs.retry_successes),
+          static_cast<unsigned long long>(fs.breaker_trips));
+    }
+    if (FaultInjector::Global().armed()) {
+      for (const FaultInjector::SiteStats& site :
+           FaultInjector::Global().Stats()) {
+        if (site.evaluations == 0) continue;
+        std::fprintf(stderr, "fault site %s: %llu evaluation(s), %llu fired\n",
+                     site.site,
+                     static_cast<unsigned long long>(site.evaluations),
+                     static_cast<unsigned long long>(site.fires));
+      }
     }
   }
   return 0;

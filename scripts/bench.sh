@@ -1,9 +1,8 @@
 #!/usr/bin/env bash
 # Machine-readable perf benches: builds (if needed) and runs the hot-path,
-# serving, subgraph-assembly, mixed-precision and concurrent-front-end
-# benchmarks, writing the BENCH_pr3.json / BENCH_pr4.json / BENCH_pr5.json
-# / BENCH_pr6.json / BENCH_pr7.json perf-trajectory snapshots at the repo
-# root.
+# serving, subgraph-assembly, mixed-precision, concurrent-front-end and
+# fault-injection/chaos benchmarks, writing the BENCH_pr3.json ..
+# BENCH_pr8.json perf-trajectory snapshots at the repo root.
 #
 #   scripts/bench.sh [--smoke] [build_dir]
 #
@@ -29,13 +28,14 @@ done
 cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_pr3_hotpath bench_pr4_serving bench_pr5_assembly \
-  bench_pr6_mixed_precision bench_pr7_frontend
+  bench_pr6_mixed_precision bench_pr7_frontend bench_pr8_chaos
 
 OUT_PR3="BENCH_pr3.json"
 OUT_PR4="BENCH_pr4.json"
 OUT_PR5="BENCH_pr5.json"
 OUT_PR6="BENCH_pr6.json"
 OUT_PR7="BENCH_pr7.json"
+OUT_PR8="BENCH_pr8.json"
 if [[ -n "$SMOKE" ]]; then
   # Smoke runs write to scratch paths: they exist to prove the benches and
   # emitter work, not to overwrite the checked-in trajectory numbers.
@@ -47,11 +47,16 @@ if [[ -n "$SMOKE" ]]; then
   # bench_pr7_frontend asserts the front-end's bit-identity across worker
   # counts, overload conservation and the zero-stale-residents swap
   # contract at smoke sizes as well.
+  # bench_pr8_chaos asserts the disarmed-hook micro-cost loop, the
+  # checkpoint-storm .tmp/.bak invariants, exact conservation under the
+  # armed chaos soak (every armed site must fire, every future resolve)
+  # and fault-free bit-identity with all failure knobs on, at smoke sizes.
   OUT_PR3="$BUILD_DIR/BENCH_pr3.smoke.json"
   OUT_PR4="$BUILD_DIR/BENCH_pr4.smoke.json"
   OUT_PR5="$BUILD_DIR/BENCH_pr5.smoke.json"
   OUT_PR6="$BUILD_DIR/BENCH_pr6.smoke.json"
   OUT_PR7="$BUILD_DIR/BENCH_pr7.smoke.json"
+  OUT_PR8="$BUILD_DIR/BENCH_pr8.smoke.json"
 fi
 
 "$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT_PR3"
@@ -59,4 +64,5 @@ fi
 "$BUILD_DIR/bench/bench_pr5_assembly" $SMOKE --out="$OUT_PR5"
 "$BUILD_DIR/bench/bench_pr6_mixed_precision" $SMOKE --out="$OUT_PR6"
 "$BUILD_DIR/bench/bench_pr7_frontend" $SMOKE --out="$OUT_PR7"
-echo "bench metrics written to $OUT_PR3, $OUT_PR4, $OUT_PR5, $OUT_PR6 and $OUT_PR7"
+"$BUILD_DIR/bench/bench_pr8_chaos" $SMOKE --out="$OUT_PR8"
+echo "bench metrics written to $OUT_PR3, $OUT_PR4, $OUT_PR5, $OUT_PR6, $OUT_PR7 and $OUT_PR8"

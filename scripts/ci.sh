@@ -9,11 +9,14 @@
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
 #    test_parallel, test_buffer_pool, test_subgraph_cache,
-#    test_ppr_workspace, test_frontend) so data races in the
+#    test_ppr_workspace, test_frontend, test_fault) so data races in the
 #    producer/consumer pipeline, the thread pool, the pooled-slab handoff,
 #    the serving cache's single-flight path, the per-thread subgraph
-#    workspaces and the concurrent serving front-end (worker pool, shed
-#    accounting, hot swap, Stats polling) fail CI
+#    workspaces, the concurrent serving front-end (worker pool, shed
+#    accounting, hot swap, Stats polling) and the fault injector's armed
+#    paths fail CI, followed by a timeout-wrapped chaos soak (fault
+#    injection armed at every serving site; the timeout is part of the
+#    assertion — a lost wakeup or an unresolved future under faults hangs)
 # 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
 #    scripts/bench.sh JSON emitter at small sizes (bench_pr5_assembly
 #    asserts zero warm-call heap allocations in the PPR workspace)
@@ -28,6 +31,11 @@
 # 6. BSG_MARCH_NATIVE=ON build running the f32 suites: the mixed-precision
 #    parity tolerance must hold under full-width SIMD codegen too, not just
 #    the portable baseline
+# 7. ASan+UBSan build + run of the failure-path suites (test_fault,
+#    test_checkpoint, test_subgraph_cache, test_frontend,
+#    test_serve_engine): injected faults drive the error/unwind paths that
+#    production traffic rarely takes, exactly where use-after-free and UB
+#    hide
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -52,7 +60,7 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
   --target test_prefetcher test_parallel test_buffer_pool \
-  test_subgraph_cache test_ppr_workspace test_frontend
+  test_subgraph_cache test_ppr_workspace test_frontend test_fault
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -66,6 +74,13 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_ppr_workspace"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_frontend"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_fault"
+
+echo "=== chaos soak (faults armed at every serving site, timeout-wrapped) ==="
+timeout 300 "$BUILD_DIR/test_fault"
+timeout 300 env BSG_NUM_THREADS=4 "$BUILD_DIR/test_frontend" \
+  --gtest_filter='ServingFrontendFaults.*'
 
 echo "=== bench_parallel_scaling smoke (--threads=2) ==="
 "$BUILD_DIR/bench/bench_parallel_scaling" --threads=2 --matmul_n=192 \
@@ -104,6 +119,15 @@ echo "=== hot-swap smoke (SIGHUP -> SwapGraph -> purge -> bit-identity) ==="
 diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_swap.jsonl"
 echo "hot-swap smoke: stale versions purged, post-swap logits bit-identical"
 
+echo "=== fault-injected serve smoke (retries absorb transient faults) ==="
+# Two deterministic transient forward faults, three retries: every request
+# must still resolve kOk with bit-identical logits, through the CLI flags.
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_fault.jsonl" --workers=2 --max-retries=3 \
+  --fault-spec="engine.forward:first=2" --fault-seed=7 --stats
+diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_fault.jsonl"
+echo "fault-injected serve smoke: transient faults retried, logits bit-identical"
+
 echo "=== BSG_MARCH_NATIVE=ON: f32 parity under native SIMD ==="
 NATIVE_BUILD_DIR="${BUILD_DIR}-native"
 cmake -B "$NATIVE_BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release \
@@ -114,3 +138,19 @@ cmake --build "$NATIVE_BUILD_DIR" -j "$JOBS" \
 "$NATIVE_BUILD_DIR/test_f32_parity"
 "$NATIVE_BUILD_DIR/test_batch_stacker"
 echo "native-SIMD f32 suites green"
+
+echo "=== ASan+UBSan: failure-path suites ==="
+ASAN_BUILD_DIR="${BUILD_DIR}-asan"
+cmake -B "$ASAN_BUILD_DIR" -S . \
+  -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+  -DCMAKE_CXX_FLAGS="-fsanitize=address,undefined -fno-sanitize-recover=all -O1 -g -fno-omit-frame-pointer" \
+  -DCMAKE_EXE_LINKER_FLAGS="-fsanitize=address,undefined" \
+  -DBSG_BUILD_BENCHES=OFF
+cmake --build "$ASAN_BUILD_DIR" -j "$JOBS" \
+  --target test_fault test_checkpoint test_subgraph_cache test_frontend \
+  test_serve_engine
+for t in test_fault test_checkpoint test_subgraph_cache test_frontend \
+         test_serve_engine; do
+  BSG_NUM_THREADS=4 "$ASAN_BUILD_DIR/$t"
+done
+echo "ASan+UBSan failure-path suites green"

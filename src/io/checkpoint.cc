@@ -1,8 +1,11 @@
 #include "io/checkpoint.h"
 
+#include <atomic>
 #include <cstdio>
 #include <cstring>
 
+#include "util/fault.h"
+#include "util/logging.h"
 #include "util/string_util.h"
 
 namespace bsg {
@@ -71,7 +74,9 @@ class Cursor {
   bool ReadDoubles(double* dst, size_t count) {
     if (!CanReadDoubles(count)) return false;
     const size_t bytes = count * sizeof(double);
-    std::memcpy(dst, data_ + pos_, bytes);
+    // A 0x0 tensor has a null destination; memcpy requires non-null even
+    // for zero bytes.
+    if (bytes != 0) std::memcpy(dst, data_ + pos_, bytes);
     pos_ += bytes;
     return true;
   }
@@ -87,6 +92,14 @@ class Cursor {
 Status Corrupt(const std::string& what) {
   return Status::InvalidArgument("corrupt checkpoint: " + what);
 }
+
+// Process-wide IO counters (see GetCheckpointIoStats).
+std::atomic<uint64_t> g_saves_ok{0};
+std::atomic<uint64_t> g_save_failures{0};
+std::atomic<uint64_t> g_loads_ok{0};
+std::atomic<uint64_t> g_load_failures{0};
+std::atomic<uint64_t> g_bak_writes{0};
+std::atomic<uint64_t> g_bak_recoveries{0};
 
 }  // namespace
 
@@ -182,27 +195,53 @@ Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path) {
   Append<uint32_t>(&blob, Crc32(payload.data(), payload.size()));
 
   // Write-then-rename so a crash mid-save never leaves a half-written file
-  // at the target path.
+  // at the target path. Every failure exit below removes the temp file —
+  // a failed save must not leak a `.tmp` orphan next to the checkpoint.
+  // The fault sites simulate the underlying syscall failing, so tests can
+  // drive each exit deterministically.
   const std::string tmp = path + ".tmp";
-  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  std::FILE* f = BSG_FAULT(fault::kCkptWriteOpen)
+                     ? nullptr
+                     : std::fopen(tmp.c_str(), "wb");
   if (f == nullptr) {
-    return Status::InvalidArgument("cannot open for write: " + tmp);
+    std::remove(tmp.c_str());  // a stale orphan from a crashed writer
+    g_save_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("cannot open for write: " + tmp);
   }
-  const size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  size_t written = std::fwrite(blob.data(), 1, blob.size(), f);
+  if (BSG_FAULT(fault::kCkptWriteShort) && written > 0) written /= 2;
   const bool closed = std::fclose(f) == 0;
   if (written != blob.size() || !closed) {
     std::remove(tmp.c_str());
-    return Status::Internal("short write: " + tmp);
+    g_save_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("short write: " + tmp);
   }
-  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+  // Demote the current primary (the previous successful save) to .bak:
+  // if this save's primary is later corrupted, load recovers from it.
+  // Failure to demote is benign (first save: no primary yet).
+  if (std::rename(path.c_str(), CheckpointBackupPath(path).c_str()) == 0) {
+    g_bak_writes.fetch_add(1, std::memory_order_relaxed);
+  }
+  const int renamed = BSG_FAULT(fault::kCkptWriteRename)
+                          ? -1
+                          : std::rename(tmp.c_str(), path.c_str());
+  if (renamed != 0) {
     std::remove(tmp.c_str());
-    return Status::Internal("rename failed: " + tmp + " -> " + path);
+    g_save_failures.fetch_add(1, std::memory_order_relaxed);
+    return Status::Unavailable("rename failed: " + tmp + " -> " + path);
   }
+  g_saves_ok.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();
 }
 
-Result<Checkpoint> LoadCheckpoint(const std::string& path) {
-  std::FILE* f = std::fopen(path.c_str(), "rb");
+namespace {
+
+/// One file's read + verify + parse (no fallback). LoadCheckpoint wraps
+/// this with the .bak recovery policy.
+Result<Checkpoint> LoadCheckpointFile(const std::string& path) {
+  std::FILE* f = BSG_FAULT(fault::kCkptReadOpen)
+                     ? nullptr
+                     : std::fopen(path.c_str(), "rb");
   if (f == nullptr) {
     return Status::NotFound("cannot open checkpoint: " + path);
   }
@@ -212,7 +251,12 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   while ((got = std::fread(buf, 1, sizeof(buf), f)) > 0) blob.append(buf, got);
   const bool read_error = std::ferror(f) != 0;
   std::fclose(f);
-  if (read_error) return Status::Internal("read error: " + path);
+  if (read_error) return Status::Unavailable("read error: " + path);
+  if (BSG_FAULT(fault::kCkptReadCorrupt) && !blob.empty()) {
+    // Simulated on-disk corruption: flip one payload bit and let the
+    // normal verification (size / CRC / bounds) catch it.
+    blob[blob.size() / 2] = static_cast<char>(blob[blob.size() / 2] ^ 0x40);
+  }
 
   if (blob.size() < kHeaderBytes + sizeof(uint32_t)) {
     return Corrupt("file shorter than header");
@@ -283,6 +327,59 @@ Result<Checkpoint> LoadCheckpoint(const std::string& path) {
   }
   if (!cur.AtEnd()) return Corrupt("trailing bytes after last tensor");
   return ckpt;
+}
+
+}  // namespace
+
+Result<Checkpoint> LoadCheckpoint(const std::string& path) {
+  Result<Checkpoint> primary = LoadCheckpointFile(path);
+  if (primary.ok()) {
+    g_loads_ok.fetch_add(1, std::memory_order_relaxed);
+    return primary;
+  }
+  // Primary unreadable — fall back to the previous save's backup. This is
+  // the recovery path for a corrupted / truncated / missing primary; it is
+  // loud (logged + counted) because serving from it means serving one
+  // checkpoint generation behind.
+  const std::string bak = CheckpointBackupPath(path);
+  Result<Checkpoint> fallback = LoadCheckpointFile(bak);
+  if (fallback.ok()) {
+    g_bak_recoveries.fetch_add(1, std::memory_order_relaxed);
+    g_loads_ok.fetch_add(1, std::memory_order_relaxed);
+    BSG_LOG_WARN("checkpoint %s unreadable (%s); recovered from backup %s",
+                 path.c_str(), primary.status().ToString().c_str(),
+                 bak.c_str());
+    return fallback;
+  }
+  g_load_failures.fetch_add(1, std::memory_order_relaxed);
+  return Status(primary.status().code(),
+                "checkpoint unreadable: " + primary.status().message() +
+                    "; backup also unreadable: " +
+                    fallback.status().message());
+}
+
+std::string CheckpointBackupPath(const std::string& path) {
+  return path + ".bak";
+}
+
+CheckpointIoStats GetCheckpointIoStats() {
+  CheckpointIoStats s;
+  s.saves_ok = g_saves_ok.load(std::memory_order_relaxed);
+  s.save_failures = g_save_failures.load(std::memory_order_relaxed);
+  s.loads_ok = g_loads_ok.load(std::memory_order_relaxed);
+  s.load_failures = g_load_failures.load(std::memory_order_relaxed);
+  s.bak_writes = g_bak_writes.load(std::memory_order_relaxed);
+  s.bak_recoveries = g_bak_recoveries.load(std::memory_order_relaxed);
+  return s;
+}
+
+void ResetCheckpointIoStats() {
+  g_saves_ok.store(0, std::memory_order_relaxed);
+  g_save_failures.store(0, std::memory_order_relaxed);
+  g_loads_ok.store(0, std::memory_order_relaxed);
+  g_load_failures.store(0, std::memory_order_relaxed);
+  g_bak_writes.store(0, std::memory_order_relaxed);
+  g_bak_recoveries.store(0, std::memory_order_relaxed);
 }
 
 }  // namespace bsg

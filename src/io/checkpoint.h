@@ -75,11 +75,36 @@ class Checkpoint {
 };
 
 /// Serialises `ckpt` to `path` (atomically: written to a temp file in the
-/// same directory, then renamed over the target).
+/// same directory, then renamed over the target). The previous file at
+/// `path`, if any, is demoted to CheckpointBackupPath(path) first, so one
+/// older generation survives a later corruption of the primary. Every
+/// failure path unlinks the temp file — a failed save never leaves a
+/// `.tmp` orphan behind.
 Status SaveCheckpoint(const Checkpoint& ckpt, const std::string& path);
 
-/// Reads and verifies (magic, version, size, CRC) a checkpoint file.
+/// Reads and verifies (magic, version, size, CRC) a checkpoint file. When
+/// the primary is missing or fails any verification, falls back to the
+/// `.bak` written by the previous successful save — the recovery is logged
+/// and counted in CheckpointIoStats::bak_recoveries. Only when both files
+/// fail does the load return an error (carrying both failure messages).
 Result<Checkpoint> LoadCheckpoint(const std::string& path);
+
+/// The backup path a save demotes the previous primary to (`path` + ".bak").
+std::string CheckpointBackupPath(const std::string& path);
+
+/// Process-wide cumulative checkpoint-IO counters (atomic; readable from
+/// any thread, e.g. a serving stats surface).
+struct CheckpointIoStats {
+  uint64_t saves_ok = 0;
+  uint64_t save_failures = 0;
+  uint64_t loads_ok = 0;        ///< includes loads recovered from .bak
+  uint64_t load_failures = 0;   ///< both primary and .bak unreadable
+  uint64_t bak_writes = 0;      ///< primaries demoted to .bak by a save
+  uint64_t bak_recoveries = 0;  ///< loads served by the .bak fallback
+};
+CheckpointIoStats GetCheckpointIoStats();
+/// Zeroes the counters (test isolation).
+void ResetCheckpointIoStats();
 
 /// CRC-32 (IEEE 802.3, reflected polynomial 0xEDB88320) of `data`. Exposed
 /// for tests.

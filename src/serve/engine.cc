@@ -1,9 +1,12 @@
 #include "serve/engine.h"
 
+#include <chrono>
 #include <cmath>
 #include <numeric>
+#include <string>
 
 #include "util/buffer_pool.h"
+#include "util/fault.h"
 
 namespace bsg {
 
@@ -90,39 +93,96 @@ void DetectionEngine::ReleaseScratch(CallScratch* scratch) {
   free_scratch_.push_back(scratch);
 }
 
+bool DetectionEngine::DeadlineExpired(const ScoreOptions& opts) {
+  return opts.has_deadline &&
+         std::chrono::steady_clock::now() >= opts.deadline;
+}
+
 Score DetectionEngine::ScoreOne(int target) {
-  ScratchLease lease(this);
-  CallScratch& cs = *lease;
-  cs.model = model_.load(std::memory_order_acquire);
-  cs.version = graph_version_.load(std::memory_order_acquire);
-  std::shared_ptr<const BiasedSubgraph> sub = cache_.GetOrBuild(
-      target, cs.version,
-      [&cs](int t) { return cs.model->AssembleSubgraph(t); });
-  cs.chunk.assign(1, target);
-  cs.subs.assign(1, sub.get());
-  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
   Score score;
-  ScoreAssembled(cs, batch, &score);
-  cs.stacker.Recycle(std::move(batch));
-  single_requests_.fetch_add(1, std::memory_order_relaxed);
-  targets_scored_.fetch_add(1, std::memory_order_relaxed);
+  Status st = TryScoreOne(target, ScoreOptions::None(), &score);
+  if (!st.ok()) throw StatusError(st);
   return score;
 }
 
 std::vector<Score> DetectionEngine::ScoreBatch(
     const std::vector<int>& targets) {
+  std::vector<Score> scores;
+  Status st = TryScoreBatch(targets, ScoreOptions::None(), &scores);
+  if (!st.ok()) throw StatusError(st);
+  return scores;
+}
+
+Status DetectionEngine::TryScoreOne(int target, const ScoreOptions& opts,
+                                    Score* out) {
+  ScratchLease lease(this);
+  CallScratch& cs = *lease;
+  cs.model = model_.load(std::memory_order_acquire);
+  cs.version = graph_version_.load(std::memory_order_acquire);
+  if (DeadlineExpired(opts)) {
+    deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::DeadlineExceeded("deadline expired before scoring target " +
+                                    std::to_string(target));
+  }
+  std::shared_ptr<const BiasedSubgraph> sub;
+  try {
+    sub = cache_.GetOrBuild(target, cs.version, [&cs](int t) {
+      return cs.model->AssembleSubgraph(t);
+    });
+  } catch (const StatusError& e) {
+    score_failures_.fetch_add(1, std::memory_order_relaxed);
+    return e.status();
+  } catch (const std::exception& e) {
+    score_failures_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Internal(std::string("subgraph assembly failed: ") +
+                            e.what());
+  }
+  cs.chunk.assign(1, target);
+  cs.subs.assign(1, sub.get());
+  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
+  Status st = ScoreAssembled(cs, batch, out);
+  cs.stacker.Recycle(std::move(batch));
+  if (!st.ok()) {
+    score_failures_.fetch_add(1, std::memory_order_relaxed);
+    return st;
+  }
+  single_requests_.fetch_add(1, std::memory_order_relaxed);
+  targets_scored_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status DetectionEngine::TryScoreBatch(const std::vector<int>& targets,
+                                      const ScoreOptions& opts,
+                                      std::vector<Score>* out) {
   batch_requests_.fetch_add(1, std::memory_order_relaxed);
-  std::vector<Score> scores(targets.size());
-  if (targets.empty()) return scores;
+  out->assign(targets.size(), Score{});
+  if (targets.empty()) return Status::OK();
 
   ScratchLease lease(this);
   CallScratch& cs = *lease;
   cs.model = model_.load(std::memory_order_acquire);
   cs.version = graph_version_.load(std::memory_order_acquire);
+  // The scratch is pooled: clear any failure left by the previous call
+  // (its producer is guaranteed idle — the failing call cancelled the
+  // epoch before releasing the lease).
+  cs.assemble_failed.store(false, std::memory_order_relaxed);
 
   const size_t width = static_cast<size_t>(batch_size_);
   const size_t num_chunks = (targets.size() + width - 1) / width;
   cs.pending = targets;
+
+  // Converts the scratch's recorded assembly failure into the return
+  // Status (producer already quiesced by the caller).
+  auto assembly_error = [&cs, this]() {
+    Status st = cs.TakeAssembleError();
+    cs.assemble_failed.store(false, std::memory_order_relaxed);
+    if (st.code() == StatusCode::kDeadlineExceeded) {
+      deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      score_failures_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return st;
+  };
 
   if (num_chunks > 1) {
     // Coalesced streaming: chunk assembly — cache probes plus PPR builds
@@ -140,42 +200,96 @@ std::vector<Score> DetectionEngine::ScoreBatch(
     std::iota(order.begin(), order.end(), 0);
     cs.prefetcher->StartEpoch(std::move(order));
     for (size_t c = 0; c < num_chunks; ++c) {
+      if (DeadlineExpired(opts)) {
+        // Between-chunk deadline enforcement: stop before the next forward
+        // (a chunk in progress finishes; its scores are discarded with the
+        // rest of the request).
+        cs.prefetcher->CancelEpoch();
+        deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+        return Status::DeadlineExceeded(
+            "deadline expired after chunk " + std::to_string(c) + " of " +
+            std::to_string(num_chunks));
+      }
       SubgraphBatch batch = cs.prefetcher->Next();
-      ScoreAssembled(cs, batch, &scores[c * width]);
+      if (cs.assemble_failed.load(std::memory_order_acquire)) {
+        // `batch` is the empty carcass the failing AssembleChunk returned
+        // (or a later chunk's short-circuit) — nothing to recycle.
+        cs.prefetcher->CancelEpoch();
+        return assembly_error();
+      }
+      Status st = ScoreAssembled(cs, batch, &(*out)[c * width]);
       cs.stacker.Recycle(std::move(batch));
+      if (!st.ok()) {
+        cs.prefetcher->CancelEpoch();
+        score_failures_.fetch_add(1, std::memory_order_relaxed);
+        return st;
+      }
     }
   } else {
+    if (DeadlineExpired(opts)) {
+      deadline_failures_.fetch_add(1, std::memory_order_relaxed);
+      return Status::DeadlineExceeded("deadline expired before scoring");
+    }
     SubgraphBatch batch = AssembleChunk(cs, 0);
-    ScoreAssembled(cs, batch, scores.data());
+    if (cs.assemble_failed.load(std::memory_order_acquire)) {
+      return assembly_error();
+    }
+    Status st = ScoreAssembled(cs, batch, out->data());
     cs.stacker.Recycle(std::move(batch));
+    if (!st.ok()) {
+      score_failures_.fetch_add(1, std::memory_order_relaxed);
+      return st;
+    }
   }
   targets_scored_.fetch_add(targets.size(), std::memory_order_relaxed);
-  return scores;
+  return Status::OK();
 }
 
 SubgraphBatch DetectionEngine::AssembleChunk(CallScratch& cs,
                                              int chunk_index) {
-  const size_t width = static_cast<size_t>(batch_size_);
-  const size_t begin = static_cast<size_t>(chunk_index) * width;
-  const size_t end = std::min(cs.pending.size(), begin + width);
-  cs.chunk.assign(cs.pending.begin() + begin, cs.pending.begin() + end);
-  // Hold the shared_ptrs until the batch is stacked: an eviction between
-  // probe and stacking must not free a subgraph we are reading.
-  cs.held.clear();
-  cs.subs.clear();
-  for (int t : cs.chunk) {
-    cs.held.push_back(cache_.GetOrBuild(
-        t, cs.version,
-        [&cs](int target) { return cs.model->AssembleSubgraph(target); }));
-    cs.subs.push_back(cs.held.back().get());
+  if (cs.assemble_failed.load(std::memory_order_acquire)) {
+    // An earlier chunk of this request already failed; every score will be
+    // discarded, so don't burn builds on the remaining chunks.
+    return SubgraphBatch{};
   }
-  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
+  try {
+    const size_t width = static_cast<size_t>(batch_size_);
+    const size_t begin = static_cast<size_t>(chunk_index) * width;
+    const size_t end = std::min(cs.pending.size(), begin + width);
+    cs.chunk.assign(cs.pending.begin() + begin, cs.pending.begin() + end);
+    // Hold the shared_ptrs until the batch is stacked: an eviction between
+    // probe and stacking must not free a subgraph we are reading.
+    cs.held.clear();
+    cs.subs.clear();
+    for (int t : cs.chunk) {
+      cs.held.push_back(cache_.GetOrBuild(
+          t, cs.version,
+          [&cs](int target) { return cs.model->AssembleSubgraph(target); }));
+      cs.subs.push_back(cs.held.back().get());
+    }
+    SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
+    cs.held.clear();
+    return batch;
+  } catch (const StatusError& e) {
+    // This runs on the prefetcher's producer thread, whose loop cannot
+    // survive a throw — convert to the scratch's error channel instead.
+    cs.SetAssembleError(e.status());
+  } catch (const std::exception& e) {
+    cs.SetAssembleError(
+        Status::Internal(std::string("chunk assembly failed: ") + e.what()));
+  } catch (...) {
+    cs.SetAssembleError(Status::Internal("chunk assembly failed"));
+  }
   cs.held.clear();
-  return batch;
+  return SubgraphBatch{};
 }
 
-void DetectionEngine::ScoreAssembled(CallScratch& cs,
-                                     const SubgraphBatch& batch, Score* out) {
+Status DetectionEngine::ScoreAssembled(CallScratch& cs,
+                                       const SubgraphBatch& batch,
+                                       Score* out) {
+  if (BSG_FAULT(fault::kEngineForward)) {
+    return Status::Unavailable("injected fault: engine.forward");
+  }
   {
     // One forward at a time (shared autograd parameters + the single-slot
     // parallel pool); other callers keep assembling meanwhile. Arena-scoped
@@ -198,6 +312,7 @@ void DetectionEngine::ScoreAssembled(CallScratch& cs,
     pool_hits_.fetch_add(arena.hits(), std::memory_order_relaxed);
   }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
 }
 
 void DetectionEngine::SwapModel(Bsg4Bot* model, uint64_t graph_version) {
@@ -228,6 +343,8 @@ EngineStats DetectionEngine::Stats() const {
   s.batch_requests = batch_requests_.load(std::memory_order_relaxed);
   s.targets_scored = targets_scored_.load(std::memory_order_relaxed);
   s.batches_run = batches_run_.load(std::memory_order_relaxed);
+  s.deadline_failures = deadline_failures_.load(std::memory_order_relaxed);
+  s.score_failures = score_failures_.load(std::memory_order_relaxed);
   s.graph_swaps = graph_swaps_.load(std::memory_order_relaxed);
   s.pool_trimmed_bytes = pool_trimmed_bytes_.load(std::memory_order_relaxed);
   s.pool_acquires = pool_acquires_.load(std::memory_order_relaxed);

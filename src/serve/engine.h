@@ -60,6 +60,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -97,6 +98,24 @@ struct EngineConfig {
   Precision precision = Precision::kF64;
 };
 
+/// Per-call scoring options (the deadline travels with the request).
+struct ScoreOptions {
+  /// When set, scoring re-checks the deadline before every mini-batch
+  /// chunk and aborts with kDeadlineExceeded once it has passed. The
+  /// granularity is one chunk: a forward pass in progress is finished, not
+  /// interrupted.
+  bool has_deadline = false;
+  std::chrono::steady_clock::time_point deadline{};
+
+  static ScoreOptions None() { return ScoreOptions{}; }
+  static ScoreOptions WithDeadline(std::chrono::steady_clock::time_point d) {
+    ScoreOptions o;
+    o.has_deadline = true;
+    o.deadline = d;
+    return o;
+  }
+};
+
 /// One scored account.
 struct Score {
   int target = -1;
@@ -112,6 +131,9 @@ struct EngineStats {
   uint64_t batch_requests = 0;   ///< ScoreBatch calls
   uint64_t targets_scored = 0;   ///< accounts scored, both paths
   uint64_t batches_run = 0;      ///< forward passes executed
+  /// TryScore* calls that returned non-OK, split by cause.
+  uint64_t deadline_failures = 0;  ///< aborted on an expired deadline
+  uint64_t score_failures = 0;     ///< failed for any other reason
   uint64_t graph_swaps = 0;      ///< SwapModel calls
   uint64_t pool_trimmed_bytes = 0;  ///< bytes released by the startup Trim
   /// Buffer-pool traffic of the engine's forward passes.
@@ -141,12 +163,27 @@ class DetectionEngine {
   DetectionEngine& operator=(const DetectionEngine&) = delete;
 
   /// Scores one account (a batch of one). Latency path. Thread-safe.
+  /// Throws StatusError on failure (injected or real); use TryScoreOne for
+  /// the Status-returning form.
   Score ScoreOne(int target);
 
   /// Scores a list of accounts, coalesced into batch_size mini-batches and
   /// streamed through a per-call prefetcher. Throughput path; results
-  /// align with `targets`. Thread-safe.
+  /// align with `targets`. Thread-safe. Throws StatusError on failure.
   std::vector<Score> ScoreBatch(const std::vector<int>& targets);
+
+  /// Status-returning scoring: the serving front-end's entry points, where
+  /// failures are routine (retried, degraded, or surfaced) rather than
+  /// exceptional. On success `*out` aligns with the targets; on failure
+  /// its contents are unspecified and must be discarded. A deadline in
+  /// `opts` is checked before every chunk (kDeadlineExceeded); transient
+  /// assembly/forward failures come back as their taxonomy code
+  /// (kUnavailable is the retryable one). The fault-free success path is
+  /// computationally identical to ScoreBatch/ScoreOne — logits stay
+  /// bit-identical. Thread-safe.
+  Status TryScoreBatch(const std::vector<int>& targets,
+                       const ScoreOptions& opts, std::vector<Score>* out);
+  Status TryScoreOne(int target, const ScoreOptions& opts, Score* out);
 
   /// Hot-swaps the served model: subsequent requests score through
   /// `model` under `graph_version`, and every cached subgraph of an older
@@ -183,6 +220,28 @@ class DetectionEngine {
     Bsg4Bot* model = nullptr;
     uint64_t version = 0;
     std::unique_ptr<BatchPrefetcher> prefetcher;  ///< lazily built
+
+    // Assembly-failure channel. AssembleChunk runs on the prefetcher's
+    // producer thread, whose loop has no exception handling — a throw
+    // there would terminate the process — so it catches everything,
+    // records the Status here and returns an empty batch; the consumer
+    // checks the flag after each Next(). The atomic publishes the flag
+    // across the producer/consumer threads; the mutex guards the Status.
+    std::atomic<bool> assemble_failed{false};
+    std::mutex error_mu;
+    Status assemble_error;
+
+    void SetAssembleError(Status st) {
+      {
+        std::lock_guard<std::mutex> lock(error_mu);
+        assemble_error = std::move(st);
+      }
+      assemble_failed.store(true, std::memory_order_release);
+    }
+    Status TakeAssembleError() {
+      std::lock_guard<std::mutex> lock(error_mu);
+      return assemble_error;
+    }
   };
   /// RAII lease of a CallScratch from the free list.
   class ScratchLease;
@@ -191,12 +250,17 @@ class DetectionEngine {
   void ReleaseScratch(CallScratch* scratch);
   /// Assembles one mini-batch of the scratch's in-flight request through
   /// the cache. Runs on the scratch's prefetcher producer thread (or the
-  /// caller, single-chunk requests).
+  /// caller, single-chunk requests). Never throws: failures are recorded
+  /// on the scratch (SetAssembleError) and an empty batch is returned,
+  /// because the producer loop cannot survive an exception.
   SubgraphBatch AssembleChunk(CallScratch& cs, int chunk_index);
   /// Forward pass + logit unpacking for one assembled batch. Serialised on
-  /// forward_mu_.
-  void ScoreAssembled(CallScratch& cs, const SubgraphBatch& batch,
-                      Score* out);
+  /// forward_mu_. Returns non-OK (without touching `out`) when the
+  /// engine.forward fault site fires.
+  Status ScoreAssembled(CallScratch& cs, const SubgraphBatch& batch,
+                        Score* out);
+  /// True when opts carries a deadline that has passed.
+  static bool DeadlineExpired(const ScoreOptions& opts);
 
   std::atomic<Bsg4Bot*> model_;
   const EngineConfig cfg_;
@@ -212,6 +276,8 @@ class DetectionEngine {
   std::atomic<uint64_t> batch_requests_{0};
   std::atomic<uint64_t> targets_scored_{0};
   std::atomic<uint64_t> batches_run_{0};
+  std::atomic<uint64_t> deadline_failures_{0};
+  std::atomic<uint64_t> score_failures_{0};
   std::atomic<uint64_t> graph_swaps_{0};
   std::atomic<uint64_t> pool_trimmed_bytes_{0};
   std::atomic<uint64_t> pool_acquires_{0};

@@ -1,7 +1,9 @@
 #include "serve/frontend.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "util/fault.h"
 #include "util/timer.h"
 
 namespace bsg {
@@ -9,11 +11,25 @@ namespace bsg {
 namespace {
 
 void Resolve(std::promise<FrontendResult>* promise, RequestStatus status,
-             std::vector<Score> scores = {}) {
+             std::vector<Score> scores = {}, Status detail = Status::OK(),
+             int attempts = 0) {
   FrontendResult result;
   result.status = status;
   result.scores = std::move(scores);
+  result.detail = std::move(detail);
+  result.attempts = attempts;
   promise->set_value(std::move(result));
+}
+
+/// The degraded-mode "cheap fallback head": a maximally uncertain answer
+/// for a target with no cached score — bot_prob 0.5, zero logits, human
+/// label. Explicitly marked kDegraded at the request level, so callers can
+/// tell it from a model answer.
+Score FallbackScore(int target) {
+  Score s;
+  s.target = target;
+  s.bot_prob = 0.5;
+  return s;
 }
 
 }  // namespace
@@ -24,21 +40,36 @@ ServingFrontend::ServingFrontend(DetectionEngine* engine, FrontendConfig cfg)
   BSG_CHECK(cfg_.workers >= 0, "negative worker count");
   BSG_CHECK(cfg_.cost_ewma_alpha > 0.0 && cfg_.cost_ewma_alpha <= 1.0,
             "cost_ewma_alpha must be in (0, 1]");
+  BSG_CHECK(cfg_.max_retries >= 0, "negative max_retries");
+  BSG_CHECK(cfg_.retry_backoff_ms >= 0.0, "negative retry_backoff_ms");
+  BSG_CHECK(cfg_.breaker_threshold >= 0, "negative breaker_threshold");
+  BSG_CHECK(cfg_.breaker_open_ms >= 0.0, "negative breaker_open_ms");
   ms_per_target_ = cfg_.initial_ms_per_target;
   workers_.reserve(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
-    workers_.emplace_back([this] { WorkerLoop(); });
+    workers_.emplace_back([this, i] { WorkerLoop(i); });
   }
 }
 
 ServingFrontend::~ServingFrontend() { Close(); }
 
 std::future<FrontendResult> ServingFrontend::Submit(std::vector<int> targets) {
-  return SubmitInternal(std::move(targets), /*single=*/false);
+  return SubmitInternal(std::move(targets), /*single=*/false,
+                        cfg_.default_deadline_ms);
+}
+
+std::future<FrontendResult> ServingFrontend::Submit(std::vector<int> targets,
+                                                    double deadline_ms) {
+  return SubmitInternal(std::move(targets), /*single=*/false, deadline_ms);
 }
 
 std::future<FrontendResult> ServingFrontend::SubmitOne(int target) {
-  return SubmitInternal({target}, /*single=*/true);
+  return SubmitInternal({target}, /*single=*/true, cfg_.default_deadline_ms);
+}
+
+std::future<FrontendResult> ServingFrontend::SubmitOne(int target,
+                                                       double deadline_ms) {
+  return SubmitInternal({target}, /*single=*/true, deadline_ms);
 }
 
 FrontendResult ServingFrontend::ScoreBatch(std::vector<int> targets) {
@@ -50,7 +81,7 @@ FrontendResult ServingFrontend::ScoreOne(int target) {
 }
 
 std::future<FrontendResult> ServingFrontend::SubmitInternal(
-    std::vector<int> targets, bool single) {
+    std::vector<int> targets, bool single, double deadline_ms) {
   submitted_requests_.fetch_add(1, std::memory_order_relaxed);
   const uint64_t n = static_cast<uint64_t>(targets.size());
   targets_submitted_.fetch_add(n, std::memory_order_relaxed);
@@ -99,9 +130,19 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   Request req;
   req.targets = std::move(targets);
   req.single = single;
+  if (deadline_ms > 0.0) {
+    req.has_deadline = true;
+    req.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                                      std::chrono::duration<double, std::milli>(
+                                          deadline_ms));
+  }
   req.promise = std::move(promise);
   size_t depth_after = 0;
-  if (!queue_.TryPush(std::move(req), &depth_after)) {
+  // The frontend.push fault site simulates the queue refusing the request
+  // (it exercises the same shed path as a genuinely full queue).
+  const bool pushed =
+      !BSG_FAULT(fault::kFrontendPush) && queue_.TryPush(std::move(req), &depth_after);
+  if (!pushed) {
     inflight_targets_.fetch_sub(static_cast<int64_t>(n),
                                 std::memory_order_relaxed);
     // TryPush leaves the value untouched on failure, so req still owns the
@@ -121,7 +162,11 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   return future;
 }
 
-void ServingFrontend::WorkerLoop() {
+void ServingFrontend::WorkerLoop(int worker_index) {
+  // Per-worker jitter stream: deterministic given (seed, worker index), no
+  // cross-worker synchronisation.
+  Rng jitter(cfg_.retry_jitter_seed +
+             0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(worker_index + 1));
   while (std::optional<Request> req = queue_.Pop()) {
     {
       // Swap gate: don't start new engine work while a swap drains, and
@@ -130,27 +175,214 @@ void ServingFrontend::WorkerLoop() {
       gate_cv_.wait(gate, [this] { return !swap_in_progress_; });
       ++busy_workers_;
     }
-    const uint64_t n = static_cast<uint64_t>(req->targets.size());
-    WallTimer timer;
-    FrontendResult result;
-    result.status = RequestStatus::kOk;
-    if (req->single) {
-      result.scores.push_back(engine_->ScoreOne(req->targets[0]));
-    } else {
-      result.scores = engine_->ScoreBatch(req->targets);
-    }
-    ObserveCost(timer.Millis() / static_cast<double>(n));
-    inflight_targets_.fetch_sub(static_cast<int64_t>(n),
-                                std::memory_order_relaxed);
-    served_requests_.fetch_add(1, std::memory_order_relaxed);
-    targets_served_.fetch_add(n, std::memory_order_relaxed);
-    req->promise.set_value(std::move(result));
+    ServeRequest(&*req, &jitter);
     {
       std::lock_guard<std::mutex> gate(gate_mu_);
       --busy_workers_;
     }
     // Wakes a waiting SwapGraph (and fellow workers parked on the gate).
     gate_cv_.notify_all();
+  }
+}
+
+void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
+  const uint64_t n = static_cast<uint64_t>(req->targets.size());
+  const auto finish = [&] {
+    inflight_targets_.fetch_sub(static_cast<int64_t>(n),
+                                std::memory_order_relaxed);
+  };
+
+  // Deadline gate at dequeue: a request that expired in the queue must not
+  // burn a forward pass.
+  if (req->has_deadline && Clock::now() >= req->deadline) {
+    finish();
+    timed_out_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_timed_out_.fetch_add(n, std::memory_order_relaxed);
+    Resolve(&req->promise, RequestStatus::kTimeout, {},
+            Status::DeadlineExceeded("deadline expired while queued"));
+    return;
+  }
+
+  // Circuit-breaker gate: while open, requests bypass the (presumed sick)
+  // engine entirely and degrade.
+  const BreakerGate gate = BreakerAdmit();
+  if (gate == BreakerGate::kDegrade) {
+    finish();
+    ServeDegraded(req);
+    return;
+  }
+  const bool probe = gate == BreakerGate::kProbe;
+
+  ScoreOptions opts;
+  if (req->has_deadline) opts = ScoreOptions::WithDeadline(req->deadline);
+
+  // Bounded retry loop: only retryable codes (kUnavailable) are retried,
+  // with jittered exponential backoff, never past the deadline.
+  FrontendResult result;
+  Status st;
+  int attempts = 0;
+  double last_attempt_ms = 0.0;
+  for (;;) {
+    ++attempts;
+    WallTimer attempt_timer;
+    st = req->single
+             ? [&] {
+                 Score one;
+                 Status s = engine_->TryScoreOne(req->targets[0], opts, &one);
+                 if (s.ok()) result.scores.assign(1, one);
+                 return s;
+               }()
+             : engine_->TryScoreBatch(req->targets, opts, &result.scores);
+    last_attempt_ms = attempt_timer.Millis();
+    if (st.ok() || !IsRetryable(st.code()) || attempts > cfg_.max_retries) {
+      break;
+    }
+    retries_.fetch_add(1, std::memory_order_relaxed);
+    double backoff_ms = cfg_.retry_backoff_ms *
+                        static_cast<double>(1ULL << std::min(attempts - 1, 20)) *
+                        jitter->Uniform(0.5, 1.5);
+    if (req->has_deadline) {
+      const double left_ms =
+          std::chrono::duration<double, std::milli>(req->deadline -
+                                                    Clock::now())
+              .count();
+      if (left_ms <= 0.0) {
+        st = Status::DeadlineExceeded("deadline expired between retries");
+        break;
+      }
+      backoff_ms = std::min(backoff_ms, left_ms);
+    }
+    if (backoff_ms > 0.0) {
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::milli>(backoff_ms));
+    }
+  }
+
+  finish();
+  if (st.ok()) {
+    // Only the successful attempt's duration feeds the cost model: backoff
+    // sleeps and failed attempts would poison the admission estimate.
+    ObserveCost(last_attempt_ms / static_cast<double>(n));
+    served_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_served_.fetch_add(n, std::memory_order_relaxed);
+    if (attempts > 1) retry_successes_.fetch_add(1, std::memory_order_relaxed);
+    UpdateStaleScores(result.scores);
+    BreakerRecord(/*ok=*/true, probe);
+    result.status = RequestStatus::kOk;
+    result.attempts = attempts;
+    req->promise.set_value(std::move(result));
+    return;
+  }
+  if (st.code() == StatusCode::kDeadlineExceeded) {
+    timed_out_requests_.fetch_add(1, std::memory_order_relaxed);
+    targets_timed_out_.fetch_add(n, std::memory_order_relaxed);
+    // A timeout says nothing about engine health (slow != faulty), so it
+    // does not count against the breaker — but a probe that timed out must
+    // release the half-open slot, pessimistically re-opening.
+    if (probe) BreakerRecord(/*ok=*/false, probe);
+    Resolve(&req->promise, RequestStatus::kTimeout, {}, std::move(st),
+            attempts);
+    return;
+  }
+  failed_requests_.fetch_add(1, std::memory_order_relaxed);
+  targets_failed_.fetch_add(n, std::memory_order_relaxed);
+  BreakerRecord(/*ok=*/false, probe);
+  Resolve(&req->promise, RequestStatus::kFailed, {}, std::move(st), attempts);
+}
+
+void ServingFrontend::ServeDegraded(Request* req) {
+  const uint64_t n = static_cast<uint64_t>(req->targets.size());
+  FrontendResult result;
+  result.status = RequestStatus::kDegraded;
+  result.detail = Status::Unavailable(
+      "circuit breaker open: serving stale/fallback scores");
+  result.scores.reserve(req->targets.size());
+  uint64_t stale = 0;
+  uint64_t fallback = 0;
+  {
+    std::lock_guard<std::mutex> lock(stale_mu_);
+    for (int t : req->targets) {
+      auto it = stale_scores_.find(t);
+      if (it != stale_scores_.end()) {
+        result.scores.push_back(it->second);
+        ++stale;
+      } else {
+        result.scores.push_back(FallbackScore(t));
+        ++fallback;
+      }
+    }
+  }
+  degraded_stale_.fetch_add(stale, std::memory_order_relaxed);
+  degraded_fallback_.fetch_add(fallback, std::memory_order_relaxed);
+  degraded_requests_.fetch_add(1, std::memory_order_relaxed);
+  targets_degraded_.fetch_add(n, std::memory_order_relaxed);
+  req->promise.set_value(std::move(result));
+}
+
+ServingFrontend::BreakerGate ServingFrontend::BreakerAdmit() {
+  if (cfg_.breaker_threshold <= 0) return BreakerGate::kServe;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  switch (breaker_state_) {
+    case BreakerState::kClosed:
+      return BreakerGate::kServe;
+    case BreakerState::kOpen: {
+      const double open_ms =
+          std::chrono::duration<double, std::milli>(Clock::now() -
+                                                    breaker_opened_at_)
+              .count();
+      if (open_ms < cfg_.breaker_open_ms) return BreakerGate::kDegrade;
+      breaker_state_ = BreakerState::kHalfOpen;
+      probe_in_flight_ = true;
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      return BreakerGate::kProbe;
+    }
+    case BreakerState::kHalfOpen:
+      if (probe_in_flight_) return BreakerGate::kDegrade;
+      probe_in_flight_ = true;
+      breaker_probes_.fetch_add(1, std::memory_order_relaxed);
+      return BreakerGate::kProbe;
+  }
+  return BreakerGate::kServe;  // unreachable
+}
+
+void ServingFrontend::BreakerRecord(bool ok, bool was_probe) {
+  if (cfg_.breaker_threshold <= 0) return;
+  std::lock_guard<std::mutex> lock(breaker_mu_);
+  if (was_probe) probe_in_flight_ = false;
+  if (ok) {
+    consecutive_failures_ = 0;
+    if (breaker_state_ != BreakerState::kClosed) {
+      breaker_state_ = BreakerState::kClosed;
+      breaker_recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+  if (breaker_state_ == BreakerState::kHalfOpen) {
+    // The probe failed: snap back to open and restart the cool-down.
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = Clock::now();
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (breaker_state_ == BreakerState::kClosed &&
+      ++consecutive_failures_ >= cfg_.breaker_threshold) {
+    breaker_state_ = BreakerState::kOpen;
+    breaker_opened_at_ = Clock::now();
+    breaker_trips_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // kOpen: a request admitted before the trip finished late — the open
+  // timer stands.
+}
+
+void ServingFrontend::UpdateStaleScores(const std::vector<Score>& scores) {
+  std::lock_guard<std::mutex> lock(stale_mu_);
+  for (const Score& s : scores) {
+    auto it = stale_scores_.find(s.target);
+    if (it != stale_scores_.end()) {
+      it->second = s;
+    } else if (stale_scores_.size() < cfg_.stale_score_capacity) {
+      stale_scores_.emplace(s.target, s);
+    }
   }
 }
 
@@ -210,10 +442,23 @@ FrontendStats ServingFrontend::Stats() const {
   s.shed_latency = shed_latency_.load(std::memory_order_relaxed);
   s.shed_requests = s.shed_queue_full + s.shed_latency;
   s.closed_requests = closed_requests_.load(std::memory_order_relaxed);
+  s.timed_out_requests = timed_out_requests_.load(std::memory_order_relaxed);
+  s.failed_requests = failed_requests_.load(std::memory_order_relaxed);
+  s.degraded_requests = degraded_requests_.load(std::memory_order_relaxed);
   s.targets_submitted = targets_submitted_.load(std::memory_order_relaxed);
   s.targets_served = targets_served_.load(std::memory_order_relaxed);
   s.targets_shed = targets_shed_.load(std::memory_order_relaxed);
   s.targets_closed = targets_closed_.load(std::memory_order_relaxed);
+  s.targets_timed_out = targets_timed_out_.load(std::memory_order_relaxed);
+  s.targets_failed = targets_failed_.load(std::memory_order_relaxed);
+  s.targets_degraded = targets_degraded_.load(std::memory_order_relaxed);
+  s.retries = retries_.load(std::memory_order_relaxed);
+  s.retry_successes = retry_successes_.load(std::memory_order_relaxed);
+  s.breaker_trips = breaker_trips_.load(std::memory_order_relaxed);
+  s.breaker_probes = breaker_probes_.load(std::memory_order_relaxed);
+  s.breaker_recoveries = breaker_recoveries_.load(std::memory_order_relaxed);
+  s.degraded_stale = degraded_stale_.load(std::memory_order_relaxed);
+  s.degraded_fallback = degraded_fallback_.load(std::memory_order_relaxed);
   s.queue_depth_peak = queue_depth_peak_.load(std::memory_order_relaxed);
   s.graph_swaps = graph_swaps_.load(std::memory_order_relaxed);
   s.ms_per_target_estimate = CostEstimate();

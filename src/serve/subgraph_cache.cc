@@ -1,5 +1,8 @@
 #include "serve/subgraph_cache.h"
 
+#include <string>
+
+#include "util/fault.h"
 #include "util/status.h"
 
 namespace bsg {
@@ -50,6 +53,11 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::Insert(
 std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
     int target, uint64_t version, const Builder& build) {
   const Key key{target, version};
+  // Failed flights this call has joined or run. Bounded: a persistently
+  // failing builder fails every caller with its terminal Status after
+  // kMaxBuildAttempts instead of letting waiters chase the key forever.
+  int failed_attempts = 0;
+  Status last_error = Status::OK();
   for (;;) {
     std::shared_ptr<Flight> flight;
     {
@@ -69,8 +77,13 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
         std::unique_lock<std::mutex> flock(flight->m);
         flight->cv.wait(flock, [&] { return flight->done; });
         if (flight->sub != nullptr) return flight->sub;
-        // The builder we joined threw: re-run the whole probe (counted as
-        // a fresh lookup) — this thread may now build, or find an entry.
+        // The builder we joined threw. Re-run the whole probe (counted as
+        // a fresh lookup) — this thread may now build, or find an entry —
+        // unless this call's retry budget is spent.
+        last_error = flight->error;
+        if (++failed_attempts >= kMaxBuildAttempts) {
+          throw StatusError(last_error);
+        }
         continue;
       }
       flight = std::make_shared<Flight>();
@@ -81,14 +94,30 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
     // so builds of distinct keys overlap freely.
     std::shared_ptr<const BiasedSubgraph> admitted;
     try {
+      // Trust boundary of the fill itself (distinct from subgraph.build:
+      // this models the cache's admission path dying, e.g. an allocation
+      // failure materialising the shared entry).
+      if (BSG_FAULT(fault::kCacheFill)) {
+        throw StatusError(Status::Unavailable(
+            "injected fault: cache.fill for target " + std::to_string(target)));
+      }
       auto built = std::make_shared<const BiasedSubgraph>(build(target));
       admitted = Insert(target, version, std::move(built));
+    } catch (const StatusError& e) {
+      // Builder failed: publish the Status on the ticket and retire it, so
+      // parked waiters wake with the cause in hand (bounded retries)
+      // instead of sleeping forever, and future misses of this key are not
+      // poisoned. The exception propagates to this caller only.
+      ResolveFlight(key, flight, nullptr, e.status());
+      throw;
+    } catch (const std::exception& e) {
+      ResolveFlight(key, flight, nullptr,
+                    Status::Internal(std::string("subgraph build failed: ") +
+                                     e.what()));
+      throw;
     } catch (...) {
-      // Builder failed: resolve the ticket empty and retire it, so parked
-      // waiters retry instead of sleeping forever and future misses of
-      // this key are not poisoned. The exception propagates to this
-      // caller only.
-      ResolveFlight(key, flight, nullptr);
+      ResolveFlight(key, flight, nullptr,
+                    Status::Internal("subgraph build failed"));
       throw;
     }
     ResolveFlight(key, flight, admitted);
@@ -98,17 +127,28 @@ std::shared_ptr<const BiasedSubgraph> SubgraphCache::GetOrBuild(
 
 void SubgraphCache::ResolveFlight(
     const Key& key, const std::shared_ptr<Flight>& flight,
-    std::shared_ptr<const BiasedSubgraph> sub) {
+    std::shared_ptr<const BiasedSubgraph> sub, Status error) {
+  if (sub == nullptr) {
+    flight_failures_.fetch_add(1, std::memory_order_relaxed);
+  }
+  // Retire the ticket BEFORE publishing the outcome. A woken waiter
+  // re-probes immediately; were the resolved flight still registered, it
+  // could rejoin it and observe the same failure twice — double-charging
+  // its bounded retry budget for one failed build. Probes between the
+  // erase and the wake are safe either way: successful builds are already
+  // in index_, and for failures a fresh builder claiming the key is
+  // exactly the desired retry.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_.erase(key);
+  }
   {
     std::lock_guard<std::mutex> flock(flight->m);
     flight->done = true;
     flight->sub = std::move(sub);
+    flight->error = std::move(error);
   }
   flight->cv.notify_all();
-  // Retire the ticket after resolving it: successful builds are already in
-  // index_, so probes in between never reach inflight_.
-  std::lock_guard<std::mutex> lock(mu_);
-  inflight_.erase(key);
 }
 
 void SubgraphCache::Clear() {
@@ -154,6 +194,7 @@ SubgraphCacheStats SubgraphCache::Stats() const {
   s.hits = hits_.load(std::memory_order_relaxed);
   s.misses = misses_.load(std::memory_order_relaxed);
   s.coalesced_misses = coalesced_misses_.load(std::memory_order_relaxed);
+  s.flight_failures = flight_failures_.load(std::memory_order_relaxed);
   s.inserts = inserts_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.version_evictions = version_evictions_.load(std::memory_order_relaxed);

@@ -51,6 +51,12 @@ struct SubgraphCacheStats {
   /// building themselves (single-flight de-duplication; a subset of
   /// `misses`). misses - coalesced_misses = builds actually run.
   uint64_t coalesced_misses = 0;
+  /// Builds that ran and failed (the builder threw). Balances the books
+  /// when builders can fail:
+  ///   misses == coalesced_misses + flight_failures + inserts'
+  /// where inserts' are the successful GetOrBuild builds (equal to
+  /// `inserts` when nothing calls Insert directly).
+  uint64_t flight_failures = 0;
   uint64_t entries = 0;         ///< cached subgraphs right now
   uint64_t resident_bytes = 0;  ///< approximate bytes held right now
 
@@ -79,12 +85,24 @@ class SubgraphCache {
   std::shared_ptr<const BiasedSubgraph> Insert(
       int target, uint64_t version, std::shared_ptr<const BiasedSubgraph> sub);
 
+  /// How many failed flights one GetOrBuild call will join (or run) before
+  /// giving up and surfacing the terminal Status. Bounds the work a
+  /// persistently failing builder can absorb: without a cap, N waiters of a
+  /// dead key would retry (and re-fail) forever.
+  static constexpr int kMaxBuildAttempts = 3;
+
   /// Lookup, or build-and-insert on a miss. The build runs outside the
   /// cache lock and is single-flight per key: concurrent missers of the
   /// same (target, version) block until the first builder finishes and
-  /// share its result. Builds of distinct keys proceed concurrently. A
-  /// throwing builder propagates to its own caller only; joined waiters
-  /// wake and retry (no permanently parked threads, no poisoned keys).
+  /// share its result. Builds of distinct keys proceed concurrently.
+  ///
+  /// Failure semantics: a builder that throws fails its own caller with
+  /// the thrown exception and publishes the failure Status on the flight
+  /// ticket (counted in `flight_failures`), so parked waiters wake and
+  /// retry — but at most kMaxBuildAttempts failed flights per call, after
+  /// which the call throws StatusError carrying the last terminal Status.
+  /// No thread parks forever, no key is poisoned: the next probe after a
+  /// failure may build (and succeed) normally.
   std::shared_ptr<const BiasedSubgraph> GetOrBuild(int target,
                                                    uint64_t version,
                                                    const Builder& build);
@@ -140,6 +158,9 @@ class SubgraphCache {
     std::condition_variable cv;
     bool done = false;
     std::shared_ptr<const BiasedSubgraph> sub;
+    /// Why the build failed when `done && sub == nullptr` — waiters that
+    /// exhaust their retry budget rethrow this instead of spinning.
+    Status error;
   };
 
   // Must hold mu_. Pops the LRU tail until size <= capacity_.
@@ -147,10 +168,12 @@ class SubgraphCache {
   // Must hold mu_. The shared hit/miss probe: returns the entry (bumped to
   // most-recent) or null, updating hit/miss counters.
   std::shared_ptr<const BiasedSubgraph> ProbeLocked(const Key& key);
-  // Publishes a build outcome on `flight` (null sub = builder failed, the
-  // waiters retry), wakes every waiter and retires the ticket.
+  // Publishes a build outcome on `flight` (null sub = builder failed with
+  // `error`; bounded-retried by waiters), wakes every waiter and retires
+  // the ticket.
   void ResolveFlight(const Key& key, const std::shared_ptr<Flight>& flight,
-                     std::shared_ptr<const BiasedSubgraph> sub);
+                     std::shared_ptr<const BiasedSubgraph> sub,
+                     Status error = Status::OK());
 
   const size_t capacity_;
 
@@ -163,6 +186,7 @@ class SubgraphCache {
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> coalesced_misses_{0};
+  std::atomic<uint64_t> flight_failures_{0};
   std::atomic<uint64_t> inserts_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> version_evictions_{0};

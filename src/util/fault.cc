@@ -1,0 +1,338 @@
+#include "util/fault.h"
+
+#include <chrono>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
+#include <thread>
+
+namespace bsg {
+
+std::atomic<bool> g_fault_armed{false};
+
+namespace {
+
+enum class TriggerKind { kNone, kProbability, kNth, kEvery, kFirst };
+
+/// Armed configuration + counters of one site. The mutex makes the
+/// evaluation index / fire-limit bookkeeping exact (the injector only pays
+/// it while armed; the disarmed path never gets here).
+struct Site {
+  const char* name;
+
+  std::mutex m;
+  // Trigger (guarded by m).
+  TriggerKind kind = TriggerKind::kNone;
+  double probability = 0.0;
+  uint64_t n = 0;            ///< nth / every / first parameter
+  uint64_t fire_limit = 0;   ///< 0 = unlimited
+  double delay_ms = 0.0;
+  bool fail = true;
+  uint64_t seed = 0;
+  // Counters (guarded by m; mirrored into the atomics for lock-free reads).
+  uint64_t evaluations = 0;
+  uint64_t fires = 0;
+
+  std::atomic<uint64_t> evaluations_snapshot{0};
+  std::atomic<uint64_t> fires_snapshot{0};
+
+  void ResetLocked() {
+    kind = TriggerKind::kNone;
+    probability = 0.0;
+    n = 0;
+    fire_limit = 0;
+    delay_ms = 0.0;
+    fail = true;
+    seed = 0;
+    evaluations = 0;
+    fires = 0;
+    evaluations_snapshot.store(0, std::memory_order_relaxed);
+    fires_snapshot.store(0, std::memory_order_relaxed);
+  }
+};
+
+Site g_sites[fault::kNumSites] = {};
+
+std::once_flag g_sites_init;
+
+void InitSites() {
+  std::call_once(g_sites_init, [] {
+    for (size_t i = 0; i < fault::kNumSites; ++i) {
+      g_sites[i].name = fault::kAllSites[i];
+    }
+  });
+}
+
+Site* FindSite(const char* site) {
+  InitSites();
+  for (size_t i = 0; i < fault::kNumSites; ++i) {
+    if (g_sites[i].name == site ||
+        std::strcmp(g_sites[i].name, site) == 0) {
+      return &g_sites[i];
+    }
+  }
+  return nullptr;
+}
+
+/// SplitMix64-style mix of (seed, site hash, evaluation index): the
+/// probability trigger thresholds this, so the fire pattern of evaluation
+/// index i is a pure function of (spec seed, site, i) — independent of
+/// thread count and interleaving.
+uint64_t MixBits(uint64_t a, uint64_t b) {
+  uint64_t z = a + 0x9E3779B97F4A7C15ULL * (b + 1);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t HashName(const char* s) {
+  uint64_t h = 0xCBF29CE484222325ULL;
+  for (; *s != '\0'; ++s) {
+    h = (h ^ static_cast<unsigned char>(*s)) * 0x100000001B3ULL;
+  }
+  return h;
+}
+
+bool ParseU64(const std::string& text, uint64_t* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = static_cast<uint64_t>(v);
+  return true;
+}
+
+bool ParseF64(const std::string& text, double* out) {
+  if (text.empty()) return false;
+  char* end = nullptr;
+  double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+std::vector<std::string> SplitOn(const std::string& s, char sep) {
+  std::vector<std::string> parts;
+  size_t begin = 0;
+  for (;;) {
+    size_t end = s.find(sep, begin);
+    if (end == std::string::npos) {
+      parts.push_back(s.substr(begin));
+      return parts;
+    }
+    parts.push_back(s.substr(begin, end - begin));
+    begin = end + 1;
+  }
+}
+
+Status ParseEntry(const std::string& entry, uint64_t seed) {
+  const size_t colon = entry.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    return Status::InvalidArgument("fault spec entry needs 'site:trigger': '" +
+                                   entry + "'");
+  }
+  const std::string site_name = entry.substr(0, colon);
+  Site* site = FindSite(site_name.c_str());
+  if (site == nullptr) {
+    return Status::InvalidArgument("unknown fault site: '" + site_name + "'");
+  }
+
+  TriggerKind kind = TriggerKind::kNone;
+  double probability = 0.0;
+  uint64_t n = 0;
+  uint64_t fire_limit = 0;
+  double delay_ms = 0.0;
+  bool fail = true;
+
+  for (const std::string& field : SplitOn(entry.substr(colon + 1), ',')) {
+    const size_t eq = field.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      return Status::InvalidArgument("fault spec field needs 'key=value': '" +
+                                     field + "'");
+    }
+    const std::string key = field.substr(0, eq);
+    const std::string value = field.substr(eq + 1);
+    const bool is_trigger =
+        key == "p" || key == "nth" || key == "every" || key == "first";
+    if (is_trigger && kind != TriggerKind::kNone) {
+      return Status::InvalidArgument(
+          "fault spec entry has more than one trigger: '" + entry + "'");
+    }
+    if (key == "p") {
+      if (!ParseF64(value, &probability) || probability < 0.0 ||
+          probability > 1.0) {
+        return Status::InvalidArgument("fault spec p must be in [0,1]: '" +
+                                       field + "'");
+      }
+      kind = TriggerKind::kProbability;
+    } else if (key == "nth" || key == "every" || key == "first") {
+      if (!ParseU64(value, &n) || n == 0) {
+        return Status::InvalidArgument("fault spec " + key +
+                                       " must be a positive integer: '" +
+                                       field + "'");
+      }
+      kind = key == "nth" ? TriggerKind::kNth
+             : key == "every" ? TriggerKind::kEvery
+                              : TriggerKind::kFirst;
+    } else if (key == "limit") {
+      if (!ParseU64(value, &fire_limit) || fire_limit == 0) {
+        return Status::InvalidArgument(
+            "fault spec limit must be a positive integer: '" + field + "'");
+      }
+    } else if (key == "delay_ms") {
+      if (!ParseF64(value, &delay_ms) || delay_ms < 0.0) {
+        return Status::InvalidArgument("fault spec delay_ms must be >= 0: '" +
+                                       field + "'");
+      }
+    } else if (key == "fail") {
+      if (value == "0") {
+        fail = false;
+      } else if (value == "1") {
+        fail = true;
+      } else {
+        return Status::InvalidArgument("fault spec fail must be 0 or 1: '" +
+                                       field + "'");
+      }
+    } else {
+      return Status::InvalidArgument("unknown fault spec field: '" + field +
+                                     "'");
+    }
+  }
+  if (kind == TriggerKind::kNone) {
+    return Status::InvalidArgument(
+        "fault spec entry needs one of p/nth/every/first: '" + entry + "'");
+  }
+
+  std::lock_guard<std::mutex> lock(site->m);
+  if (site->kind != TriggerKind::kNone) {
+    return Status::InvalidArgument("fault site configured twice: '" +
+                                   site_name + "'");
+  }
+  site->kind = kind;
+  site->probability = probability;
+  site->n = n;
+  site->fire_limit = fire_limit;
+  site->delay_ms = delay_ms;
+  site->fail = fail;
+  site->seed = MixBits(seed, HashName(site->name));
+  return Status::OK();
+}
+
+void ResetAllSites() {
+  InitSites();
+  for (Site& site : g_sites) {
+    std::lock_guard<std::mutex> lock(site.m);
+    site.ResetLocked();
+  }
+}
+
+}  // namespace
+
+FaultInjector& FaultInjector::Global() {
+  static FaultInjector* injector = new FaultInjector();
+  return *injector;
+}
+
+Status FaultInjector::Configure(const std::string& spec, uint64_t seed) {
+  g_fault_armed.store(false, std::memory_order_release);
+  ResetAllSites();
+  if (spec.empty()) {
+    return Status::InvalidArgument(
+        "empty fault spec (use Disarm() to turn injection off)");
+  }
+  for (const std::string& entry : SplitOn(spec, ';')) {
+    if (entry.empty()) continue;  // tolerate a trailing ';'
+    Status st = ParseEntry(entry, seed);
+    if (!st.ok()) {
+      ResetAllSites();  // never leave a half-applied spec behind
+      return st;
+    }
+  }
+  g_fault_armed.store(true, std::memory_order_release);
+  return Status::OK();
+}
+
+void FaultInjector::Disarm() {
+  g_fault_armed.store(false, std::memory_order_release);
+}
+
+bool FaultInjector::armed() const {
+  return g_fault_armed.load(std::memory_order_acquire);
+}
+
+bool FaultInjector::Evaluate(const char* site_name) {
+  Site* site = FindSite(site_name);
+  BSG_CHECK(site != nullptr, "BSG_FAULT on a site missing from kAllSites");
+
+  bool fired = false;
+  bool fail = true;
+  double delay_ms = 0.0;
+  {
+    std::lock_guard<std::mutex> lock(site->m);
+    const uint64_t index = site->evaluations++;  // 0-based
+    site->evaluations_snapshot.store(site->evaluations,
+                                     std::memory_order_relaxed);
+    switch (site->kind) {
+      case TriggerKind::kNone:
+        break;
+      case TriggerKind::kProbability:
+        // Threshold the mixed bits of (seed, index): deterministic per
+        // index, probability-correct over many evaluations.
+        fired = static_cast<double>(MixBits(site->seed, index) >> 11) *
+                    (1.0 / 9007199254740992.0) <
+                site->probability;
+        break;
+      case TriggerKind::kNth:
+        fired = index + 1 == site->n;
+        break;
+      case TriggerKind::kEvery:
+        fired = (index + 1) % site->n == 0;
+        break;
+      case TriggerKind::kFirst:
+        fired = index < site->n;
+        break;
+    }
+    if (fired && site->fire_limit > 0 && site->fires >= site->fire_limit) {
+      fired = false;
+    }
+    if (fired) {
+      ++site->fires;
+      site->fires_snapshot.store(site->fires, std::memory_order_relaxed);
+      fail = site->fail;
+      delay_ms = site->delay_ms;
+    }
+  }
+  if (fired && delay_ms > 0.0) {
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::milli>(delay_ms));
+  }
+  return fired && fail;
+}
+
+std::vector<FaultInjector::SiteStats> FaultInjector::Stats() const {
+  InitSites();
+  std::vector<SiteStats> out;
+  out.reserve(fault::kNumSites);
+  for (Site& site : g_sites) {
+    SiteStats s;
+    s.site = site.name;
+    s.evaluations = site.evaluations_snapshot.load(std::memory_order_relaxed);
+    s.fires = site.fires_snapshot.load(std::memory_order_relaxed);
+    out.push_back(s);
+  }
+  return out;
+}
+
+uint64_t FaultInjector::fires(const char* site_name) const {
+  Site* site = FindSite(site_name);
+  BSG_CHECK(site != nullptr, "fires() on unknown fault site");
+  return site->fires_snapshot.load(std::memory_order_relaxed);
+}
+
+uint64_t FaultInjector::evaluations(const char* site_name) const {
+  Site* site = FindSite(site_name);
+  BSG_CHECK(site != nullptr, "evaluations() on unknown fault site");
+  return site->evaluations_snapshot.load(std::memory_order_relaxed);
+}
+
+}  // namespace bsg

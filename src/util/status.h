@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <exception>
 #include <optional>
 #include <string>
 #include <utility>
@@ -23,7 +24,21 @@ enum class StatusCode {
   kFailedPrecondition,
   kInternal,
   kNotImplemented,
+  // Serving-taxonomy codes (see README "Failure semantics"): the retry /
+  // degrade machinery dispatches on these.
+  kUnavailable,        ///< transient dependency failure — retryable
+  kDeadlineExceeded,   ///< the request's deadline expired — not retryable
+  kResourceExhausted,  ///< a bounded resource refused — shed, don't retry
+  kDataLoss,           ///< durable data unrecoverable — terminal
 };
+
+/// True for codes worth a bounded retry with backoff: the failure is
+/// transient by taxonomy (an injected or real dependency blip), not a
+/// property of the request. Deadline expiry, exhaustion and corruption are
+/// never retryable — retrying cannot change the outcome, only burn budget.
+constexpr bool IsRetryable(StatusCode code) {
+  return code == StatusCode::kUnavailable;
+}
 
 /// A lightweight success-or-error value. Copyable, cheap when OK.
 class Status {
@@ -54,6 +69,18 @@ class Status {
   static Status NotImplemented(std::string m) {
     return Status(StatusCode::kNotImplemented, std::move(m));
   }
+  static Status Unavailable(std::string m) {
+    return Status(StatusCode::kUnavailable, std::move(m));
+  }
+  static Status DeadlineExceeded(std::string m) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(m));
+  }
+  static Status ResourceExhausted(std::string m) {
+    return Status(StatusCode::kResourceExhausted, std::move(m));
+  }
+  static Status DataLoss(std::string m) {
+    return Status(StatusCode::kDataLoss, std::move(m));
+  }
 
   bool ok() const { return code_ == StatusCode::kOk; }
   StatusCode code() const { return code_; }
@@ -72,6 +99,10 @@ class Status {
       case StatusCode::kFailedPrecondition: name = "FAILED_PRECONDITION"; break;
       case StatusCode::kInternal: name = "INTERNAL"; break;
       case StatusCode::kNotImplemented: name = "NOT_IMPLEMENTED"; break;
+      case StatusCode::kUnavailable: name = "UNAVAILABLE"; break;
+      case StatusCode::kDeadlineExceeded: name = "DEADLINE_EXCEEDED"; break;
+      case StatusCode::kResourceExhausted: name = "RESOURCE_EXHAUSTED"; break;
+      case StatusCode::kDataLoss: name = "DATA_LOSS"; break;
     }
     return std::string(name) + ": " + msg_;
   }
@@ -79,6 +110,24 @@ class Status {
  private:
   StatusCode code_;
   std::string msg_;
+};
+
+/// Carries a Status across layers that must unwind by throwing — the
+/// subgraph cache's Builder returns a value, so a failing build (real or
+/// injected) propagates as an exception; catch sites convert it back to a
+/// Status with the code intact instead of collapsing everything to
+/// kInternal.
+class StatusError : public std::exception {
+ public:
+  explicit StatusError(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 /// A value-or-error holder, analogous to arrow::Result<T>.

@@ -176,6 +176,72 @@ TEST(Checkpoint, MissingFileIsNotFound) {
   EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
 }
 
+// --- crash safety: the .bak generation -------------------------------------
+
+TEST(Checkpoint, SecondSaveDemotesPreviousGenerationToBackup) {
+  const std::string path = TempPath("ckpt_bak_demote.bin");
+  std::remove(path.c_str());
+  std::remove(CheckpointBackupPath(path).c_str());
+
+  Checkpoint gen1;
+  gen1.SetMetaNum("gen", 1.0);
+  ASSERT_TRUE(SaveCheckpoint(gen1, path).ok());
+  // First save: nothing to demote.
+  EXPECT_FALSE(LoadCheckpoint(CheckpointBackupPath(path)).ok());
+
+  Checkpoint gen2;
+  gen2.SetMetaNum("gen", 2.0);
+  ASSERT_TRUE(SaveCheckpoint(gen2, path).ok());
+
+  // Primary carries the new generation, .bak the previous one.
+  Result<Checkpoint> primary = LoadCheckpoint(path);
+  ASSERT_TRUE(primary.ok());
+  EXPECT_EQ(primary.ValueOrDie().MetaNum("gen").ValueOrDie(), 2.0);
+  Result<Checkpoint> backup = LoadCheckpoint(CheckpointBackupPath(path));
+  ASSERT_TRUE(backup.ok());
+  EXPECT_EQ(backup.ValueOrDie().MetaNum("gen").ValueOrDie(), 1.0);
+  std::remove(path.c_str());
+  std::remove(CheckpointBackupPath(path).c_str());
+}
+
+TEST(Checkpoint, LoadFallsBackToBackupWhenPrimaryIsDamaged) {
+  const std::string path = TempPath("ckpt_bak_fallback.bin");
+  std::remove(path.c_str());
+  std::remove(CheckpointBackupPath(path).c_str());
+
+  Checkpoint gen1;
+  gen1.SetMetaNum("gen", 1.0);
+  ASSERT_TRUE(SaveCheckpoint(gen1, path).ok());
+  Checkpoint gen2;
+  gen2.SetMetaNum("gen", 2.0);
+  ASSERT_TRUE(SaveCheckpoint(gen2, path).ok());
+
+  // Primary deleted (simulated crash between rename and fsync-to-disk):
+  // the load silently serves the previous generation from .bak.
+  ASSERT_EQ(std::remove(path.c_str()), 0);
+  Result<Checkpoint> recovered = LoadCheckpoint(path);
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  EXPECT_EQ(recovered.ValueOrDie().MetaNum("gen").ValueOrDie(), 1.0);
+
+  // Primary corrupted in place: same recovery.
+  ASSERT_TRUE(SaveCheckpoint(gen2, path).ok());
+  std::string blob = ReadFileBytes(path);
+  blob[blob.size() / 2] ^= 0x01;
+  WriteFileBytes(path, blob);
+  recovered = LoadCheckpoint(path);
+  ASSERT_TRUE(recovered.ok());
+  // The second save demoted the (readable) first primary again.
+  EXPECT_EQ(recovered.ValueOrDie().MetaNum("gen").ValueOrDie(), 1.0);
+
+  // Both generations gone: the error names both failures.
+  ASSERT_EQ(std::remove(CheckpointBackupPath(path).c_str()), 0);
+  Result<Checkpoint> lost = LoadCheckpoint(path);
+  ASSERT_FALSE(lost.ok());
+  EXPECT_NE(lost.status().message().find("backup also unreadable"),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
 // --- Bsg4Bot save / restore ------------------------------------------------
 
 Bsg4BotConfig TinyConfig() {

@@ -6,6 +6,7 @@
 // during concurrent traffic), and Stats() polling under load (the TSan CI
 // stage runs this whole binary).
 #include <atomic>
+#include <chrono>
 #include <future>
 #include <thread>
 #include <vector>
@@ -15,6 +16,7 @@
 #include "core/bsg4bot.h"
 #include "serve/frontend.h"
 #include "test_common.h"
+#include "util/fault.h"
 
 namespace bsg {
 namespace {
@@ -373,6 +375,277 @@ TEST(ServingFrontend, StatsArePollableUnderLoad) {
   FrontendStats stats = frontend.Stats();
   EXPECT_EQ(stats.served_requests, 18u);
   EXPECT_GT(stats.engine.stacker.batches_stacked, 0u);
+}
+
+// --- failure semantics (PR 8): deadlines, retries, breaker, chaos ----------
+
+// Disarms fault injection when a test exits, pass or fail.
+struct FaultGuard {
+  ~FaultGuard() { FaultInjector::Global().Disarm(); }
+};
+
+// Exact request/target conservation — the invariant every one of these
+// tests closes with.
+void ExpectConservation(const FrontendStats& s) {
+  EXPECT_EQ(s.submitted_requests, s.AccountedRequests());
+  EXPECT_EQ(s.targets_submitted, s.AccountedTargets());
+}
+
+TEST(ServingFrontendFaults, DeadlineExpiredInQueueResolvesTimeout) {
+  FaultGuard guard;
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 1;  // FIFO: the slow request pins the only worker
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+
+  // The first request's forward pass is slowed by 100ms (fail=0: it still
+  // succeeds); the second request's 30ms deadline expires while it queues.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("engine.forward:every=1,delay_ms=100,fail=0")
+                  .ok());
+  auto slow = frontend.Submit({pool[0], pool[1]});
+  auto doomed = frontend.Submit({pool[2], pool[3]}, /*deadline_ms=*/30.0);
+
+  FrontendResult slow_res = slow.get();
+  EXPECT_EQ(slow_res.status, RequestStatus::kOk);
+  FrontendResult doomed_res = doomed.get();
+  EXPECT_EQ(doomed_res.status, RequestStatus::kTimeout);
+  EXPECT_EQ(doomed_res.detail.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_NE(doomed_res.detail.message().find("queued"), std::string::npos);
+  EXPECT_EQ(doomed_res.attempts, 0);  // the engine was never reached
+  EXPECT_TRUE(doomed_res.scores.empty());
+
+  frontend.Close();
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.timed_out_requests, 1u);
+  EXPECT_EQ(stats.targets_timed_out, 2u);
+  EXPECT_EQ(stats.served_requests, 1u);
+  ExpectConservation(stats);
+}
+
+TEST(ServingFrontendFaults, RetryAfterTransientFaultIsBitIdentical) {
+  FaultGuard guard;
+  Bsg4Bot& model = TrainedModel();
+  const std::vector<int>& pool = SmallGraph().test_idx;
+  const std::vector<int> targets(pool.begin(), pool.begin() + 8);
+
+  // Fault-free oracle for the same composition.
+  std::vector<Score> oracle;
+  {
+    DetectionEngine engine(&model, EngineConfig{});
+    oracle = engine.ScoreBatch(targets);
+  }
+
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 1;
+  cfg.max_retries = 3;
+  cfg.retry_backoff_ms = 0.1;  // keep the test fast
+  ServingFrontend frontend(&engine, cfg);
+
+  // First two forward passes fail; the third attempt succeeds.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("engine.forward:first=2").ok());
+  FrontendResult res = frontend.ScoreBatch(targets);
+  FaultInjector::Global().Disarm();
+
+  EXPECT_EQ(res.status, RequestStatus::kOk);
+  EXPECT_EQ(res.attempts, 3);
+  // Success-after-retry is indistinguishable from first-try success:
+  // bitwise-identical logits.
+  ExpectSameScores(res.scores, oracle);
+
+  frontend.Close();
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.retries, 2u);
+  EXPECT_EQ(stats.retry_successes, 1u);
+  EXPECT_EQ(stats.served_requests, 1u);
+  EXPECT_EQ(stats.failed_requests, 0u);
+  ExpectConservation(stats);
+}
+
+TEST(ServingFrontendFaults, RetriesExhaustedResolveFailedWithCause) {
+  FaultGuard guard;
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 1;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_ms = 0.1;
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+
+  // Every forward pass fails: the single retry is spent, the request
+  // resolves kFailed carrying the engine's retryable Status as the cause.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("engine.forward:every=1").ok());
+  FrontendResult res = frontend.ScoreBatch({pool[0], pool[1]});
+  FaultInjector::Global().Disarm();
+
+  EXPECT_EQ(res.status, RequestStatus::kFailed);
+  EXPECT_EQ(res.detail.code(), StatusCode::kUnavailable);
+  EXPECT_EQ(res.attempts, 2);  // first try + one retry
+  EXPECT_TRUE(res.scores.empty());
+
+  // The engine is healthy again once the fault clears.
+  FrontendResult ok = frontend.ScoreBatch({pool[0], pool[1]});
+  EXPECT_EQ(ok.status, RequestStatus::kOk);
+
+  frontend.Close();
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.failed_requests, 1u);
+  EXPECT_EQ(stats.targets_failed, 2u);
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.retry_successes, 0u);
+  ExpectConservation(stats);
+}
+
+TEST(ServingFrontendFaults, BreakerTripsDegradesAndRecoversThroughProbe) {
+  FaultGuard guard;
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 1;
+  cfg.breaker_threshold = 2;
+  cfg.breaker_open_ms = 400.0;  // wide margin: degrade checks run right away
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+  const int a = pool[0], b = pool[1], c = pool[2];
+
+  // Healthy traffic first: the stale-score map learns targets a and b.
+  FrontendResult fresh = frontend.ScoreBatch({a, b});
+  ASSERT_EQ(fresh.status, RequestStatus::kOk);
+
+  // Two consecutive terminal failures trip the breaker.
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("engine.forward:every=1").ok());
+  EXPECT_EQ(frontend.ScoreBatch({a}).status, RequestStatus::kFailed);
+  EXPECT_EQ(frontend.ScoreBatch({a}).status, RequestStatus::kFailed);
+  EXPECT_EQ(frontend.Stats().breaker_trips, 1u);
+
+  // Open: requests bypass the engine. Known targets answer from the stale
+  // map (bitwise the fresh scores), unknown ones get the neutral fallback.
+  FrontendResult degraded = frontend.ScoreBatch({a, b, c});
+  EXPECT_EQ(degraded.status, RequestStatus::kDegraded);
+  EXPECT_EQ(degraded.detail.code(), StatusCode::kUnavailable);
+  ASSERT_EQ(degraded.scores.size(), 3u);
+  EXPECT_EQ(degraded.scores[0].logit_human, fresh.scores[0].logit_human);
+  EXPECT_EQ(degraded.scores[0].logit_bot, fresh.scores[0].logit_bot);
+  EXPECT_EQ(degraded.scores[1].logit_bot, fresh.scores[1].logit_bot);
+  EXPECT_EQ(degraded.scores[2].target, c);
+  EXPECT_EQ(degraded.scores[2].bot_prob, 0.5);  // fallback head
+  EXPECT_EQ(degraded.scores[2].logit_human, 0.0);
+  // Degraded requests while the engine faults stay degraded — the engine
+  // is never touched, so the fault sites see no new evaluations.
+  const uint64_t evals =
+      FaultInjector::Global().evaluations(fault::kEngineForward);
+  EXPECT_EQ(frontend.ScoreOne(a).status, RequestStatus::kDegraded);
+  EXPECT_EQ(FaultInjector::Global().evaluations(fault::kEngineForward), evals);
+
+  // Heal the engine, wait out the open window: the next request is the
+  // half-open probe, its success closes the breaker, and traffic is fresh
+  // again.
+  FaultInjector::Global().Disarm();
+  std::this_thread::sleep_for(std::chrono::milliseconds(500));
+  FrontendResult probe = frontend.ScoreBatch({a, b});
+  EXPECT_EQ(probe.status, RequestStatus::kOk);
+  ExpectSameScores(probe.scores, fresh.scores);
+  EXPECT_EQ(frontend.ScoreOne(c).status, RequestStatus::kOk);
+
+  frontend.Close();
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.breaker_trips, 1u);
+  EXPECT_EQ(stats.breaker_probes, 1u);
+  EXPECT_EQ(stats.breaker_recoveries, 1u);
+  EXPECT_EQ(stats.degraded_requests, 2u);
+  EXPECT_EQ(stats.degraded_stale, 3u);     // a, b, then a again
+  EXPECT_EQ(stats.degraded_fallback, 1u);  // c
+  EXPECT_EQ(stats.targets_degraded, stats.degraded_stale +
+                                        stats.degraded_fallback);
+  ExpectConservation(stats);
+}
+
+TEST(ServingFrontendFaults, ChaosSoakConservesEveryRequestExactly) {
+  FaultGuard guard;
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 3;
+  cfg.queue_capacity = 8;  // small: overload sheds are part of the chaos
+  cfg.max_retries = 2;
+  cfg.retry_backoff_ms = 0.1;
+  cfg.breaker_threshold = 4;
+  cfg.breaker_open_ms = 20.0;
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+
+  // Faults at every serving-path trust boundary at once, probabilistic and
+  // deterministic given the seed.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure(
+                      "frontend.push:p=0.08;subgraph.build:p=0.03;"
+                      "cache.fill:p=0.03;engine.forward:p=0.06",
+                      /*seed=*/1234)
+                  .ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 30;
+  std::atomic<uint64_t> ok{0}, shed{0}, timed_out{0}, failed{0}, degraded{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int base = c * kPerClient + i;
+        std::vector<int> req;
+        for (int k = 0; k <= base % 3; ++k) {
+          req.push_back(pool[static_cast<size_t>(base + k) % pool.size()]);
+        }
+        // A third of the traffic carries a (generous) deadline.
+        FrontendResult res =
+            base % 3 == 0
+                ? frontend.Submit(std::move(req), /*deadline_ms=*/2000.0).get()
+                : frontend.Submit(std::move(req)).get();
+        switch (res.status) {
+          case RequestStatus::kOk: ok.fetch_add(1); break;
+          case RequestStatus::kShed: shed.fetch_add(1); break;
+          case RequestStatus::kTimeout: timed_out.fetch_add(1); break;
+          case RequestStatus::kFailed: failed.fetch_add(1); break;
+          case RequestStatus::kDegraded: degraded.fetch_add(1); break;
+          case RequestStatus::kClosed: FAIL() << "closed mid-soak"; break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  frontend.Close();
+  FaultInjector::Global().Disarm();
+
+  // Exact conservation, and the stats agree with what the clients saw —
+  // every future resolved exactly once, nothing double-counted or dropped.
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted_requests,
+            static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.served_requests, ok.load());
+  EXPECT_EQ(stats.shed_requests, shed.load());
+  EXPECT_EQ(stats.timed_out_requests, timed_out.load());
+  EXPECT_EQ(stats.failed_requests, failed.load());
+  EXPECT_EQ(stats.degraded_requests, degraded.load());
+  ExpectConservation(stats);
+  // The chaos actually exercised the failure machinery.
+  EXPECT_GT(stats.shed_requests + stats.failed_requests +
+                stats.degraded_requests + stats.retries,
+            0u);
+
+  // Disarmed, the same front-end config serves fault-free bit-identically
+  // to the serial oracle — the robustness layer leaves no residue.
+  DetectionEngine clean_engine(&model, EngineConfig{});
+  ServingFrontend clean(&clean_engine, cfg);
+  const std::vector<int> targets(pool.begin(), pool.begin() + 16);
+  DetectionEngine oracle_engine(&model, EngineConfig{});
+  ExpectSameScores(clean.ScoreBatch(targets).scores,
+                   oracle_engine.ScoreBatch(targets));
 }
 
 }  // namespace

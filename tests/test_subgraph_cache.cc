@@ -269,6 +269,49 @@ TEST(SubgraphCache, ThrowingBuilderRetiresTicketAndWakesWaiters) {
   EXPECT_EQ(succeeded.load(), kThreads);
 }
 
+TEST(SubgraphCache, PersistentBuildFailureIsBoundedAndPropagatesStatus) {
+  // When a key's builder fails persistently, callers must not livelock
+  // chasing it: after kMaxBuildAttempts failed flights (joined or run),
+  // GetOrBuild surfaces the flight's terminal Status to that caller.
+  SubgraphCache cache(8);
+  std::atomic<int> builds{0};
+  const auto doomed = [&](int) -> BiasedSubgraph {
+    builds.fetch_add(1);
+    throw StatusError(Status::Unavailable("backing store down"));
+  };
+
+  constexpr int kThreads = 4;
+  std::vector<std::thread> threads;
+  std::atomic<int> unavailable{0};
+  for (int w = 0; w < kThreads; ++w) {
+    threads.emplace_back([&] {
+      try {
+        cache.GetOrBuild(11, 0, doomed);
+      } catch (const StatusError& e) {
+        // Both the builder's own caller and capped-out waiters land here
+        // with the builder's original Status, not a generic wrapper.
+        if (e.status().code() == StatusCode::kUnavailable) {
+          unavailable.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(unavailable.load(), kThreads);
+
+  // Counter balance with failures in the mix: every miss either coalesced
+  // onto a flight, failed its own flight, or inserted.
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.flight_failures, static_cast<uint64_t>(builds.load()));
+  EXPECT_EQ(s.misses, s.coalesced_misses + s.flight_failures + s.inserts);
+  EXPECT_EQ(s.inserts, 0u);
+
+  // The key is not poisoned: a healthy builder fills it afterwards.
+  auto sub = cache.GetOrBuild(11, 0, FakeSubgraph);
+  ASSERT_NE(sub, nullptr);
+  EXPECT_EQ(sub->center, 11);
+}
+
 TEST(SubgraphCache, SingleFlightStressOverSmallKeySet) {
   // Many threads hammer a handful of keys with a non-trivial builder: every
   // result must be correct, and builds must never exceed inserts + lost
