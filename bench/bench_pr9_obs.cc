@@ -1,0 +1,363 @@
+// Machine-readable observability benchmark for the metrics/tracing PR: the
+// instrument micro-costs every hot path now pays (histogram Observe,
+// counter Add, and the disarmed tracer check — the BSG_FAULT discipline,
+// measured), histogram quantile fidelity against the sorted-sample oracle,
+// and the PR 8 fault-free serving workload re-run with the full metrics
+// surface armed (adapters registered, always-on latency histograms) so
+// clean.warm_targets_per_s stays directly comparable with
+// BENCH_pr8.json's — the "observability is ~free when not tracing" claim,
+// quantified. A second warm pass with 1-in-1 trace sampling prices the
+// fully-traced worst case. Conservation (submitted == served + shed +
+// closed + timed_out + failed + degraded, requests AND targets) is
+// re-derived from one registry snapshot and asserted exactly. Writes a
+// flat JSON metrics file — scripts/bench.sh runs this and checks in
+// BENCH_pr9.json, the seventh datapoint of the perf trajectory.
+//
+//   bench_pr9_obs [--out=BENCH_pr9.json] [--threads=T] [--users=400]
+//                 [--chunks=12] [--clients=4] [--smoke]
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/adapters.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+#include "serve/frontend.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bsg;
+
+namespace {
+
+// --- instrument micro-costs -------------------------------------------------
+
+// Drives Tracer::MaybeStart `checks` times with tracing disabled and
+// returns ns/check. Sampled count is accumulated and checked by the caller
+// so the loop cannot be discarded; the g_trace_sample_every acquire load is
+// not hoistable.
+double MeasureTracerDisarmedNs(int64_t checks, uint64_t* sampled) {
+  obs::Tracer& tracer = obs::Tracer::Global();
+  uint64_t hits = 0;
+  WallTimer timer;
+  for (int64_t i = 0; i < checks; ++i) {
+    if (tracer.MaybeStart(1) != nullptr) ++hits;
+  }
+  const double ns = timer.Seconds() * 1e9 / static_cast<double>(checks);
+  *sampled = hits;
+  return ns;
+}
+
+double MeasureObserveNs(obs::Histogram* hist, int64_t observes) {
+  // 1024 pre-computed values spanning the bucket range so the binary
+  // search takes realistic (varying) paths, not one cached branch pattern.
+  std::vector<double> values(1024);
+  for (size_t i = 0; i < values.size(); ++i) {
+    values[i] = 1e-3 * std::pow(10.0, 6.0 * static_cast<double>(i) /
+                                           static_cast<double>(values.size()));
+  }
+  WallTimer timer;
+  for (int64_t i = 0; i < observes; ++i) {
+    hist->Observe(values[static_cast<size_t>(i) & 1023]);
+  }
+  return timer.Seconds() * 1e9 / static_cast<double>(observes);
+}
+
+double MeasureCounterAddNs(obs::Counter* counter, int64_t adds) {
+  WallTimer timer;
+  for (int64_t i = 0; i < adds; ++i) counter->Increment();
+  return timer.Seconds() * 1e9 / static_cast<double>(adds);
+}
+
+// --- serving helpers (the PR 8 fault-free workload, verbatim) ---------------
+
+double RunCleanStream(ServingFrontend* frontend,
+                      const std::vector<std::vector<int>>& chunks, int clients,
+                      std::vector<std::vector<Score>>* out) {
+  out->assign(chunks.size(), {});
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::pair<size_t, std::future<FrontendResult>>> futures;
+      for (size_t i = static_cast<size_t>(c); i < chunks.size();
+           i += static_cast<size_t>(clients)) {
+        futures.emplace_back(i, frontend->Submit(chunks[i]));
+      }
+      for (auto& [i, f] : futures) {
+        FrontendResult res = f.get();
+        BSG_CHECK(res.status == RequestStatus::kOk,
+                  "fault-free stream must resolve every request kOk");
+        (*out)[i] = std::move(res.scores);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.Seconds();
+}
+
+void CheckBitIdentical(const std::vector<std::vector<Score>>& got,
+                       const std::vector<std::vector<Score>>& oracle) {
+  BSG_CHECK(got.size() == oracle.size(), "lost requests");
+  for (size_t r = 0; r < got.size(); ++r) {
+    BSG_CHECK(got[r].size() == oracle[r].size(), "lost scores");
+    for (size_t i = 0; i < got[r].size(); ++i) {
+      BSG_CHECK(std::memcmp(&got[r][i].logit_human,
+                            &oracle[r][i].logit_human, sizeof(double)) == 0 &&
+                    std::memcmp(&got[r][i].logit_bot, &oracle[r][i].logit_bot,
+                                sizeof(double)) == 0,
+                "logits drifted from the serial engine oracle");
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv, {"smoke"});
+  const bool smoke = flags.Has("smoke");
+  SetNumThreads(flags.GetInt("threads", 0));
+  const int users = flags.GetInt("users", smoke ? 200 : 400);
+  const int num_chunks = flags.GetInt("chunks", smoke ? 6 : 12);
+  const int clients = flags.GetInt("clients", 4);
+  const std::string out_path = flags.GetString("out", "BENCH_pr9.json");
+
+  bench::PrintHeader("PR9 observability: instrument costs + armed serving");
+  bench::BenchJson json;
+  json.Str("meta.bench", "pr9_obs");
+  json.Num("meta.threads", NumThreads());
+  json.Num("meta.hardware_cores",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  json.Num("meta.smoke", smoke ? 1 : 0);
+  json.Num("meta.users", users);
+  json.Num("meta.clients", clients);
+
+  obs::MetricsRegistry& reg = obs::MetricsRegistry::Global();
+  obs::Tracer& tracer = obs::Tracer::Global();
+  tracer.Disable();
+
+  // --- instrument micro-costs ---------------------------------------------
+  // The disarmed tracer check is the cost EVERY admitted request pays when
+  // no one is tracing; histogram Observe / counter Add are the cost of the
+  // always-on latency instruments. All three must stay in the nanoseconds.
+  {
+    const int64_t checks = smoke ? 2'000'000 : 20'000'000;
+    uint64_t sampled = 0;
+    MeasureTracerDisarmedNs(checks / 4, &sampled);  // warm up
+    double tracer_ns = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      tracer_ns = std::min(tracer_ns, MeasureTracerDisarmedNs(checks,
+                                                              &sampled));
+      BSG_CHECK(sampled == 0, "disabled tracer sampled a request");
+    }
+
+    obs::Histogram* hist = reg.GetHistogram("bench.pr9.observe_cost_ms");
+    MeasureObserveNs(hist, checks / 4);  // warm up
+    double observe_ns = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      observe_ns = std::min(observe_ns, MeasureObserveNs(hist, checks));
+    }
+
+    obs::Counter* counter = reg.GetCounter("bench.pr9.add_cost");
+    double add_ns = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      add_ns = std::min(add_ns, MeasureCounterAddNs(counter, checks));
+    }
+
+    json.Num("hook.tracer_disarmed_ns_per_check", tracer_ns);
+    json.Num("hist.observe_ns", observe_ns);
+    json.Num("counter.add_ns", add_ns);
+    std::printf(
+        "instrument cost: tracer disarmed %.3f ns/check, histogram observe "
+        "%.1f ns, counter add %.1f ns\n",
+        tracer_ns, observe_ns, add_ns);
+  }
+
+  // --- quantile fidelity vs the sorted-sample oracle ----------------------
+  // A known random workload goes into a histogram AND a raw vector; the
+  // nearest-rank oracle from the sorted raw samples must land inside the
+  // (lower, upper] bucket interval the histogram reports — the histogram's
+  // accuracy contract, asserted at bench scale.
+  {
+    obs::Histogram* hist = reg.GetHistogram("bench.pr9.quantile_ms");
+    Rng rng(4242);
+    const int n = smoke ? 50'000 : 200'000;
+    std::vector<double> samples;
+    samples.reserve(static_cast<size_t>(n));
+    for (int i = 0; i < n; ++i) {
+      // Log-uniform over [0.01ms, 100ms] — a plausible latency spread.
+      const double v = 0.01 * std::pow(10.0, 4.0 * rng.Uniform());
+      samples.push_back(v);
+      hist->Observe(v);
+    }
+    std::vector<double> sorted = samples;
+    std::sort(sorted.begin(), sorted.end());
+    for (double q : {0.50, 0.95, 0.99}) {
+      const uint64_t rank = static_cast<uint64_t>(
+          std::ceil(q * static_cast<double>(sorted.size())));
+      const double oracle = sorted[rank == 0 ? 0 : rank - 1];
+      const auto [lower, upper] = hist->QuantileBounds(q);
+      BSG_CHECK(oracle > lower && oracle <= upper,
+                "histogram quantile interval missed the oracle");
+      const std::string tag = q == 0.50 ? "p50" : q == 0.95 ? "p95" : "p99";
+      json.Num("quantile." + tag + ".oracle_ms", oracle);
+      json.Num("quantile." + tag + ".hist_upper_ms", upper);
+      json.Num("quantile." + tag + ".rel_overshoot",
+               (upper - oracle) / oracle);
+      std::printf("quantile %s: oracle %.4f ms in (%.4f, %.4f] (upper "
+                  "overshoot %.1f%%)\n",
+                  tag.c_str(), oracle, lower, upper,
+                  100.0 * (upper - oracle) / oracle);
+    }
+  }
+
+  // --- the serving subject: PR 8's fault-free workload, metrics armed -----
+  DatasetConfig dc = Twibot20Sim();
+  dc.num_users = users;
+  dc.tweets_per_user = 12;
+  dc.seed = 17;
+  HeteroGraph g = BuildBenchmarkGraph(dc);
+
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = smoke ? 10 : 20;
+  cfg.subgraph.k = smoke ? 12 : 16;
+  cfg.hidden = smoke ? 12 : 16;
+  cfg.max_epochs = smoke ? 4 : 6;
+  cfg.min_epochs = cfg.max_epochs;
+  Bsg4Bot model(g, cfg);
+  model.Fit();
+
+  EngineConfig ecfg;
+  ecfg.cache_capacity = static_cast<size_t>(g.num_nodes);
+
+  const int width = model.config().batch_size;
+  Rng rng(99);
+  std::vector<std::vector<int>> chunks(static_cast<size_t>(num_chunks));
+  for (auto& chunk : chunks) {
+    chunk.resize(static_cast<size_t>(width));
+    for (int& t : chunk) t = static_cast<int>(rng.UniformInt(g.num_nodes));
+  }
+  const double total_targets = static_cast<double>(num_chunks) * width;
+
+  std::vector<std::vector<Score>> oracle(chunks.size());
+  {
+    DetectionEngine engine(&model, ecfg);
+    for (size_t r = 0; r < chunks.size(); ++r) {
+      oracle[r] = engine.ScoreBatch(chunks[r]);
+    }
+  }
+
+  {
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = chunks.size();
+    fcfg.default_deadline_ms = 60'000.0;
+    fcfg.max_retries = 2;
+    fcfg.breaker_threshold = 4;
+    ServingFrontend frontend(&engine, fcfg);
+
+    // The FULL observability surface of serve_cli: every component bridged
+    // into the registry. This is what "armed" means for the comparison
+    // with BENCH_pr8.json (which ran without any of it).
+    std::vector<obs::GaugeRegistration> regs;
+    regs.push_back(obs::RegisterEngineMetrics(&engine));
+    regs.push_back(obs::RegisterFrontendMetrics(&frontend));
+    regs.push_back(obs::RegisterBufferPoolMetrics());
+    regs.push_back(obs::RegisterFaultMetrics());
+    regs.push_back(obs::RegisterCheckpointIoMetrics());
+    regs.push_back(obs::RegisterTracerMetrics());
+
+    std::vector<std::vector<Score>> got;
+    const double cold = RunCleanStream(&frontend, chunks, clients, &got);
+    CheckBitIdentical(got, oracle);
+    double warm = 1e300;
+    for (int rep = 0; rep < (smoke ? 1 : 3); ++rep) {
+      warm = std::min(warm, RunCleanStream(&frontend, chunks, clients, &got));
+      CheckBitIdentical(got, oracle);
+    }
+
+    // Conservation, re-derived from ONE registry snapshot exactly — the
+    // same invariant the CI smoke re-derives from the exported files.
+    const obs::RegistrySnapshot snap = reg.Snapshot();
+    const auto u = [&snap](const char* name) {
+      return static_cast<uint64_t>(snap.Gauge(name));
+    };
+    const uint64_t req_out = u("serve.frontend.served_requests") +
+                             u("serve.frontend.shed_requests") +
+                             u("serve.frontend.closed_requests") +
+                             u("serve.frontend.timed_out_requests") +
+                             u("serve.frontend.failed_requests") +
+                             u("serve.frontend.degraded_requests");
+    const uint64_t tgt_out = u("serve.frontend.targets_served") +
+                             u("serve.frontend.targets_shed") +
+                             u("serve.frontend.targets_closed") +
+                             u("serve.frontend.targets_timed_out") +
+                             u("serve.frontend.targets_failed") +
+                             u("serve.frontend.targets_degraded");
+    BSG_CHECK(u("serve.frontend.submitted_requests") == req_out,
+              "request conservation violated in the registry snapshot");
+    BSG_CHECK(u("serve.frontend.targets_submitted") == tgt_out,
+              "target conservation violated in the registry snapshot");
+    BSG_CHECK(u("serve.frontend.shed_requests") == 0 &&
+                  u("serve.frontend.failed_requests") == 0 &&
+                  u("serve.frontend.retries") == 0,
+              "fault-free pass took a failure path");
+    // The always-on request-latency histogram saw every resolved request.
+    const obs::HistogramSnapshot* lat =
+        snap.FindHistogram(obs::metric::kRequestLatencyMs);
+    BSG_CHECK(lat != nullptr &&
+                  lat->count == u("serve.frontend.submitted_requests"),
+              "request_latency_ms count disagrees with submissions");
+
+    json.Num("clean.cold_targets_per_s", total_targets / cold);
+    json.Num("clean.warm_targets_per_s", total_targets / warm);
+    json.Num("serve.request_latency_p50_ms", lat->p50);
+    json.Num("serve.request_latency_p95_ms", lat->p95);
+    json.Num("serve.request_latency_p99_ms", lat->p99);
+    std::printf(
+        "metrics-armed fault-free: cold %8.1f targets/s, warm %8.1f "
+        "targets/s (compare BENCH_pr8.json clean.warm_targets_per_s), "
+        "bit-identical, conservation exact\n",
+        total_targets / cold, total_targets / warm);
+
+    // --- fully-traced worst case: every request sampled -------------------
+    tracer.Enable(/*sample_every=*/1, /*ring_capacity=*/128,
+                  /*max_live=*/64);
+    double traced_warm = 1e300;
+    for (int rep = 0; rep < (smoke ? 1 : 3); ++rep) {
+      traced_warm =
+          std::min(traced_warm, RunCleanStream(&frontend, chunks, clients,
+                                               &got));
+      CheckBitIdentical(got, oracle);
+    }
+    const obs::TracerStats ts = tracer.Stats();
+    BSG_CHECK(ts.sampled > 0 && ts.dropped_no_slot == 0,
+              "1-in-1 sampling dropped traces");
+    BSG_CHECK(ts.completed == ts.sampled, "a sampled trace never finished");
+    tracer.Disable();
+
+    json.Num("traced.warm_targets_per_s", total_targets / traced_warm);
+    json.Num("traced.sampled", static_cast<double>(ts.sampled));
+    json.Num("traced.overhead_pct",
+             100.0 * (traced_warm / warm - 1.0));
+    std::printf(
+        "fully traced (sample=1): warm %8.1f targets/s (%+.2f%% time vs "
+        "untraced), %llu traces, none dropped\n",
+        total_targets / traced_warm, 100.0 * (traced_warm / warm - 1.0),
+        static_cast<unsigned long long>(ts.sampled));
+  }
+
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("metrics written to %s\n", out_path.c_str());
+  return 0;
+}

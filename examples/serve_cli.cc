@@ -19,7 +19,12 @@
 //   ./build/examples/serve_cli --ckpt=/tmp/bot.ckpt --ids=3,17,255
 //
 // Output is JSON lines: one {"id","bot_prob","label","precision","logits"}
-// object per scored account; engine/cache stats go to stderr with --stats.
+// object per scored account; engine/cache stats go to stderr with --stats
+// (a single metrics-registry snapshot, including latency quantiles and the
+// request/target conservation check). --metrics-out exports the same
+// registry as Prometheus text + a JSON sibling, --trace-sample=N records a
+// pipeline trace (queue wait, cache probe, build, stack, forward, ...) for
+// every Nth front-end request into the JSON export.
 // --precision=f32 serves through the model's float shadow (vectorized
 // mixed-precision path); the default f64 stays bit-identical to training.
 //
@@ -47,6 +52,10 @@
 #include "datagen/config.h"
 #include "features/feature_pipeline.h"
 #include "io/checkpoint.h"
+#include "obs/adapters.h"
+#include "obs/export.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "serve/frontend.h"
 #include "util/fault.h"
 #include "util/flags.h"
@@ -96,7 +105,16 @@ void PrintUsage() {
       "                        from the same checkpoint, SwapGraph() to it,\n"
       "                        verify the stale-version purge + bit-identity\n"
       "  --score-out=PATH      write JSON lines here instead of stdout\n"
-      "  --stats               engine/cache/front-end counters to stderr\n");
+      "  --metrics-out=PATH    export the metrics registry to PATH\n"
+      "                        (Prometheus text) and PATH.json (JSON with\n"
+      "                        sampled traces), atomically\n"
+      "  --metrics-interval-ms=X   also re-export every X ms from a\n"
+      "                        background thread (0 = only the final dump)\n"
+      "  --trace-sample=N      record a pipeline trace for every Nth\n"
+      "                        front-end request (0 = off; 1 = all)\n"
+      "  --stats               one metrics-registry snapshot to stderr:\n"
+      "                        engine/cache/front-end counters, latency\n"
+      "                        quantiles, and the conservation check\n");
 }
 
 Result<DatasetConfig> PresetConfig(const std::string& preset) {
@@ -465,6 +483,41 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
     frontend = std::make_unique<ServingFrontend>(&engine, fcfg);
   }
 
+  // Observability: arm trace sampling before the first request, bridge
+  // every component's stats into the metrics registry, and (optionally)
+  // start the periodic file exporter. Declaration order matters — the
+  // exporter is declared after the registrations so its thread stops (and
+  // flushes one final export) while the provider callbacks' raw pointers
+  // into `engine`/`frontend` are still alive.
+  const int trace_sample = flags.GetInt("trace-sample", 0);
+  if (trace_sample < 0) {
+    std::fprintf(stderr, "--trace-sample must be >= 0\n");
+    return 1;
+  }
+  if (trace_sample > 0) {
+    obs::Tracer::Global().Enable(static_cast<uint32_t>(trace_sample));
+  }
+  std::vector<obs::GaugeRegistration> metric_regs;
+  metric_regs.push_back(obs::RegisterEngineMetrics(&engine));
+  metric_regs.push_back(obs::RegisterBufferPoolMetrics());
+  metric_regs.push_back(obs::RegisterFaultMetrics());
+  metric_regs.push_back(obs::RegisterCheckpointIoMetrics());
+  metric_regs.push_back(obs::RegisterTracerMetrics());
+  if (frontend != nullptr) {
+    metric_regs.push_back(obs::RegisterFrontendMetrics(frontend.get()));
+  }
+  std::unique_ptr<obs::MetricsExporter> exporter;
+  if (flags.Has("metrics-out")) {
+    obs::MetricsExporter::Options mopts;
+    mopts.path = flags.GetString("metrics-out", "");
+    mopts.interval_ms = flags.GetDouble("metrics-interval-ms", 0.0);
+    if (mopts.path.empty()) {
+      std::fprintf(stderr, "--metrics-out needs a path\n");
+      return 1;
+    }
+    exporter = std::make_unique<obs::MetricsExporter>(mopts);
+  }
+
   std::vector<int> targets = ResolveTargets(flags, graph);
   if (!ValidateTargets(targets, graph.num_nodes)) return 1;
   std::FILE* out = stdout;
@@ -596,65 +649,131 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
   }
 
   if (flags.Has("stats")) {
-    EngineStats s = engine.Stats();
+    // Everything below reads ONE registry snapshot — the same consistent
+    // cut the Prometheus/JSON export would see — so derived invariants
+    // (the conservation line) are computed from numbers of one instant,
+    // not from per-component Stats() calls at slightly different times.
+    const obs::RegistrySnapshot snap =
+        obs::MetricsRegistry::Global().Snapshot();
+    const auto g = [&snap](const char* name) { return snap.Gauge(name); };
+    const auto u = [&snap](const char* name) {
+      return static_cast<unsigned long long>(snap.Gauge(name));
+    };
     std::fprintf(stderr,
                  "engine: %llu targets in %llu batches (+%llu single), "
                  "pool hit rate %.3f, trimmed %.2f MiB at startup\n",
-                 static_cast<unsigned long long>(s.targets_scored),
-                 static_cast<unsigned long long>(s.batches_run),
-                 static_cast<unsigned long long>(s.single_requests),
-                 s.PoolHitRate(),
-                 static_cast<double>(s.pool_trimmed_bytes) / (1 << 20));
+                 u("serve.engine.targets_scored"),
+                 u("serve.engine.batches_run"),
+                 u("serve.engine.single_requests"),
+                 g("serve.engine.pool_hit_rate"),
+                 g("serve.engine.pool_trimmed_bytes") / (1 << 20));
     std::fprintf(stderr,
                  "cache: %llu lookups, hit rate %.3f, %llu entries "
                  "(%.2f MiB), %llu evictions\n",
-                 static_cast<unsigned long long>(s.cache.lookups),
-                 s.cache.HitRate(),
-                 static_cast<unsigned long long>(s.cache.entries),
-                 static_cast<double>(s.cache.resident_bytes) / (1 << 20),
-                 static_cast<unsigned long long>(s.cache.evictions));
+                 u("serve.cache.lookups"), g("serve.cache.hit_rate"),
+                 u("serve.cache.entries"),
+                 g("serve.cache.resident_bytes") / (1 << 20),
+                 u("serve.cache.evictions"));
     std::fprintf(stderr,
                  "stacker: %llu batches, %llu carcass reuses, %llu csr "
                  "reuses, %llu f32-weight reuses\n",
-                 static_cast<unsigned long long>(s.stacker.batches_stacked),
-                 static_cast<unsigned long long>(s.stacker.carcass_reuses),
-                 static_cast<unsigned long long>(s.stacker.csr_reuses),
-                 static_cast<unsigned long long>(s.stacker.weights_f32_reuses));
+                 u("serve.stacker.batches_stacked"),
+                 u("serve.stacker.carcass_reuses"),
+                 u("serve.stacker.csr_reuses"),
+                 u("serve.stacker.weights_f32_reuses"));
     if (frontend != nullptr) {
-      FrontendStats fs = frontend->Stats();
       std::fprintf(
           stderr,
           "front-end: %d workers, %llu requests (%llu served, %llu shed "
           "[%llu queue-full, %llu latency], shed rate %.3f), queue depth "
           "peak %llu, %llu graph swap(s), est %.3f ms/target\n",
-          workers, static_cast<unsigned long long>(fs.submitted_requests),
-          static_cast<unsigned long long>(fs.served_requests),
-          static_cast<unsigned long long>(fs.shed_requests),
-          static_cast<unsigned long long>(fs.shed_queue_full),
-          static_cast<unsigned long long>(fs.shed_latency), fs.ShedRate(),
-          static_cast<unsigned long long>(fs.queue_depth_peak),
-          static_cast<unsigned long long>(fs.graph_swaps),
-          fs.ms_per_target_estimate);
+          workers, u("serve.frontend.submitted_requests"),
+          u("serve.frontend.served_requests"),
+          u("serve.frontend.shed_requests"),
+          u("serve.frontend.shed_queue_full"),
+          u("serve.frontend.shed_latency"), g("serve.frontend.shed_rate"),
+          u("serve.frontend.queue_depth_peak"),
+          u("serve.frontend.graph_swaps"),
+          g("serve.frontend.ms_per_target_estimate"));
+      std::fprintf(stderr,
+                   "failures: %llu timed out, %llu failed, %llu degraded, "
+                   "%llu retries (%llu successful), %llu breaker trip(s)\n",
+                   u("serve.frontend.timed_out_requests"),
+                   u("serve.frontend.failed_requests"),
+                   u("serve.frontend.degraded_requests"),
+                   u("serve.frontend.retries"),
+                   u("serve.frontend.retry_successes"),
+                   u("serve.frontend.breaker_trips"));
+      // Conservation: every submitted request/target resolved exactly one
+      // way. Exact on this snapshot because the front-end is quiescent
+      // (all futures were awaited above).
+      const unsigned long long req_out =
+          u("serve.frontend.served_requests") +
+          u("serve.frontend.shed_requests") +
+          u("serve.frontend.closed_requests") +
+          u("serve.frontend.timed_out_requests") +
+          u("serve.frontend.failed_requests") +
+          u("serve.frontend.degraded_requests");
+      const unsigned long long tgt_out =
+          u("serve.frontend.targets_served") +
+          u("serve.frontend.targets_shed") +
+          u("serve.frontend.targets_closed") +
+          u("serve.frontend.targets_timed_out") +
+          u("serve.frontend.targets_failed") +
+          u("serve.frontend.targets_degraded");
+      const unsigned long long req_in =
+          u("serve.frontend.submitted_requests");
+      const unsigned long long tgt_in =
+          u("serve.frontend.targets_submitted");
       std::fprintf(
           stderr,
-          "failures: %llu timed out, %llu failed, %llu degraded, %llu "
-          "retries (%llu successful), %llu breaker trip(s)\n",
-          static_cast<unsigned long long>(fs.timed_out_requests),
-          static_cast<unsigned long long>(fs.failed_requests),
-          static_cast<unsigned long long>(fs.degraded_requests),
-          static_cast<unsigned long long>(fs.retries),
-          static_cast<unsigned long long>(fs.retry_successes),
-          static_cast<unsigned long long>(fs.breaker_trips));
+          "conservation: requests %llu submitted vs %llu resolved "
+          "(served+shed+closed+timed_out+failed+degraded) %s; targets "
+          "%llu vs %llu %s\n",
+          req_in, req_out, req_in == req_out ? "OK" : "VIOLATED", tgt_in,
+          tgt_out, tgt_in == tgt_out ? "OK" : "VIOLATED");
     }
-    if (FaultInjector::Global().armed()) {
-      for (const FaultInjector::SiteStats& site :
-           FaultInjector::Global().Stats()) {
-        if (site.evaluations == 0) continue;
-        std::fprintf(stderr, "fault site %s: %llu evaluation(s), %llu fired\n",
-                     site.site,
-                     static_cast<unsigned long long>(site.evaluations),
-                     static_cast<unsigned long long>(site.fires));
+    // Latency quantiles from the registry histograms. Quantiles report the
+    // containing bucket's upper bound, hence "<=".
+    const auto latency_line = [&snap](const char* label, const char* name) {
+      const obs::HistogramSnapshot* h = snap.FindHistogram(name);
+      if (h == nullptr || h->count == 0) return;
+      std::fprintf(stderr,
+                   "latency %s: n=%llu mean %.3f ms, p50<=%.3g p95<=%.3g "
+                   "p99<=%.3g\n",
+                   label, static_cast<unsigned long long>(h->count),
+                   h->sum / static_cast<double>(h->count), h->p50, h->p95,
+                   h->p99);
+    };
+    latency_line("request", obs::metric::kRequestLatencyMs);
+    latency_line("queue-wait", obs::metric::kQueueWaitMs);
+    latency_line("forward", obs::metric::kForwardMs);
+    latency_line("assemble", obs::metric::kAssembleMs);
+    if (snap.Gauge("fault.armed") != 0.0) {
+      for (const obs::GaugeSample& sample : snap.gauges) {
+        const std::string& n = sample.name;
+        const std::string suffix = ".evaluations";
+        if (n.size() <= 6 + suffix.size() || n.compare(0, 6, "fault.") != 0 ||
+            n.compare(n.size() - suffix.size(), suffix.size(), suffix) != 0 ||
+            sample.value == 0.0) {
+          continue;
+        }
+        const std::string site =
+            n.substr(6, n.size() - 6 - suffix.size());
+        std::fprintf(
+            stderr, "fault site %s: %llu evaluation(s), %llu fired\n",
+            site.c_str(), static_cast<unsigned long long>(sample.value),
+            static_cast<unsigned long long>(
+                snap.Gauge("fault." + site + ".fires")));
       }
+    }
+    if (trace_sample > 0) {
+      std::fprintf(stderr,
+                   "tracer: 1-in-%d sampling, %llu sampled, %llu completed, "
+                   "%llu dropped (no slot), %llu truncated span(s)\n",
+                   trace_sample, u("obs.tracer.sampled"),
+                   u("obs.tracer.completed"), u("obs.tracer.dropped_no_slot"),
+                   u("obs.tracer.truncated_spans"));
     }
   }
   return 0;

@@ -9,12 +9,14 @@
 #    build and determinism regressions
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
 #    test_parallel, test_buffer_pool, test_subgraph_cache,
-#    test_ppr_workspace, test_frontend, test_fault) so data races in the
-#    producer/consumer pipeline, the thread pool, the pooled-slab handoff,
-#    the serving cache's single-flight path, the per-thread subgraph
-#    workspaces, the concurrent serving front-end (worker pool, shed
-#    accounting, hot swap, Stats polling) and the fault injector's armed
-#    paths fail CI, followed by a timeout-wrapped chaos soak (fault
+#    test_ppr_workspace, test_frontend, test_fault, test_metrics,
+#    test_trace) so data races in the producer/consumer pipeline, the
+#    thread pool, the pooled-slab handoff, the serving cache's
+#    single-flight path, the per-thread subgraph workspaces, the
+#    concurrent serving front-end (worker pool, shed accounting, hot swap,
+#    Stats polling), the fault injector's armed paths and the sharded
+#    metrics instruments / trace recorder fail CI, followed by a
+#    timeout-wrapped chaos soak (fault
 #    injection armed at every serving site; the timeout is part of the
 #    assertion — a lost wakeup or an unresolved future under faults hangs)
 # 4. smoke runs of bench_parallel_scaling, bench_async_pipeline and the
@@ -36,6 +38,10 @@
 #    test_serve_engine): injected faults drive the error/unwind paths that
 #    production traffic rarely takes, exactly where use-after-free and UB
 #    hide
+# 8. metrics smoke: serve with --metrics-out and --trace-sample=1, then
+#    parse the exported Prometheus text and JSON and re-derive the request
+#    and target conservation invariants exactly from the exported series
+#    (submitted == served + shed + closed + timed_out + failed + degraded)
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -60,7 +66,8 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
   -DBSG_BUILD_BENCHES=OFF
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
   --target test_prefetcher test_parallel test_buffer_pool \
-  test_subgraph_cache test_ppr_workspace test_frontend test_fault
+  test_subgraph_cache test_ppr_workspace test_frontend test_fault \
+  test_metrics test_trace
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -76,6 +83,10 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_frontend"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_fault"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_metrics"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_trace"
 
 echo "=== chaos soak (faults armed at every serving site, timeout-wrapped) ==="
 timeout 300 "$BUILD_DIR/test_fault"
@@ -127,6 +138,76 @@ echo "=== fault-injected serve smoke (retries absorb transient faults) ==="
   --fault-spec="engine.forward:first=2" --fault-seed=7 --stats
 diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_fault.jsonl"
 echo "fault-injected serve smoke: transient faults retried, logits bit-identical"
+
+echo "=== metrics smoke (export -> parse -> re-derive conservation) ==="
+"$BUILD_DIR/examples/serve_cli" --ckpt="$SERVE_TMP/model.ckpt" \
+  --score-out="$SERVE_TMP/serve_metrics.jsonl" --workers=2 \
+  --metrics-out="$SERVE_TMP/metrics.prom" --trace-sample=1 --stats
+diff "$SERVE_TMP/train_scores.jsonl" "$SERVE_TMP/serve_metrics.jsonl"
+python3 - "$SERVE_TMP/metrics.prom" <<'PYEOF'
+import json, re, sys
+
+prom_path = sys.argv[1]
+prom = open(prom_path).read()
+series = {}
+for line in prom.splitlines():
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    series[name] = float(value)
+
+def prom_gauge(name):
+    key = "bsg_" + re.sub(r"[^a-zA-Z0-9_]", "_", name)
+    assert key in series, f"missing series {key} in {prom_path}"
+    return series[key]
+
+resolved = ["served", "shed", "closed", "timed_out", "failed", "degraded"]
+for unit, submitted in (("requests", "serve.frontend.submitted_requests"),
+                        ("targets", "serve.frontend.targets_submitted")):
+    if unit == "requests":
+        outs = [f"serve.frontend.{s}_requests" for s in resolved]
+    else:
+        outs = [f"serve.frontend.targets_{s}" for s in resolved]
+    total_in = prom_gauge(submitted)
+    total_out = sum(prom_gauge(o) for o in outs)
+    assert total_in == total_out and total_in > 0, (
+        f"{unit} conservation violated in export: "
+        f"{total_in} submitted vs {total_out} resolved")
+    print(f"exported {unit} conservation exact: "
+          f"{int(total_in)} submitted == {int(total_out)} resolved")
+
+# The always-on latency histogram must be present, internally consistent
+# (cumulative buckets ending at the count), and have seen every request.
+hist = "bsg_serve_frontend_request_latency_ms"
+bucket_vals = []
+for line in prom.splitlines():
+    m = re.match(rf'{hist}_bucket\{{le="([^"]+)"\}} ([0-9.e+-]+)$', line)
+    if m:
+        bucket_vals.append(float(m.group(2)))
+assert bucket_vals, f"no {hist}_bucket series exported"
+assert bucket_vals == sorted(bucket_vals), "histogram buckets not cumulative"
+count = series.get(hist + "_count")
+assert count is not None and count == bucket_vals[-1], (
+    "histogram +Inf bucket disagrees with _count")
+assert count == prom_gauge("serve.frontend.submitted_requests"), (
+    "request_latency_ms count != submitted requests")
+
+# The JSON twin must parse and carry the sampled traces (trace-sample=1).
+doc = json.load(open(prom_path + ".json"))
+assert doc["counters"] is not None and doc["gauges"] and doc["histograms"]
+traces = doc.get("traces", [])
+assert traces, "trace-sample=1 exported no traces"
+for t in traces:
+    assert t["status"] == "ok" and t["spans"], "unexpected trace shape"
+    span_total = sum(s["dur_ns"] for s in t["spans"])
+    stages = {s["stage"] for s in t["spans"]}
+    assert "queue_wait" in stages and "forward" in stages, (
+        f"trace missing pipeline stages: {sorted(stages)}")
+    assert span_total <= t["elapsed_ns"], (
+        "trace spans exceed the request's end-to-end latency")
+print(f"exported traces: {len(traces)} sampled, every span set within e2e")
+PYEOF
+echo "metrics smoke: exported series parse, conservation re-derived exactly"
 
 echo "=== BSG_MARCH_NATIVE=ON: f32 parity under native SIMD ==="
 NATIVE_BUILD_DIR="${BUILD_DIR}-native"

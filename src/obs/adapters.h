@@ -1,0 +1,63 @@
+// Bridges from the pre-existing per-component stats structs into the
+// metrics registry, so every number the system already tracks is visible
+// through one interface (one Prometheus/JSON export, one `--stats` cut).
+//
+// Each Register* call installs one gauge *provider*: a callback invoked at
+// snapshot time that makes a single `Stats()` call on the component and
+// emits every field as a gauge sample. One Stats() call per component per
+// snapshot keeps each component's sub-cut internally coherent (its own
+// atomics read back-to-back) and adds zero cost to the component's hot
+// path — the component doesn't know it is registered.
+//
+// Lifetime: the returned GaugeRegistration unregisters on destruction and
+// MUST NOT outlive the component it samples (the callback holds a raw
+// pointer). Frontends/engines are stack-scoped, so nothing auto-registers
+// at construction — tests build dozens of engines and their samples would
+// collide on the shared names. Binaries that want the full surface
+// (serve_cli, benches) register explicitly and hold the handles.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace bsg {
+
+class ServingFrontend;
+class DetectionEngine;
+
+namespace obs {
+
+/// FrontendStats (requests/targets by status, retries, breaker, shedding,
+/// cost model) as "<prefix>.*". Does not emit the nested engine snapshot —
+/// register the engine separately.
+GaugeRegistration RegisterFrontendMetrics(
+    const ServingFrontend* frontend,
+    const std::string& prefix = "serve.frontend");
+
+/// EngineStats as "<prefix>.*", the nested SubgraphCacheStats as
+/// "<cache_prefix>.*" and BatchStackerStats as "<cache_prefix's sibling>
+/// serve.stacker.*".
+GaugeRegistration RegisterEngineMetrics(
+    const DetectionEngine* engine, const std::string& prefix = "serve.engine",
+    const std::string& cache_prefix = "serve.cache",
+    const std::string& stacker_prefix = "serve.stacker");
+
+/// BufferPool::Global() stats as "<prefix>.*".
+GaugeRegistration RegisterBufferPoolMetrics(
+    const std::string& prefix = "pool");
+
+/// FaultInjector::Global(): "<prefix>.armed" plus per-site
+/// "<prefix>.<site>.evaluations" / ".fires".
+GaugeRegistration RegisterFaultMetrics(const std::string& prefix = "fault");
+
+/// Checkpoint IO counters as "<prefix>.*".
+GaugeRegistration RegisterCheckpointIoMetrics(
+    const std::string& prefix = "ckpt");
+
+/// Tracer bookkeeping (sampled/completed/dropped/...) as "<prefix>.*".
+GaugeRegistration RegisterTracerMetrics(
+    const std::string& prefix = "obs.tracer");
+
+}  // namespace obs
+}  // namespace bsg

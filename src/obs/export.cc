@@ -1,0 +1,265 @@
+#include "obs/export.h"
+
+#include <cctype>
+#include <cerrno>
+#include <chrono>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdio>
+#include <cstring>
+
+#include "obs/trace.h"
+#include "util/logging.h"
+
+namespace bsg {
+namespace obs {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...)
+    __attribute__((format(printf, 2, 3)));
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[512];
+  va_list ap;
+  va_start(ap, fmt);
+  int n = std::vsnprintf(buf, sizeof(buf), fmt, ap);
+  va_end(ap);
+  if (n > 0) out->append(buf, static_cast<size_t>(n) < sizeof(buf)
+                                  ? static_cast<size_t>(n)
+                                  : sizeof(buf) - 1);
+}
+
+/// JSON string escaping for status labels / metric names (conservative:
+/// our names are [a-z0-9._] but traces carry arbitrary status strings).
+void AppendJsonString(std::string* out, const std::string& s) {
+  out->push_back('"');
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out->append("\\\"");
+        break;
+      case '\\':
+        out->append("\\\\");
+        break;
+      case '\n':
+        out->append("\\n");
+        break;
+      case '\t':
+        out->append("\\t");
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          AppendF(out, "\\u%04x", c);
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& dotted) {
+  std::string out = "bsg_";
+  out.reserve(dotted.size() + 4);
+  for (char c : dotted) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string ToPrometheusText(const RegistrySnapshot& snap) {
+  std::string out;
+  out.reserve(4096);
+
+  for (const auto& [name, value] : snap.counters) {
+    std::string pname = PrometheusName(name);
+    AppendF(&out, "# TYPE %s counter\n", pname.c_str());
+    AppendF(&out, "%s %" PRIu64 "\n", pname.c_str(), value);
+  }
+
+  for (const GaugeSample& g : snap.gauges) {
+    std::string pname = PrometheusName(g.name);
+    AppendF(&out, "# TYPE %s gauge\n", pname.c_str());
+    AppendF(&out, "%s %.17g\n", pname.c_str(), g.value);
+  }
+
+  for (const auto& [name, h] : snap.histograms) {
+    std::string pname = PrometheusName(name);
+    AppendF(&out, "# TYPE %s histogram\n", pname.c_str());
+    uint64_t cum = 0;
+    for (size_t i = 0; i < h.bounds.size(); ++i) {
+      cum += i < h.buckets.size() ? h.buckets[i] : 0;
+      AppendF(&out, "%s_bucket{le=\"%.9g\"} %" PRIu64 "\n", pname.c_str(),
+              h.bounds[i], cum);
+    }
+    AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", pname.c_str(),
+            h.count);
+    AppendF(&out, "%s_sum %.17g\n", pname.c_str(), h.sum);
+    AppendF(&out, "%s_count %" PRIu64 "\n", pname.c_str(), h.count);
+  }
+  return out;
+}
+
+std::string ToJson(const RegistrySnapshot& snap, bool include_traces) {
+  std::string out;
+  out.reserve(8192);
+  out.append("{\n  \"counters\": {");
+  for (size_t i = 0; i < snap.counters.size(); ++i) {
+    out.append(i == 0 ? "\n    " : ",\n    ");
+    AppendJsonString(&out, snap.counters[i].first);
+    AppendF(&out, ": %" PRIu64, snap.counters[i].second);
+  }
+  out.append("\n  },\n  \"gauges\": {");
+  for (size_t i = 0; i < snap.gauges.size(); ++i) {
+    out.append(i == 0 ? "\n    " : ",\n    ");
+    AppendJsonString(&out, snap.gauges[i].name);
+    AppendF(&out, ": %.17g", snap.gauges[i].value);
+  }
+  out.append("\n  },\n  \"histograms\": {");
+  for (size_t i = 0; i < snap.histograms.size(); ++i) {
+    const auto& [name, h] = snap.histograms[i];
+    out.append(i == 0 ? "\n    " : ",\n    ");
+    AppendJsonString(&out, name);
+    out.append(": {\"bounds\": [");
+    for (size_t b = 0; b < h.bounds.size(); ++b) {
+      AppendF(&out, "%s%.17g", b == 0 ? "" : ", ", h.bounds[b]);
+    }
+    out.append("], \"buckets\": [");
+    for (size_t b = 0; b < h.buckets.size(); ++b) {
+      AppendF(&out, "%s%" PRIu64, b == 0 ? "" : ", ", h.buckets[b]);
+    }
+    AppendF(&out,
+            "], \"count\": %" PRIu64
+            ", \"sum\": %.17g, \"p50\": %.17g, \"p95\": %.17g, "
+            "\"p99\": %.17g}",
+            h.count, h.sum, h.p50, h.p95, h.p99);
+  }
+  out.append("\n  }");
+
+  if (include_traces) {
+    Tracer& tracer = Tracer::Global();
+    TracerStats ts = tracer.Stats();
+    AppendF(&out,
+            ",\n  \"tracer\": {\"sample_every\": %u, \"sampled\": %" PRIu64
+            ", \"completed\": %" PRIu64 ", \"abandoned\": %" PRIu64
+            ", \"dropped_no_slot\": %" PRIu64 ", \"truncated_spans\": %" PRIu64
+            "}",
+            tracer.sample_every(), ts.sampled, ts.completed, ts.abandoned,
+            ts.dropped_no_slot, ts.truncated_spans);
+    out.append(",\n  \"traces\": [");
+    std::vector<CompletedTrace> traces = tracer.Completed();
+    for (size_t i = 0; i < traces.size(); ++i) {
+      const CompletedTrace& t = traces[i];
+      out.append(i == 0 ? "\n    " : ",\n    ");
+      AppendF(&out,
+              "{\"seq\": %" PRIu64 ", \"targets\": %u, \"status\": ",
+              t.seq, t.num_targets);
+      AppendJsonString(&out, t.status);
+      AppendF(&out,
+              ", \"attempts\": %d, \"start_ns\": %" PRIu64
+              ", \"elapsed_ns\": %" PRIu64 ", \"spans\": [",
+              t.attempts, t.start_ns, t.ElapsedNs());
+      for (size_t s = 0; s < t.spans.size(); ++s) {
+        const TraceSpan& sp = t.spans[s];
+        AppendF(&out,
+                "%s{\"stage\": \"%s\", \"chunk\": %d, \"offset_ns\": %" PRId64
+                ", \"dur_ns\": %" PRIu64 "}",
+                s == 0 ? "" : ", ", TraceStageName(sp.stage), sp.chunk,
+                static_cast<int64_t>(sp.start_ns) -
+                    static_cast<int64_t>(t.start_ns),
+                sp.dur_ns);
+      }
+      out.append("]}");
+    }
+    out.append("\n  ]");
+  }
+  out.append("\n}\n");
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// MetricsExporter
+
+MetricsExporter::MetricsExporter(Options options)
+    : options_(std::move(options)) {
+  if (options_.interval_ms > 0.0 && !options_.path.empty()) {
+    thread_ = std::thread([this] { Loop(); });
+  }
+}
+
+MetricsExporter::~MetricsExporter() { Stop(); }
+
+void MetricsExporter::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  // Final flush so the on-disk snapshot reflects shutdown state.
+  if (!options_.path.empty()) {
+    Status st = WriteNow();
+    if (!st.ok()) {
+      BSG_LOG_WARN("metrics exporter final flush failed: %s",
+                   st.ToString().c_str());
+    }
+  }
+}
+
+void MetricsExporter::Loop() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto interval = std::chrono::duration<double, std::milli>(
+      options_.interval_ms);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    Status st = WriteNow();
+    if (!st.ok()) {
+      BSG_LOG_WARN("metrics export failed: %s", st.ToString().c_str());
+    }
+    lock.lock();
+  }
+}
+
+Status MetricsExporter::WriteNow() {
+  if (options_.path.empty()) {
+    return Status::FailedPrecondition("metrics exporter has no path");
+  }
+  RegistrySnapshot snap = MetricsRegistry::Global().Snapshot();
+  BSG_RETURN_NOT_OK(WriteFileAtomic(options_.path, ToPrometheusText(snap)));
+  BSG_RETURN_NOT_OK(
+      WriteFileAtomic(json_path(), ToJson(snap, options_.include_traces)));
+  writes_.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+Status MetricsExporter::WriteFileAtomic(const std::string& path,
+                                        const std::string& contents) {
+  std::string tmp = path + ".tmp";
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Internal("open failed for " + tmp + ": " +
+                            std::strerror(errno));
+  }
+  size_t written = std::fwrite(contents.data(), 1, contents.size(), f);
+  int close_rc = std::fclose(f);
+  if (written != contents.size() || close_rc != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("short write to " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::Internal("rename failed for " + path + ": " +
+                            std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace obs
+}  // namespace bsg

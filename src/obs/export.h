@@ -1,0 +1,87 @@
+// Exposition of the metrics registry: Prometheus text format, a JSON dump
+// (including sampled traces), and a periodic exporter thread.
+//
+// Formats:
+//   * Prometheus text — every dotted metric name is sanitized ('.' and any
+//     non-[a-zA-Z0-9_] become '_') and prefixed "bsg_". Counters and gauges
+//     are one sample line with a # TYPE header; histograms emit cumulative
+//     _bucket{le="..."} lines (including le="+Inf"), _sum, and _count.
+//     Values are printed with %.17g so the exported numbers round-trip.
+//   * JSON — keeps the dotted names verbatim: {"counters": {...},
+//     "gauges": {...}, "histograms": {name: {bounds, buckets, count, sum,
+//     p50, p95, p99}}, "tracer": {...}, "traces": [...]}. The same
+//     RegistrySnapshot feeds both, so the two files of one export describe
+//     the same instant.
+//
+// MetricsExporter owns a background thread that snapshots the registry
+// every interval and writes `path` (Prometheus) plus `path + ".json"`
+// atomically (tmp file + rename, the checkpoint-write discipline), so a
+// scraper never reads a torn file. interval_ms == 0 disables the thread;
+// WriteNow() works either way.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace bsg {
+namespace obs {
+
+/// "serve.frontend.foo" -> "bsg_serve_frontend_foo".
+std::string PrometheusName(const std::string& dotted);
+
+/// Renders a snapshot in Prometheus text exposition format.
+std::string ToPrometheusText(const RegistrySnapshot& snap);
+
+/// Renders a snapshot (plus the tracer's completed ring and stats, when
+/// `include_traces`) as JSON with dotted names.
+std::string ToJson(const RegistrySnapshot& snap, bool include_traces = true);
+
+/// Periodic file exporter. Construction starts the thread when
+/// options.interval_ms > 0; destruction (or Stop) joins it.
+class MetricsExporter {
+ public:
+  struct Options {
+    std::string path;          ///< Prometheus text target ('' disables files)
+    double interval_ms = 0.0;  ///< 0 = no background thread
+    bool include_traces = true;  ///< embed traces in the JSON sibling
+  };
+
+  explicit MetricsExporter(Options options);
+  ~MetricsExporter();
+
+  MetricsExporter(const MetricsExporter&) = delete;
+  MetricsExporter& operator=(const MetricsExporter&) = delete;
+
+  /// Snapshots the registry once and writes both files atomically.
+  Status WriteNow();
+
+  /// Stops and joins the background thread (idempotent); flushes one final
+  /// export so the files reflect the end state.
+  void Stop();
+
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+  const std::string& path() const { return options_.path; }
+  std::string json_path() const { return options_.path + ".json"; }
+
+ private:
+  void Loop();
+  Status WriteFileAtomic(const std::string& path,
+                         const std::string& contents);
+
+  Options options_;
+  std::atomic<uint64_t> writes_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+  std::thread thread_;
+};
+
+}  // namespace obs
+}  // namespace bsg

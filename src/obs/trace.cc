@@ -1,0 +1,233 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+
+namespace bsg {
+namespace obs {
+
+std::atomic<uint32_t> g_trace_sample_every{0};
+
+const char* TraceStageName(TraceStage stage) {
+  switch (stage) {
+    case TraceStage::kQueueWait:
+      return "queue_wait";
+    case TraceStage::kCacheProbe:
+      return "cache_probe";
+    case TraceStage::kBuild:
+      return "build";
+    case TraceStage::kStack:
+      return "stack";
+    case TraceStage::kForward:
+      return "forward";
+    case TraceStage::kBackoff:
+      return "backoff";
+    case TraceStage::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
+
+// ---------------------------------------------------------------------------
+// RequestTrace
+
+void RequestTrace::AddSpan(TraceStage stage, uint64_t start_ns_abs,
+                           uint64_t dur_ns, int32_t chunk) {
+  uint32_t slot = nspans.fetch_add(1, std::memory_order_acq_rel);
+  if (slot >= kMaxSpans) {
+    truncated.fetch_add(1, std::memory_order_relaxed);
+    // Park the counter at the cap so it cannot wrap with pathological
+    // span volume (the fetch_add above overshot).
+    nspans.store(kMaxSpans + 1, std::memory_order_release);
+    return;
+  }
+  spans[slot].stage = stage;
+  spans[slot].chunk = chunk;
+  spans[slot].start_ns = start_ns_abs;
+  spans[slot].dur_ns = dur_ns;
+}
+
+uint64_t RequestTrace::StageTotalNs(TraceStage stage) const {
+  uint64_t total = 0;
+  size_t n = SpanCount();
+  for (size_t i = 0; i < n; ++i) {
+    if (spans[i].stage == stage) total += spans[i].dur_ns;
+  }
+  return total;
+}
+
+bool RequestTrace::HasStage(TraceStage stage) const {
+  size_t n = SpanCount();
+  for (size_t i = 0; i < n; ++i) {
+    if (spans[i].stage == stage) return true;
+  }
+  return false;
+}
+
+uint64_t RequestTrace::TotalSpanNs() const {
+  uint64_t total = 0;
+  size_t n = SpanCount();
+  for (size_t i = 0; i < n; ++i) total += spans[i].dur_ns;
+  return total;
+}
+
+void RequestTrace::Reset() {
+  seq = 0;
+  num_targets = 0;
+  start_ns = 0;
+  end_ns = 0;
+  attempts = 0;
+  status.clear();
+  nspans.store(0, std::memory_order_release);
+  truncated.store(0, std::memory_order_relaxed);
+}
+
+// ---------------------------------------------------------------------------
+// CompletedTrace
+
+uint64_t CompletedTrace::StageTotalNs(TraceStage stage) const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : spans) {
+    if (s.stage == stage) total += s.dur_ns;
+  }
+  return total;
+}
+
+bool CompletedTrace::HasStage(TraceStage stage) const {
+  for (const TraceSpan& s : spans) {
+    if (s.stage == stage) return true;
+  }
+  return false;
+}
+
+uint64_t CompletedTrace::TotalSpanNs() const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : spans) total += s.dur_ns;
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer& Tracer::Global() {
+  static Tracer* instance = new Tracer();  // never dies
+  return *instance;
+}
+
+void Tracer::Enable(uint32_t sample_every, size_t ring_capacity,
+                    size_t max_live) {
+  if (sample_every == 0) sample_every = 1;
+  if (ring_capacity == 0) ring_capacity = 1;
+  if (max_live == 0) max_live = 1;
+  std::lock_guard<std::mutex> lock(mu_);
+  // Grow the slot pool to max_live; existing slots stay (they may be
+  // checked out by in-flight requests).
+  while (slots_.size() < max_live) {
+    slots_.push_back(std::make_unique<RequestTrace>());
+    free_slots_.push_back(slots_.back().get());
+  }
+  ring_.clear();
+  ring_capacity_ = ring_capacity;
+  seq_.store(0, std::memory_order_relaxed);
+  sampled_.store(0, std::memory_order_relaxed);
+  completed_.store(0, std::memory_order_relaxed);
+  abandoned_.store(0, std::memory_order_relaxed);
+  dropped_no_slot_.store(0, std::memory_order_relaxed);
+  truncated_spans_.store(0, std::memory_order_relaxed);
+  g_trace_sample_every.store(sample_every, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  g_trace_sample_every.store(0, std::memory_order_release);
+}
+
+bool Tracer::enabled() const {
+  return g_trace_sample_every.load(std::memory_order_acquire) != 0;
+}
+
+uint32_t Tracer::sample_every() const {
+  return g_trace_sample_every.load(std::memory_order_acquire);
+}
+
+RequestTrace* Tracer::MaybeStart(uint32_t num_targets) {
+  uint32_t every = g_trace_sample_every.load(std::memory_order_acquire);
+  if (__builtin_expect(every == 0, 1)) return nullptr;
+
+  uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  if (seq % every != 0) return nullptr;
+
+  RequestTrace* trace = nullptr;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!free_slots_.empty()) {
+      trace = free_slots_.back();
+      free_slots_.pop_back();
+    }
+  }
+  if (trace == nullptr) {
+    dropped_no_slot_.fetch_add(1, std::memory_order_relaxed);
+    return nullptr;
+  }
+  trace->Reset();
+  trace->seq = seq;
+  trace->num_targets = num_targets;
+  trace->start_ns = TraceNowNs();
+  sampled_.fetch_add(1, std::memory_order_relaxed);
+  return trace;
+}
+
+void Tracer::Finish(RequestTrace* trace, const char* status, int attempts) {
+  if (trace == nullptr) return;
+  trace->end_ns = TraceNowNs();
+  trace->attempts = attempts;
+
+  CompletedTrace done;
+  done.seq = trace->seq;
+  done.num_targets = trace->num_targets;
+  done.start_ns = trace->start_ns;
+  done.end_ns = trace->end_ns;
+  done.attempts = attempts;
+  done.status = status != nullptr ? status : "";
+  size_t n = trace->SpanCount();
+  done.spans.assign(trace->spans, trace->spans + n);
+  truncated_spans_.fetch_add(trace->truncated.load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_.push_back(std::move(done));
+    if (ring_.size() > ring_capacity_) {
+      ring_.erase(ring_.begin(),
+                  ring_.begin() +
+                      static_cast<ptrdiff_t>(ring_.size() - ring_capacity_));
+    }
+    free_slots_.push_back(trace);
+  }
+  completed_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Tracer::Abandon(RequestTrace* trace) {
+  if (trace == nullptr) return;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    free_slots_.push_back(trace);
+  }
+  abandoned_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<CompletedTrace> Tracer::Completed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ring_;
+}
+
+TracerStats Tracer::Stats() const {
+  TracerStats s;
+  s.sampled = sampled_.load(std::memory_order_relaxed);
+  s.completed = completed_.load(std::memory_order_relaxed);
+  s.abandoned = abandoned_.load(std::memory_order_relaxed);
+  s.dropped_no_slot = dropped_no_slot_.load(std::memory_order_relaxed);
+  s.truncated_spans = truncated_spans_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace obs
+}  // namespace bsg

@@ -5,6 +5,8 @@
 #include <numeric>
 #include <string>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/buffer_pool.h"
 #include "util/fault.h"
 
@@ -50,6 +52,10 @@ DetectionEngine::DetectionEngine(Bsg4Bot* model, EngineConfig cfg)
             "DetectionEngine needs an inference-ready model "
             "(Fit() or LoadCheckpoint() first)");
   BSG_CHECK(batch_size_ > 0, "non-positive engine batch size");
+  forward_ms_hist_ =
+      obs::MetricsRegistry::Global().GetHistogram(obs::metric::kForwardMs);
+  assemble_ms_hist_ =
+      obs::MetricsRegistry::Global().GetHistogram(obs::metric::kAssembleMs);
   if (cfg_.precision == EngineConfig::Precision::kF32) {
     // One narrowing pass over the parameters; every subsequent f32 forward
     // reads the shadow.
@@ -89,6 +95,7 @@ DetectionEngine::CallScratch* DetectionEngine::AcquireScratch() {
 void DetectionEngine::ReleaseScratch(CallScratch* scratch) {
   scratch->pending.clear();
   scratch->held.clear();
+  scratch->trace = nullptr;
   std::lock_guard<std::mutex> lock(scratch_mu_);
   free_scratch_.push_back(scratch);
 }
@@ -119,15 +126,22 @@ Status DetectionEngine::TryScoreOne(int target, const ScoreOptions& opts,
   CallScratch& cs = *lease;
   cs.model = model_.load(std::memory_order_acquire);
   cs.version = graph_version_.load(std::memory_order_acquire);
+  cs.trace = opts.trace;
   if (DeadlineExpired(opts)) {
     deadline_failures_.fetch_add(1, std::memory_order_relaxed);
     return Status::DeadlineExceeded("deadline expired before scoring target " +
                                     std::to_string(target));
   }
+  const uint64_t asm_start = obs::TraceNowNs();
+  uint64_t build_ns = 0;
   std::shared_ptr<const BiasedSubgraph> sub;
   try {
-    sub = cache_.GetOrBuild(target, cs.version, [&cs](int t) {
-      return cs.model->AssembleSubgraph(t);
+    sub = cache_.GetOrBuild(target, cs.version, [&cs, &build_ns](int t) {
+      if (cs.trace == nullptr) return cs.model->AssembleSubgraph(t);
+      const uint64_t b0 = obs::TraceNowNs();
+      BiasedSubgraph built = cs.model->AssembleSubgraph(t);
+      build_ns += obs::TraceNowNs() - b0;
+      return built;
     });
   } catch (const StatusError& e) {
     score_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -137,10 +151,26 @@ Status DetectionEngine::TryScoreOne(int target, const ScoreOptions& opts,
     return Status::Internal(std::string("subgraph assembly failed: ") +
                             e.what());
   }
+  if (cs.trace != nullptr) {
+    // The probe span excludes any build time so the two stay disjoint (the
+    // trace invariant is "span durations sum to <= end-to-end latency").
+    const uint64_t probe_end = obs::TraceNowNs();
+    cs.trace->AddSpan(obs::TraceStage::kCacheProbe, asm_start,
+                      probe_end - asm_start - build_ns, 0);
+    if (build_ns > 0) {
+      cs.trace->AddSpan(obs::TraceStage::kBuild, asm_start, build_ns, 0);
+    }
+  }
   cs.chunk.assign(1, target);
   cs.subs.assign(1, sub.get());
-  SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
-  Status st = ScoreAssembled(cs, batch, out);
+  SubgraphBatch batch;
+  {
+    obs::ScopedSpan stack_span(cs.trace, obs::TraceStage::kStack, 0);
+    batch = cs.stacker.Stack(cs.subs, cs.chunk);
+  }
+  assemble_ms_hist_->Observe(
+      static_cast<double>(obs::TraceNowNs() - asm_start) * 1e-6);
+  Status st = ScoreAssembled(cs, batch, out, 0);
   cs.stacker.Recycle(std::move(batch));
   if (!st.ok()) {
     score_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -162,6 +192,7 @@ Status DetectionEngine::TryScoreBatch(const std::vector<int>& targets,
   CallScratch& cs = *lease;
   cs.model = model_.load(std::memory_order_acquire);
   cs.version = graph_version_.load(std::memory_order_acquire);
+  cs.trace = opts.trace;
   // The scratch is pooled: clear any failure left by the previous call
   // (its producer is guaranteed idle — the failing call cancelled the
   // epoch before releasing the lease).
@@ -217,7 +248,8 @@ Status DetectionEngine::TryScoreBatch(const std::vector<int>& targets,
         cs.prefetcher->CancelEpoch();
         return assembly_error();
       }
-      Status st = ScoreAssembled(cs, batch, &(*out)[c * width]);
+      Status st =
+          ScoreAssembled(cs, batch, &(*out)[c * width], static_cast<int>(c));
       cs.stacker.Recycle(std::move(batch));
       if (!st.ok()) {
         cs.prefetcher->CancelEpoch();
@@ -234,7 +266,7 @@ Status DetectionEngine::TryScoreBatch(const std::vector<int>& targets,
     if (cs.assemble_failed.load(std::memory_order_acquire)) {
       return assembly_error();
     }
-    Status st = ScoreAssembled(cs, batch, out->data());
+    Status st = ScoreAssembled(cs, batch, out->data(), 0);
     cs.stacker.Recycle(std::move(batch));
     if (!st.ok()) {
       score_failures_.fetch_add(1, std::memory_order_relaxed);
@@ -253,6 +285,8 @@ SubgraphBatch DetectionEngine::AssembleChunk(CallScratch& cs,
     return SubgraphBatch{};
   }
   try {
+    const uint64_t asm_start = obs::TraceNowNs();
+    uint64_t build_ns = 0;
     const size_t width = static_cast<size_t>(batch_size_);
     const size_t begin = static_cast<size_t>(chunk_index) * width;
     const size_t end = std::min(cs.pending.size(), begin + width);
@@ -263,12 +297,39 @@ SubgraphBatch DetectionEngine::AssembleChunk(CallScratch& cs,
     cs.subs.clear();
     for (int t : cs.chunk) {
       cs.held.push_back(cache_.GetOrBuild(
-          t, cs.version,
-          [&cs](int target) { return cs.model->AssembleSubgraph(target); }));
+          t, cs.version, [&cs, &build_ns](int target) {
+            if (cs.trace == nullptr) {
+              return cs.model->AssembleSubgraph(target);
+            }
+            const uint64_t b0 = obs::TraceNowNs();
+            BiasedSubgraph built = cs.model->AssembleSubgraph(target);
+            build_ns += obs::TraceNowNs() - b0;
+            return built;
+          }));
       cs.subs.push_back(cs.held.back().get());
     }
-    SubgraphBatch batch = cs.stacker.Stack(cs.subs, cs.chunk);
+    if (cs.trace != nullptr) {
+      // Probe time excludes build time (the builder above accumulates it),
+      // keeping the two spans disjoint. A build coalesced onto another
+      // caller's flight shows up as probe (wait) time, which is what this
+      // request actually experienced.
+      const uint64_t probe_end = obs::TraceNowNs();
+      cs.trace->AddSpan(obs::TraceStage::kCacheProbe, asm_start,
+                        probe_end - asm_start - build_ns, chunk_index);
+      if (build_ns > 0) {
+        cs.trace->AddSpan(obs::TraceStage::kBuild, asm_start, build_ns,
+                          chunk_index);
+      }
+    }
+    SubgraphBatch batch;
+    {
+      obs::ScopedSpan stack_span(cs.trace, obs::TraceStage::kStack,
+                                 chunk_index);
+      batch = cs.stacker.Stack(cs.subs, cs.chunk);
+    }
     cs.held.clear();
+    assemble_ms_hist_->Observe(
+        static_cast<double>(obs::TraceNowNs() - asm_start) * 1e-6);
     return batch;
   } catch (const StatusError& e) {
     // This runs on the prefetcher's producer thread, whose loop cannot
@@ -285,11 +346,12 @@ SubgraphBatch DetectionEngine::AssembleChunk(CallScratch& cs,
 }
 
 Status DetectionEngine::ScoreAssembled(CallScratch& cs,
-                                       const SubgraphBatch& batch,
-                                       Score* out) {
+                                       const SubgraphBatch& batch, Score* out,
+                                       int chunk_index) {
   if (BSG_FAULT(fault::kEngineForward)) {
     return Status::Unavailable("injected fault: engine.forward");
   }
+  const uint64_t fwd_start = obs::TraceNowNs();
   {
     // One forward at a time (shared autograd parameters + the single-slot
     // parallel pool); other callers keep assembling meanwhile. Arena-scoped
@@ -310,6 +372,14 @@ Status DetectionEngine::ScoreAssembled(CallScratch& cs,
     }
     pool_acquires_.fetch_add(arena.acquires(), std::memory_order_relaxed);
     pool_hits_.fetch_add(arena.hits(), std::memory_order_relaxed);
+  }
+  // The forward span/histogram includes the forward_mu_ wait — that
+  // contention is part of what this request's forward stage cost it.
+  const uint64_t fwd_ns = obs::TraceNowNs() - fwd_start;
+  forward_ms_hist_->Observe(static_cast<double>(fwd_ns) * 1e-6);
+  if (cs.trace != nullptr) {
+    cs.trace->AddSpan(obs::TraceStage::kForward, fwd_start, fwd_ns,
+                      chunk_index);
   }
   batches_run_.fetch_add(1, std::memory_order_relaxed);
   return Status::OK();

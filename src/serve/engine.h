@@ -71,6 +71,11 @@
 
 namespace bsg {
 
+namespace obs {
+struct RequestTrace;
+class Histogram;
+}  // namespace obs
+
 /// Serving knobs.
 struct EngineConfig {
   /// Scoring arithmetic of the serving forward pass. Nested in the config:
@@ -106,6 +111,10 @@ struct ScoreOptions {
   /// interrupted.
   bool has_deadline = false;
   std::chrono::steady_clock::time_point deadline{};
+  /// When non-null, the engine records pipeline spans (cache probe, build,
+  /// stack, forward) into this sampled request trace. Null (the default)
+  /// costs nothing: every instrumentation point guards on the pointer.
+  obs::RequestTrace* trace = nullptr;
 
   static ScoreOptions None() { return ScoreOptions{}; }
   static ScoreOptions WithDeadline(std::chrono::steady_clock::time_point d) {
@@ -219,6 +228,12 @@ class DetectionEngine {
     BatchStacker stacker;
     Bsg4Bot* model = nullptr;
     uint64_t version = 0;
+    /// The in-flight request's sampled trace (null = untraced). Written by
+    /// the consumer at call start; read by the producer thread inside
+    /// AssembleChunk. Safe without synchronisation beyond the epoch
+    /// machinery: StartEpoch happens-after the store, and the producer is
+    /// idle between epochs.
+    obs::RequestTrace* trace = nullptr;
     std::unique_ptr<BatchPrefetcher> prefetcher;  ///< lazily built
 
     // Assembly-failure channel. AssembleChunk runs on the prefetcher's
@@ -256,9 +271,10 @@ class DetectionEngine {
   SubgraphBatch AssembleChunk(CallScratch& cs, int chunk_index);
   /// Forward pass + logit unpacking for one assembled batch. Serialised on
   /// forward_mu_. Returns non-OK (without touching `out`) when the
-  /// engine.forward fault site fires.
+  /// engine.forward fault site fires. `chunk_index` labels the trace span
+  /// and is not otherwise used.
   Status ScoreAssembled(CallScratch& cs, const SubgraphBatch& batch,
-                        Score* out);
+                        Score* out, int chunk_index);
   /// True when opts carries a deadline that has passed.
   static bool DeadlineExpired(const ScoreOptions& opts);
 
@@ -271,6 +287,12 @@ class DetectionEngine {
 
   /// Serialises model forward passes (see the thread-safety contract).
   std::mutex forward_mu_;
+
+  // Registry-interned latency histograms (stable pointers, process-wide —
+  // see obs/metrics.h). Shared across engine instances by name, which is
+  // exactly the registry contract: one serving process, one distribution.
+  obs::Histogram* forward_ms_hist_ = nullptr;
+  obs::Histogram* assemble_ms_hist_ = nullptr;
 
   std::atomic<uint64_t> single_requests_{0};
   std::atomic<uint64_t> batch_requests_{0};

@@ -3,12 +3,34 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/fault.h"
 #include "util/timer.h"
 
 namespace bsg {
 
 namespace {
+
+/// Trace status labels, aligned with RequestStatus (exported in trace
+/// JSON; the CI smoke and tests match on these strings).
+const char* StatusLabel(RequestStatus status) {
+  switch (status) {
+    case RequestStatus::kOk:
+      return "ok";
+    case RequestStatus::kShed:
+      return "shed";
+    case RequestStatus::kClosed:
+      return "closed";
+    case RequestStatus::kTimeout:
+      return "timeout";
+    case RequestStatus::kFailed:
+      return "failed";
+    case RequestStatus::kDegraded:
+      return "degraded";
+  }
+  return "unknown";
+}
 
 void Resolve(std::promise<FrontendResult>* promise, RequestStatus status,
              std::vector<Score> scores = {}, Status detail = Status::OK(),
@@ -44,6 +66,10 @@ ServingFrontend::ServingFrontend(DetectionEngine* engine, FrontendConfig cfg)
   BSG_CHECK(cfg_.retry_backoff_ms >= 0.0, "negative retry_backoff_ms");
   BSG_CHECK(cfg_.breaker_threshold >= 0, "negative breaker_threshold");
   BSG_CHECK(cfg_.breaker_open_ms >= 0.0, "negative breaker_open_ms");
+  request_latency_hist_ = obs::MetricsRegistry::Global().GetHistogram(
+      obs::metric::kRequestLatencyMs);
+  queue_wait_hist_ =
+      obs::MetricsRegistry::Global().GetHistogram(obs::metric::kQueueWaitMs);
   ms_per_target_ = cfg_.initial_ms_per_target;
   workers_.reserve(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -86,18 +112,25 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   const uint64_t n = static_cast<uint64_t>(targets.size());
   targets_submitted_.fetch_add(n, std::memory_order_relaxed);
 
+  // Deterministic 1-in-N sampling on the admission sequence (null on the
+  // common path at the cost of one relaxed load — see obs/trace.h).
+  obs::RequestTrace* trace =
+      obs::Tracer::Global().MaybeStart(static_cast<uint32_t>(n));
+
   std::promise<FrontendResult> promise;
   std::future<FrontendResult> future = promise.get_future();
 
   if (closed_.load(std::memory_order_acquire)) {
     closed_requests_.fetch_add(1, std::memory_order_relaxed);
     targets_closed_.fetch_add(n, std::memory_order_relaxed);
+    obs::Tracer::Global().Finish(trace, "closed", 0);
     Resolve(&promise, RequestStatus::kClosed);
     return future;
   }
   if (targets.empty()) {
     // A zero-target batch is trivially served; don't spend a queue slot.
     served_requests_.fetch_add(1, std::memory_order_relaxed);
+    obs::Tracer::Global().Finish(trace, "ok", 0);
     Resolve(&promise, RequestStatus::kOk);
     return future;
   }
@@ -117,6 +150,7 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
       if (wait_ms > cfg_.shed_p95_ms) {
         shed_latency_.fetch_add(1, std::memory_order_relaxed);
         targets_shed_.fetch_add(n, std::memory_order_relaxed);
+        obs::Tracer::Global().Finish(trace, "shed", 0);
         Resolve(&promise, RequestStatus::kShed);
         return future;
       }
@@ -130,6 +164,8 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   Request req;
   req.targets = std::move(targets);
   req.single = single;
+  req.submit_time = Clock::now();
+  req.trace = trace;
   if (deadline_ms > 0.0) {
     req.has_deadline = true;
     req.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -150,6 +186,7 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
     // backlog accounting only covers requests that made it into the queue.
     shed_queue_full_.fetch_add(1, std::memory_order_relaxed);
     targets_shed_.fetch_add(n, std::memory_order_relaxed);
+    obs::Tracer::Global().Finish(req.trace, "shed", 0);
     Resolve(&req.promise, RequestStatus::kShed);
     return future;
   }
@@ -192,12 +229,26 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
                                 std::memory_order_relaxed);
   };
 
+  // Queue wait: submit -> this dequeue. One histogram add per request;
+  // traced requests also get the span.
+  const auto dequeued_at = Clock::now();
+  const auto wait_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                           dequeued_at - req->submit_time)
+                           .count();
+  queue_wait_hist_->Observe(static_cast<double>(wait_ns) * 1e-6);
+  if (req->trace != nullptr) {
+    req->trace->AddSpan(obs::TraceStage::kQueueWait,
+                        obs::TraceNowNs() - static_cast<uint64_t>(wait_ns),
+                        static_cast<uint64_t>(wait_ns));
+  }
+
   // Deadline gate at dequeue: a request that expired in the queue must not
   // burn a forward pass.
-  if (req->has_deadline && Clock::now() >= req->deadline) {
+  if (req->has_deadline && dequeued_at >= req->deadline) {
     finish();
     timed_out_requests_.fetch_add(1, std::memory_order_relaxed);
     targets_timed_out_.fetch_add(n, std::memory_order_relaxed);
+    ObserveResolve(req, RequestStatus::kTimeout, 0);
     Resolve(&req->promise, RequestStatus::kTimeout, {},
             Status::DeadlineExceeded("deadline expired while queued"));
     return;
@@ -215,6 +266,7 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
 
   ScoreOptions opts;
   if (req->has_deadline) opts = ScoreOptions::WithDeadline(req->deadline);
+  opts.trace = req->trace;
 
   // Bounded retry loop: only retryable codes (kUnavailable) are retried,
   // with jittered exponential backoff, never past the deadline.
@@ -253,6 +305,7 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
       backoff_ms = std::min(backoff_ms, left_ms);
     }
     if (backoff_ms > 0.0) {
+      obs::ScopedSpan backoff_span(req->trace, obs::TraceStage::kBackoff);
       std::this_thread::sleep_for(
           std::chrono::duration<double, std::milli>(backoff_ms));
     }
@@ -270,6 +323,7 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
     BreakerRecord(/*ok=*/true, probe);
     result.status = RequestStatus::kOk;
     result.attempts = attempts;
+    ObserveResolve(req, RequestStatus::kOk, attempts);
     req->promise.set_value(std::move(result));
     return;
   }
@@ -280,6 +334,7 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
     // does not count against the breaker — but a probe that timed out must
     // release the half-open slot, pessimistically re-opening.
     if (probe) BreakerRecord(/*ok=*/false, probe);
+    ObserveResolve(req, RequestStatus::kTimeout, attempts);
     Resolve(&req->promise, RequestStatus::kTimeout, {}, std::move(st),
             attempts);
     return;
@@ -287,7 +342,20 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
   failed_requests_.fetch_add(1, std::memory_order_relaxed);
   targets_failed_.fetch_add(n, std::memory_order_relaxed);
   BreakerRecord(/*ok=*/false, probe);
+  ObserveResolve(req, RequestStatus::kFailed, attempts);
   Resolve(&req->promise, RequestStatus::kFailed, {}, std::move(st), attempts);
+}
+
+void ServingFrontend::ObserveResolve(Request* req, RequestStatus status,
+                                     int attempts) {
+  request_latency_hist_->Observe(
+      std::chrono::duration<double, std::milli>(Clock::now() -
+                                                req->submit_time)
+          .count());
+  if (req->trace != nullptr) {
+    obs::Tracer::Global().Finish(req->trace, StatusLabel(status), attempts);
+    req->trace = nullptr;
+  }
 }
 
 void ServingFrontend::ServeDegraded(Request* req) {
@@ -300,6 +368,7 @@ void ServingFrontend::ServeDegraded(Request* req) {
   uint64_t stale = 0;
   uint64_t fallback = 0;
   {
+    obs::ScopedSpan degraded_span(req->trace, obs::TraceStage::kDegraded);
     std::lock_guard<std::mutex> lock(stale_mu_);
     for (int t : req->targets) {
       auto it = stale_scores_.find(t);
@@ -316,6 +385,7 @@ void ServingFrontend::ServeDegraded(Request* req) {
   degraded_fallback_.fetch_add(fallback, std::memory_order_relaxed);
   degraded_requests_.fetch_add(1, std::memory_order_relaxed);
   targets_degraded_.fetch_add(n, std::memory_order_relaxed);
+  ObserveResolve(req, RequestStatus::kDegraded, 0);
   req->promise.set_value(std::move(result));
 }
 
@@ -426,6 +496,9 @@ void ServingFrontend::Close() {
                                 std::memory_order_relaxed);
     closed_requests_.fetch_add(1, std::memory_order_relaxed);
     targets_closed_.fetch_add(n, std::memory_order_relaxed);
+    // Traces of backlogged requests complete as "closed" (the slot must be
+    // recycled either way).
+    obs::Tracer::Global().Finish(req.trace, "closed", 0);
     Resolve(&req.promise, RequestStatus::kClosed);
   }
   for (std::thread& worker : workers_) {

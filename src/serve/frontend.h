@@ -80,6 +80,11 @@
 
 namespace bsg {
 
+namespace obs {
+struct RequestTrace;
+class Histogram;
+}  // namespace obs
+
 /// Terminal state of one submitted request.
 enum class RequestStatus {
   kOk = 0,    ///< scored; FrontendResult::scores aligns with the targets
@@ -253,6 +258,11 @@ class ServingFrontend {
     bool single = false;
     bool has_deadline = false;
     Clock::time_point deadline{};
+    /// Admission time: feeds the queue-wait histogram and the end-to-end
+    /// latency histogram at resolve.
+    Clock::time_point submit_time{};
+    /// Sampled pipeline trace, or null (almost always) — see obs/trace.h.
+    obs::RequestTrace* trace = nullptr;
     std::promise<FrontendResult> promise;
   };
 
@@ -276,6 +286,12 @@ class ServingFrontend {
   BreakerGate BreakerAdmit();
   /// Feeds one terminal engine outcome back into the breaker.
   void BreakerRecord(bool ok, bool was_probe);
+  /// Worker-side resolve bookkeeping shared by every terminal path:
+  /// observes the end-to-end latency histogram and finishes the request's
+  /// sampled trace (no-ops when untraced). Call before resolving the
+  /// promise so a waiter that immediately reads the trace ring sees this
+  /// request.
+  void ObserveResolve(Request* req, RequestStatus status, int attempts);
   /// Remembers fresh scores for degraded serving (bounded).
   void UpdateStaleScores(const std::vector<Score>& scores);
   /// Folds one observed per-target service time into the EWMA.
@@ -284,6 +300,14 @@ class ServingFrontend {
 
   DetectionEngine* const engine_;
   const FrontendConfig cfg_;
+
+  // Registry-interned latency histograms (stable process-wide pointers —
+  // obs/metrics.h). request_latency covers every request resolved by a
+  // worker (all terminal statuses); queue_wait covers submit -> dequeue.
+  // Admission-time resolutions (shed/closed at Submit) are counted but not
+  // timed — their latency is the Submit call itself.
+  obs::Histogram* request_latency_hist_ = nullptr;
+  obs::Histogram* queue_wait_hist_ = nullptr;
 
   BoundedMpmcQueue<Request> queue_;
 

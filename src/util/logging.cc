@@ -1,13 +1,20 @@
 #include "util/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdarg>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 
 namespace bsg {
 
 namespace {
+
 std::atomic<int> g_level{static_cast<int>(LogLevel::kInfo)};
+/// Whether SetLogLevel has been called explicitly — an explicit call wins
+/// over the BSG_LOG_LEVEL environment variable.
+std::atomic<bool> g_level_explicit{false};
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -19,26 +26,123 @@ const char* LevelName(LogLevel level) {
   }
   return "?";
 }
+
+/// Parses BSG_LOG_LEVEL ("debug"/"info"/"warn"/"error"/"off", or a bare
+/// digit 0-4). Returns false on anything else.
+bool ParseLevel(const char* s, LogLevel* out) {
+  if (s == nullptr || *s == '\0') return false;
+  if (s[1] == '\0' && s[0] >= '0' && s[0] <= '4') {
+    *out = static_cast<LogLevel>(s[0] - '0');
+    return true;
+  }
+  struct Name {
+    const char* name;
+    LogLevel level;
+  };
+  static constexpr Name kNames[] = {
+      {"debug", LogLevel::kDebug}, {"info", LogLevel::kInfo},
+      {"warn", LogLevel::kWarn},   {"warning", LogLevel::kWarn},
+      {"error", LogLevel::kError}, {"off", LogLevel::kOff},
+  };
+  for (const Name& n : kNames) {
+    const char* a = s;
+    const char* b = n.name;
+    while (*a && *b &&
+           (*a == *b || (*a >= 'A' && *a <= 'Z' && *a + 32 == *b))) {
+      ++a;
+      ++b;
+    }
+    if (*a == '\0' && *b == '\0') {
+      *out = n.level;
+      return true;
+    }
+  }
+  return false;
+}
+
+/// One-time startup read of BSG_LOG_LEVEL. Runs on the first log call (or
+/// the first GetLogLevel), so there is no static-init-order dependency; an
+/// explicit SetLogLevel beforehand suppresses it entirely.
+void InitLevelFromEnvOnce() {
+  static const bool done = [] {
+    LogLevel parsed;
+    if (!g_level_explicit.load(std::memory_order_acquire) &&
+        ParseLevel(std::getenv("BSG_LOG_LEVEL"), &parsed)) {
+      // Racing explicit SetLogLevel beats the env var: only install when
+      // still untouched (a benign race in-between keeps the explicit one
+      // because SetLogLevel stores after setting the flag).
+      if (!g_level_explicit.load(std::memory_order_acquire)) {
+        g_level.store(static_cast<int>(parsed), std::memory_order_relaxed);
+      }
+    }
+    return true;
+  }();
+  (void)done;
+}
+
+/// Monotonic milliseconds since process start (first call), for the log
+/// prefix — small, steady, and immune to wall-clock jumps.
+double MonotonicMs() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point t0 = Clock::now();
+  return std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+}
+
+/// Small stable per-thread id for the log prefix (assignment order, not
+/// the opaque pthread handle).
+unsigned ThreadLogId() {
+  static std::atomic<unsigned> next{0};
+  thread_local unsigned id = next.fetch_add(1, std::memory_order_relaxed);
+  return id;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = static_cast<int>(level); }
+void SetLogLevel(LogLevel level) {
+  g_level_explicit.store(true, std::memory_order_release);
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
 
-LogLevel GetLogLevel() { return static_cast<LogLevel>(g_level.load()); }
+LogLevel GetLogLevel() {
+  InitLevelFromEnvOnce();
+  return static_cast<LogLevel>(g_level.load());
+}
 
 void LogMessage(LogLevel level, const char* file, int line, const char* fmt,
                 ...) {
+  InitLevelFromEnvOnce();
   if (static_cast<int>(level) < g_level.load()) return;
+  // Touch the epoch before formatting so the first line reads ~0.0.
+  const double ms = MonotonicMs();
   // Strip directories from the file path for compact output.
   const char* base = file;
   for (const char* p = file; *p; ++p) {
     if (*p == '/') base = p + 1;
   }
-  std::fprintf(stderr, "[%s %s:%d] ", LevelName(level), base, line);
+  // Format the whole record — prefix, message, newline — into one buffer
+  // and emit it with a single fwrite: stdio locks per call, so the old
+  // three-call emission could interleave records from concurrent threads
+  // (and lose the newline placement). Long messages truncate with "...".
+  char buf[1024];
+  int off = std::snprintf(buf, sizeof(buf), "[%10.3f t%02u %s %s:%d] ", ms,
+                          ThreadLogId(), LevelName(level), base, line);
+  if (off < 0) return;
+  if (off > static_cast<int>(sizeof(buf)) - 2) {
+    off = static_cast<int>(sizeof(buf)) - 2;
+  }
   va_list args;
   va_start(args, fmt);
-  std::vfprintf(stderr, fmt, args);
+  int n = std::vsnprintf(buf + off, sizeof(buf) - 1 - static_cast<size_t>(off),
+                         fmt, args);
   va_end(args);
-  std::fputc('\n', stderr);
+  if (n < 0) n = 0;
+  size_t len = static_cast<size_t>(off) + static_cast<size_t>(n);
+  if (len > sizeof(buf) - 2) {
+    len = sizeof(buf) - 2;
+    buf[len - 3] = buf[len - 2] = buf[len - 1] = '.';
+  }
+  buf[len++] = '\n';
+  std::fwrite(buf, 1, len, stderr);
 }
 
 }  // namespace bsg

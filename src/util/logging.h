@@ -1,4 +1,15 @@
 // Minimal leveled logger. Writes to stderr; level settable at runtime.
+//
+// Records carry a "[<monotonic ms> t<thread id> LEVEL file:line]" prefix
+// (milliseconds since process start on the steady clock; a small stable
+// per-thread id) and each record is formatted into one buffer and emitted
+// with a single fwrite, so concurrent threads never interleave within a
+// line.
+//
+// The startup level honours the BSG_LOG_LEVEL environment variable
+// ("debug" / "info" / "warn" / "error" / "off", or the digit 0-4), read
+// lazily on the first log call. An explicit SetLogLevel always wins —
+// before or after the env var is read.
 #pragma once
 
 #include <string>
@@ -7,7 +18,8 @@ namespace bsg {
 
 enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-/// Sets the global minimum level that will be emitted.
+/// Sets the global minimum level that will be emitted (overrides
+/// BSG_LOG_LEVEL).
 void SetLogLevel(LogLevel level);
 LogLevel GetLogLevel();
 
