@@ -1,0 +1,384 @@
+// Machine-readable memory-governance benchmark: the charge-path micro-cost
+// every pooled allocation now pays (relaxed counting unarmed, watermark
+// classification armed), the unconstrained serving workload's governor-
+// accounted peak (the denominator of the budget story), and a constrained
+// soak at 50% of that peak — cost-aware cache admission on, reclaim armed —
+// asserting exact request/target conservation with the shed_resource bucket
+// folded in and reporting bytes-per-served-target, the build cost hits
+// saved, and reclaim effectiveness. A post-recovery pass (budget disarmed)
+// must be bit-identical to the serial engine oracle: the governor leaves no
+// residue. Writes a flat JSON metrics file — scripts/bench.sh runs this and
+// checks in BENCH_pr10.json, the eighth datapoint of the perf trajectory.
+//
+//   bench_pr10_governor [--out=BENCH_pr10.json] [--threads=T] [--users=400]
+//                       [--chunks=12] [--clients=4] [--smoke]
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <future>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "obs/adapters.h"
+#include "obs/metrics.h"
+#include "serve/frontend.h"
+#include "util/flags.h"
+#include "util/parallel.h"
+#include "util/resource_governor.h"
+#include "util/rng.h"
+#include "util/timer.h"
+
+using namespace bsg;
+
+namespace {
+
+// --- charge-path micro-cost -------------------------------------------------
+
+// Drives Charge/Release pairs and returns ns/pair. The resident counter is
+// read back and checked by the caller so the loop cannot be discarded.
+double MeasureChargeNs(ResourceGovernor::Account* account, int64_t pairs) {
+  WallTimer timer;
+  for (int64_t i = 0; i < pairs; ++i) {
+    account->Charge(64);
+    account->Release(64);
+  }
+  return timer.Seconds() * 1e9 / static_cast<double>(pairs);
+}
+
+// --- serving helpers --------------------------------------------------------
+
+double RunCleanStream(ServingFrontend* frontend,
+                      const std::vector<std::vector<int>>& chunks, int clients,
+                      std::vector<std::vector<Score>>* out) {
+  out->assign(chunks.size(), {});
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      std::vector<std::pair<size_t, std::future<FrontendResult>>> futures;
+      for (size_t i = static_cast<size_t>(c); i < chunks.size();
+           i += static_cast<size_t>(clients)) {
+        futures.emplace_back(i, frontend->Submit(chunks[i]));
+      }
+      for (auto& [i, f] : futures) {
+        FrontendResult res = f.get();
+        BSG_CHECK(res.status == RequestStatus::kOk,
+                  "fault-free stream must resolve every request kOk");
+        (*out)[i] = std::move(res.scores);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  return timer.Seconds();
+}
+
+void CheckBitIdentical(const std::vector<std::vector<Score>>& got,
+                       const std::vector<std::vector<Score>>& oracle) {
+  BSG_CHECK(got.size() == oracle.size(), "lost requests");
+  for (size_t r = 0; r < got.size(); ++r) {
+    BSG_CHECK(got[r].size() == oracle[r].size(), "lost scores");
+    for (size_t i = 0; i < got[r].size(); ++i) {
+      BSG_CHECK(std::memcmp(&got[r][i].logit_human,
+                            &oracle[r][i].logit_human, sizeof(double)) == 0 &&
+                    std::memcmp(&got[r][i].logit_bot, &oracle[r][i].logit_bot,
+                                sizeof(double)) == 0,
+                "logits drifted from the serial engine oracle");
+    }
+  }
+}
+
+struct SoakCounts {
+  uint64_t ok = 0;
+  uint64_t shed = 0;
+  uint64_t failed = 0;
+  uint64_t other = 0;
+};
+
+// Replays the chunk stream `rounds` times under pressure: sheds are part of
+// the contract here, so clients tolerate every status and count what they
+// saw (the stats must agree exactly).
+double RunConstrainedStream(ServingFrontend* frontend,
+                            const std::vector<std::vector<int>>& chunks,
+                            int clients, int rounds, SoakCounts* counts) {
+  std::atomic<uint64_t> ok{0}, shed{0}, failed{0}, other{0};
+  WallTimer timer;
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int round = 0; round < rounds; ++round) {
+        for (size_t i = static_cast<size_t>(c); i < chunks.size();
+             i += static_cast<size_t>(clients)) {
+          switch (frontend->Submit(chunks[i]).get().status) {
+            case RequestStatus::kOk: ok.fetch_add(1); break;
+            case RequestStatus::kShed: shed.fetch_add(1); break;
+            case RequestStatus::kFailed: failed.fetch_add(1); break;
+            default: other.fetch_add(1); break;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  counts->ok = ok.load();
+  counts->shed = shed.load();
+  counts->failed = failed.load();
+  counts->other = other.load();
+  return timer.Seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  FlagParser flags(argc, argv, {"smoke"});
+  const bool smoke = flags.Has("smoke");
+  SetNumThreads(flags.GetInt("threads", 0));
+  const int users = flags.GetInt("users", smoke ? 200 : 400);
+  const int num_chunks = flags.GetInt("chunks", smoke ? 6 : 12);
+  const int clients = flags.GetInt("clients", 4);
+  const std::string out_path = flags.GetString("out", "BENCH_pr10.json");
+
+  bench::PrintHeader("PR10 governor: charge costs + memory-bounded serving");
+  bench::BenchJson json;
+  json.Str("meta.bench", "pr10_governor");
+  json.Num("meta.threads", NumThreads());
+  json.Num("meta.hardware_cores",
+           static_cast<double>(std::thread::hardware_concurrency()));
+  json.Num("meta.smoke", smoke ? 1 : 0);
+  json.Num("meta.users", users);
+  json.Num("meta.clients", clients);
+
+  ResourceGovernor& gov = ResourceGovernor::Global();
+
+  // --- charge-path micro-cost ---------------------------------------------
+  // The unarmed pair is what every pool/cache/queue byte movement pays with
+  // no budget configured (the default); the armed pair adds the watermark
+  // classification. Both must stay in the nanoseconds.
+  {
+    ResourceGovernor::Account* account = gov.RegisterAccount("bench.pr10");
+    const int64_t pairs = smoke ? 2'000'000 : 20'000'000;
+    gov.SetBudget(0);
+    MeasureChargeNs(account, pairs / 4);  // warm up
+    double unarmed_ns = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      unarmed_ns = std::min(unarmed_ns, MeasureChargeNs(account, pairs));
+    }
+    // Armed far from the watermarks: the classification branch runs, no
+    // transition ever fires.
+    gov.SetBudget(uint64_t{1} << 40);
+    double armed_ns = 1e300;
+    for (int rep = 0; rep < 3; ++rep) {
+      armed_ns = std::min(armed_ns, MeasureChargeNs(account, pairs));
+    }
+    gov.SetBudget(0);
+    BSG_CHECK(account->resident_bytes() == 0, "charge pairs did not balance");
+    json.Num("hook.charge_pair_unarmed_ns", unarmed_ns);
+    json.Num("hook.charge_pair_armed_ns", armed_ns);
+    std::printf(
+        "charge path: %.2f ns/pair unarmed, %.2f ns/pair armed (%+.1f%%)\n",
+        unarmed_ns, armed_ns, 100.0 * (armed_ns / unarmed_ns - 1.0));
+  }
+
+  // --- the serving subject -------------------------------------------------
+  DatasetConfig dc = Twibot20Sim();
+  dc.num_users = users;
+  dc.tweets_per_user = 12;
+  dc.seed = 17;
+  HeteroGraph g = BuildBenchmarkGraph(dc);
+
+  Bsg4BotConfig cfg;
+  cfg.pretrain.epochs = smoke ? 10 : 20;
+  cfg.subgraph.k = smoke ? 12 : 16;
+  cfg.hidden = smoke ? 12 : 16;
+  cfg.max_epochs = smoke ? 4 : 6;
+  cfg.min_epochs = cfg.max_epochs;
+  Bsg4Bot model(g, cfg);
+  model.Fit();
+
+  EngineConfig ecfg;
+  ecfg.cache_capacity = static_cast<size_t>(g.num_nodes);
+
+  const int width = model.config().batch_size;
+  Rng rng(99);
+  std::vector<std::vector<int>> chunks(static_cast<size_t>(num_chunks));
+  for (auto& chunk : chunks) {
+    chunk.resize(static_cast<size_t>(width));
+    for (int& t : chunk) t = static_cast<int>(rng.UniformInt(g.num_nodes));
+  }
+  const double total_targets = static_cast<double>(num_chunks) * width;
+
+  std::vector<std::vector<Score>> oracle(chunks.size());
+  {
+    DetectionEngine engine(&model, ecfg);
+    for (size_t r = 0; r < chunks.size(); ++r) {
+      oracle[r] = engine.ScoreBatch(chunks[r]);
+    }
+  }
+
+  // --- unconstrained pass: measure the accounted peak ----------------------
+  uint64_t peak_unconstrained = 0;
+  double hit_cost_saved_unconstrained_us = 0.0;
+  {
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = chunks.size();
+    fcfg.default_deadline_ms = 60'000.0;
+    ServingFrontend frontend(&engine, fcfg);
+
+    std::vector<std::vector<Score>> got;
+    const double cold = RunCleanStream(&frontend, chunks, clients, &got);
+    CheckBitIdentical(got, oracle);
+    double warm = 1e300;
+    for (int rep = 0; rep < (smoke ? 1 : 3); ++rep) {
+      warm = std::min(warm, RunCleanStream(&frontend, chunks, clients, &got));
+      CheckBitIdentical(got, oracle);
+    }
+    peak_unconstrained = gov.Stats().peak_total_bytes;
+    hit_cost_saved_unconstrained_us = engine.cache().Stats().hit_cost_saved_us;
+    BSG_CHECK(peak_unconstrained > 0, "governor accounted nothing");
+
+    json.Num("unconstrained.cold_targets_per_s", total_targets / cold);
+    json.Num("unconstrained.warm_targets_per_s", total_targets / warm);
+    json.Num("unconstrained.peak_accounted_bytes",
+             static_cast<double>(peak_unconstrained));
+    json.Num("unconstrained.bytes_per_served_target",
+             static_cast<double>(peak_unconstrained) / total_targets);
+    json.Num("unconstrained.cache_hit_cost_saved_us",
+             hit_cost_saved_unconstrained_us);
+    std::printf(
+        "unconstrained: warm %8.1f targets/s, peak accounted %.2f MiB "
+        "(%.0f B/target), cache hits saved %.0f us of build\n",
+        total_targets / warm,
+        static_cast<double>(peak_unconstrained) / (1 << 20),
+        static_cast<double>(peak_unconstrained) / total_targets,
+        hit_cost_saved_unconstrained_us);
+  }
+
+  // --- constrained soak at 50% of the unconstrained peak --------------------
+  {
+    const uint64_t budget = peak_unconstrained / 2;
+    gov.SetBudget(budget);
+    EngineConfig c_ecfg = ecfg;
+    // The cache gets a quarter of the budget and prices admissions: only
+    // builds worth >= 25 us per KiB displace residents under pressure.
+    c_ecfg.cache_byte_budget = static_cast<size_t>(budget / 4);
+    c_ecfg.cache_admit_cost_us = 25.0;
+    DetectionEngine engine(&model, c_ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = chunks.size();
+    fcfg.default_deadline_ms = 60'000.0;
+    ServingFrontend frontend(&engine, fcfg);
+
+    const ResourceGovernorStats before = gov.Stats();
+
+    // Sample the accounted total through the soak: the sampled peak is the
+    // budget story's headline (the monotone governor peak still remembers
+    // the unconstrained pass).
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> sampled_peak{0};
+    std::thread monitor([&] {
+      while (!done.load(std::memory_order_acquire)) {
+        const uint64_t now = gov.total_bytes();
+        uint64_t cur = sampled_peak.load(std::memory_order_relaxed);
+        while (now > cur && !sampled_peak.compare_exchange_weak(cur, now)) {
+        }
+        std::this_thread::yield();
+      }
+    });
+
+    SoakCounts counts;
+    const int rounds = smoke ? 2 : 4;
+    const double soak_s =
+        RunConstrainedStream(&frontend, chunks, clients, rounds, &counts);
+    frontend.Close();
+    done.store(true, std::memory_order_release);
+    monitor.join();
+
+    // Exact conservation with the resource bucket folded in, agreeing with
+    // what the clients observed — pressure never loses a request.
+    FrontendStats stats = frontend.Stats();
+    BSG_CHECK(stats.submitted_requests ==
+                  counts.ok + counts.shed + counts.failed + counts.other,
+              "constrained soak lost a future");
+    BSG_CHECK(stats.submitted_requests == stats.AccountedRequests(),
+              "request conservation violated under memory pressure");
+    BSG_CHECK(stats.targets_submitted == stats.AccountedTargets(),
+              "target conservation violated under memory pressure");
+    BSG_CHECK(stats.served_requests == counts.ok &&
+                  stats.shed_requests == counts.shed,
+              "stats disagree with what the clients saw");
+    BSG_CHECK(counts.other == 0, "unexpected status under memory pressure");
+
+    const ResourceGovernorStats after = gov.Stats();
+    const SubgraphCacheStats cache = engine.cache().Stats();
+    const double served_targets = static_cast<double>(stats.targets_served);
+    json.Num("constrained.budget_bytes", static_cast<double>(budget));
+    json.Num("constrained.hard_bytes", static_cast<double>(after.hard_bytes));
+    json.Num("constrained.sampled_peak_bytes",
+             static_cast<double>(sampled_peak.load()));
+    json.Num("constrained.served_targets", served_targets);
+    json.Num("constrained.served_targets_per_s", served_targets / soak_s);
+    json.Num("constrained.bytes_per_served_target",
+             served_targets > 0
+                 ? static_cast<double>(sampled_peak.load()) / served_targets
+                 : 0.0);
+    json.Num("constrained.shed_resource",
+             static_cast<double>(stats.shed_resource));
+    json.Num("constrained.cache_admit_rejects_cost",
+             static_cast<double>(cache.admit_rejects_cost));
+    json.Num("constrained.cache_admit_rejects_pressure",
+             static_cast<double>(cache.admit_rejects_pressure));
+    json.Num("constrained.cache_hit_cost_saved_us", cache.hit_cost_saved_us);
+    json.Num("constrained.reclaim_invocations",
+             static_cast<double>(after.reclaim_invocations -
+                                 before.reclaim_invocations));
+    json.Num("constrained.reclaimed_bytes",
+             static_cast<double>(after.reclaimed_bytes -
+                                 before.reclaimed_bytes));
+    json.Num("constrained.refusals",
+             static_cast<double>(after.refusals - before.refusals));
+    std::printf(
+        "constrained (budget %.2f MiB = 50%% of peak): %llu/%llu requests "
+        "served, %llu shed (%llu resource), sampled peak %.2f MiB vs hard "
+        "%.2f MiB, cache rejects %llu cost + %llu pressure, reclaimed "
+        "%.2f MiB in %llu passes\n",
+        static_cast<double>(budget) / (1 << 20),
+        static_cast<unsigned long long>(stats.served_requests),
+        static_cast<unsigned long long>(stats.submitted_requests),
+        static_cast<unsigned long long>(stats.shed_requests),
+        static_cast<unsigned long long>(stats.shed_resource),
+        static_cast<double>(sampled_peak.load()) / (1 << 20),
+        static_cast<double>(after.hard_bytes) / (1 << 20),
+        static_cast<unsigned long long>(cache.admit_rejects_cost),
+        static_cast<unsigned long long>(cache.admit_rejects_pressure),
+        static_cast<double>(after.reclaimed_bytes - before.reclaimed_bytes) /
+            (1 << 20),
+        static_cast<unsigned long long>(after.reclaim_invocations -
+                                        before.reclaim_invocations));
+  }
+
+  // --- post-recovery: disarmed, bit-identical to the oracle -----------------
+  {
+    gov.SetBudget(0);
+    DetectionEngine engine(&model, ecfg);
+    FrontendConfig fcfg;
+    fcfg.workers = 2;
+    fcfg.queue_capacity = chunks.size();
+    fcfg.default_deadline_ms = 60'000.0;
+    ServingFrontend frontend(&engine, fcfg);
+    std::vector<std::vector<Score>> got;
+    RunCleanStream(&frontend, chunks, clients, &got);
+    CheckBitIdentical(got, oracle);
+    std::printf("post-recovery: bit-identical to the serial oracle\n");
+    json.Num("recovery.bit_identical", 1);
+  }
+
+  if (!json.WriteFile(out_path)) return 1;
+  std::printf("metrics written to %s\n", out_path.c_str());
+  return 0;
+}

@@ -59,6 +59,7 @@
 #include "serve/frontend.h"
 #include "util/fault.h"
 #include "util/flags.h"
+#include "util/resource_governor.h"
 #include "util/string_util.h"
 
 using namespace bsg;
@@ -86,6 +87,15 @@ void PrintUsage() {
       "                        bit-exact oracle; f32 is the vectorized\n"
       "                        mixed-precision path)\n"
       "  --cache-capacity=N    max cached subgraphs (default 4096)\n"
+      "  --mem-budget-mb=N     process-wide governor byte budget in MiB\n"
+      "                        (0 = unconstrained counting; soft pressure\n"
+      "                        reclaims pools/caches, the hard watermark\n"
+      "                        sheds admission with kResourceExhausted)\n"
+      "  --cache-budget-mb=N   subgraph-cache resident-byte cap in MiB\n"
+      "                        (0 = entry-count cap only)\n"
+      "  --cache-admit-cost-us=X   w_small admission threshold: under byte\n"
+      "                        pressure, builds cheaper than X us per KiB\n"
+      "                        are served but not cached (0 = admit all)\n"
       "  --workers=N           serve through the concurrent front-end with\n"
       "                        N worker threads (0 = direct engine path;\n"
       "                        logits are bit-identical either way)\n"
@@ -451,9 +461,29 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
     return 1;
   }
 
+  // Memory governance: arm the process-wide budget before the engine is
+  // built so its cache registrations (and the startup pool trim) run under
+  // the armed watermarks.
+  const double mem_budget_mb = flags.GetDouble("mem-budget-mb", 0.0);
+  const double cache_budget_mb = flags.GetDouble("cache-budget-mb", 0.0);
+  const double cache_admit_cost_us =
+      flags.GetDouble("cache-admit-cost-us", 0.0);
+  if (mem_budget_mb < 0.0 || cache_budget_mb < 0.0 ||
+      cache_admit_cost_us < 0.0) {
+    std::fprintf(stderr, "memory-governance flags must be >= 0\n");
+    return 1;
+  }
+  if (mem_budget_mb > 0.0) {
+    ResourceGovernor::Global().SetBudget(
+        static_cast<uint64_t>(mem_budget_mb * (1 << 20)));
+  }
+
   EngineConfig ecfg;
   ecfg.cache_capacity =
       static_cast<size_t>(flags.GetInt("cache-capacity", 4096));
+  ecfg.cache_byte_budget =
+      static_cast<size_t>(cache_budget_mb * (1 << 20));
+  ecfg.cache_admit_cost_us = cache_admit_cost_us;
   ecfg.precision = precision == "f32" ? EngineConfig::Precision::kF32
                                       : EngineConfig::Precision::kF64;
   DetectionEngine engine(&model, ecfg);
@@ -502,6 +532,7 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
   metric_regs.push_back(obs::RegisterBufferPoolMetrics());
   metric_regs.push_back(obs::RegisterFaultMetrics());
   metric_regs.push_back(obs::RegisterCheckpointIoMetrics());
+  metric_regs.push_back(obs::RegisterGovernorMetrics());
   metric_regs.push_back(obs::RegisterTracerMetrics());
   if (frontend != nullptr) {
     metric_regs.push_back(obs::RegisterFrontendMetrics(frontend.get()));
@@ -685,13 +716,15 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
       std::fprintf(
           stderr,
           "front-end: %d workers, %llu requests (%llu served, %llu shed "
-          "[%llu queue-full, %llu latency], shed rate %.3f), queue depth "
-          "peak %llu, %llu graph swap(s), est %.3f ms/target\n",
+          "[%llu queue-full, %llu latency, %llu resource], shed rate "
+          "%.3f), queue depth peak %llu, %llu graph swap(s), est %.3f "
+          "ms/target\n",
           workers, u("serve.frontend.submitted_requests"),
           u("serve.frontend.served_requests"),
           u("serve.frontend.shed_requests"),
           u("serve.frontend.shed_queue_full"),
-          u("serve.frontend.shed_latency"), g("serve.frontend.shed_rate"),
+          u("serve.frontend.shed_latency"),
+          u("serve.frontend.shed_resource"), g("serve.frontend.shed_rate"),
           u("serve.frontend.queue_depth_peak"),
           u("serve.frontend.graph_swaps"),
           g("serve.frontend.ms_per_target_estimate"));
@@ -733,6 +766,32 @@ int Serve(const FlagParser& flags, const std::string& ckpt_path) {
           req_in, req_out, req_in == req_out ? "OK" : "VIOLATED", tgt_in,
           tgt_out, tgt_in == tgt_out ? "OK" : "VIOLATED");
     }
+    std::fprintf(
+        stderr,
+        "governor: budget %.2f MiB (soft %.2f, hard %.2f), accounted "
+        "%.2f MiB (peak %.2f), pressure %d, %llu soft / %llu hard "
+        "transition(s), %llu recover(ies), reclaimed %.2f MiB in %llu "
+        "invocation(s), %llu refusal(s) (%llu injected)\n",
+        g("governor.budget_bytes") / (1 << 20),
+        g("governor.soft_bytes") / (1 << 20),
+        g("governor.hard_bytes") / (1 << 20),
+        g("governor.total_bytes") / (1 << 20),
+        g("governor.peak_total_bytes") / (1 << 20),
+        static_cast<int>(g("governor.pressure")),
+        u("governor.soft_transitions"), u("governor.hard_transitions"),
+        u("governor.recoveries"), g("governor.reclaimed_bytes") / (1 << 20),
+        u("governor.reclaim_invocations"), u("governor.refusals"),
+        u("governor.injected_refusals"));
+    std::fprintf(
+        stderr,
+        "governor accounts: pool %.2f MiB (peak %.2f), serve.cache %.2f "
+        "MiB (peak %.2f), serve.queue %.2f MiB (peak %.2f)\n",
+        g("governor.account.pool.resident_bytes") / (1 << 20),
+        g("governor.account.pool.peak_bytes") / (1 << 20),
+        g("governor.account.serve.cache.resident_bytes") / (1 << 20),
+        g("governor.account.serve.cache.peak_bytes") / (1 << 20),
+        g("governor.account.serve.queue.resident_bytes") / (1 << 20),
+        g("governor.account.serve.queue.peak_bytes") / (1 << 20));
     // Latency quantiles from the registry histograms. Quantiles report the
     // containing bucket's upper bound, hence "<=".
     const auto latency_line = [&snap](const char* label, const char* name) {

@@ -1,9 +1,9 @@
 #!/usr/bin/env bash
 # Machine-readable perf benches: builds (if needed) and runs the hot-path,
 # serving, subgraph-assembly, mixed-precision, concurrent-front-end,
-# fault-injection/chaos and observability benchmarks, writing the
-# BENCH_pr3.json .. BENCH_pr9.json perf-trajectory snapshots at the repo
-# root.
+# fault-injection/chaos, observability and memory-governance benchmarks,
+# writing the BENCH_pr3.json .. BENCH_pr10.json perf-trajectory snapshots
+# at the repo root.
 #
 #   scripts/bench.sh [--smoke] [build_dir]
 #
@@ -30,7 +30,7 @@ cmake -B "$BUILD_DIR" -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build "$BUILD_DIR" -j "$(nproc)" \
   --target bench_pr3_hotpath bench_pr4_serving bench_pr5_assembly \
   bench_pr6_mixed_precision bench_pr7_frontend bench_pr8_chaos \
-  bench_pr9_obs
+  bench_pr9_obs bench_pr10_governor
 
 OUT_PR3="BENCH_pr3.json"
 OUT_PR4="BENCH_pr4.json"
@@ -39,6 +39,7 @@ OUT_PR6="BENCH_pr6.json"
 OUT_PR7="BENCH_pr7.json"
 OUT_PR8="BENCH_pr8.json"
 OUT_PR9="BENCH_pr9.json"
+OUT_PR10="BENCH_pr10.json"
 if [[ -n "$SMOKE" ]]; then
   # Smoke runs write to scratch paths: they exist to prove the benches and
   # emitter work, not to overwrite the checked-in trajectory numbers.
@@ -58,6 +59,9 @@ if [[ -n "$SMOKE" ]]; then
   # quantile containment vs the sorted-sample oracle, exact conservation
   # from one registry snapshot with the full metrics surface armed, and
   # bit-identity both untraced and fully traced, at smoke sizes too.
+  # bench_pr10_governor asserts the charge/release balance of the governor
+  # micro-loop, exact conservation of the budget-constrained soak and
+  # post-recovery bit-identity at smoke sizes as well.
   OUT_PR3="$BUILD_DIR/BENCH_pr3.smoke.json"
   OUT_PR4="$BUILD_DIR/BENCH_pr4.smoke.json"
   OUT_PR5="$BUILD_DIR/BENCH_pr5.smoke.json"
@@ -65,6 +69,7 @@ if [[ -n "$SMOKE" ]]; then
   OUT_PR7="$BUILD_DIR/BENCH_pr7.smoke.json"
   OUT_PR8="$BUILD_DIR/BENCH_pr8.smoke.json"
   OUT_PR9="$BUILD_DIR/BENCH_pr9.smoke.json"
+  OUT_PR10="$BUILD_DIR/BENCH_pr10.smoke.json"
 fi
 
 "$BUILD_DIR/bench/bench_pr3_hotpath" $SMOKE --out="$OUT_PR3"
@@ -74,4 +79,5 @@ fi
 "$BUILD_DIR/bench/bench_pr7_frontend" $SMOKE --out="$OUT_PR7"
 "$BUILD_DIR/bench/bench_pr8_chaos" $SMOKE --out="$OUT_PR8"
 "$BUILD_DIR/bench/bench_pr9_obs" $SMOKE --out="$OUT_PR9"
-echo "bench metrics written to $OUT_PR3, $OUT_PR4, $OUT_PR5, $OUT_PR6, $OUT_PR7, $OUT_PR8 and $OUT_PR9"
+"$BUILD_DIR/bench/bench_pr10_governor" $SMOKE --out="$OUT_PR10"
+echo "bench metrics written to $OUT_PR3, $OUT_PR4, $OUT_PR5, $OUT_PR6, $OUT_PR7, $OUT_PR8, $OUT_PR9 and $OUT_PR10"

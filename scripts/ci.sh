@@ -10,12 +10,13 @@
 # 3. ThreadSanitizer build + run of the concurrent suites (test_prefetcher,
 #    test_parallel, test_buffer_pool, test_subgraph_cache,
 #    test_ppr_workspace, test_frontend, test_fault, test_metrics,
-#    test_trace) so data races in the producer/consumer pipeline, the
-#    thread pool, the pooled-slab handoff, the serving cache's
-#    single-flight path, the per-thread subgraph workspaces, the
-#    concurrent serving front-end (worker pool, shed accounting, hot swap,
-#    Stats polling), the fault injector's armed paths and the sharded
-#    metrics instruments / trace recorder fail CI, followed by a
+#    test_trace, test_resource_governor) so data races in the
+#    producer/consumer pipeline, the thread pool, the pooled-slab handoff,
+#    the serving cache's single-flight path, the per-thread subgraph
+#    workspaces, the concurrent serving front-end (worker pool, shed
+#    accounting, hot swap, Stats polling), the fault injector's armed
+#    paths, the sharded metrics instruments / trace recorder and the
+#    governor's charge/watermark machinery fail CI, followed by a
 #    timeout-wrapped chaos soak (fault
 #    injection armed at every serving site; the timeout is part of the
 #    assertion — a lost wakeup or an unresolved future under faults hangs)
@@ -42,6 +43,12 @@
 #    parse the exported Prometheus text and JSON and re-derive the request
 #    and target conservation invariants exactly from the exported series
 #    (submitted == served + shed + closed + timed_out + failed + degraded)
+# 9. memory-governance smoke: read the unbudgeted run's governor-accounted
+#    peak from the exported metrics, re-serve with --mem-budget-mb at 50%
+#    of it (cache budgeted + cost-priced admission) under an address-space
+#    ceiling, and re-derive conservation — now including shed_resource —
+#    from the budgeted export; an OOM-kill or a lost request fails the
+#    stage
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -67,7 +74,7 @@ cmake -B "$TSAN_BUILD_DIR" -S . \
 cmake --build "$TSAN_BUILD_DIR" -j "$JOBS" \
   --target test_prefetcher test_parallel test_buffer_pool \
   test_subgraph_cache test_ppr_workspace test_frontend test_fault \
-  test_metrics test_trace
+  test_metrics test_trace test_resource_governor
 # halt_on_error: the first race aborts the test binary, so CI goes red.
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_prefetcher"
@@ -87,6 +94,8 @@ TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_metrics"
 TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
   "$TSAN_BUILD_DIR/test_trace"
+TSAN_OPTIONS="halt_on_error=1" BSG_NUM_THREADS=4 \
+  "$TSAN_BUILD_DIR/test_resource_governor"
 
 echo "=== chaos soak (faults armed at every serving site, timeout-wrapped) ==="
 timeout 300 "$BUILD_DIR/test_fault"
@@ -208,6 +217,57 @@ for t in traces:
 print(f"exported traces: {len(traces)} sampled, every span set within e2e")
 PYEOF
 echo "metrics smoke: exported series parse, conservation re-derived exactly"
+
+echo "=== memory-governance smoke (budget at 50% of peak, RSS-ceilinged) ==="
+# The metrics smoke above ran unbudgeted; its export carries the
+# governor-accounted peak. Budget the re-serve at half of it.
+BUDGET_MB="$(python3 - "$SERVE_TMP/metrics.prom.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+peak = doc["gauges"]["governor.peak_total_bytes"]
+assert peak > 0, "governor accounted nothing in the unbudgeted run"
+print(max(1, int(peak / 2 / (1 << 20))))
+PYEOF
+)"
+CACHE_MB=$(( BUDGET_MB / 4 > 0 ? BUDGET_MB / 4 : 1 ))
+echo "unbudgeted peak halved: --mem-budget-mb=$BUDGET_MB (cache $CACHE_MB)"
+# The address-space ceiling turns a leak/runaway under pressure into a
+# visible OOM kill (non-zero exit) instead of a slow host.
+bash -c "ulimit -v 4194304 && exec '$BUILD_DIR/examples/serve_cli' \
+  --ckpt='$SERVE_TMP/model.ckpt' \
+  --score-out='$SERVE_TMP/serve_budget.jsonl' --workers=2 \
+  --mem-budget-mb=$BUDGET_MB --cache-budget-mb=$CACHE_MB \
+  --cache-admit-cost-us=25 \
+  --metrics-out='$SERVE_TMP/metrics_budget.prom' --stats"
+python3 - "$SERVE_TMP/metrics_budget.prom.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+g = doc["gauges"]
+assert g["governor.budget_bytes"] > 0, "budget flag did not arm the governor"
+assert 0 < g["governor.hard_bytes"] <= g["governor.budget_bytes"]
+resolved = ["served", "shed", "closed", "timed_out", "failed", "degraded"]
+req_in = g["serve.frontend.submitted_requests"]
+req_out = sum(g[f"serve.frontend.{s}_requests"] for s in resolved)
+tgt_in = g["serve.frontend.targets_submitted"]
+tgt_out = sum(g[f"serve.frontend.targets_{s}"] for s in resolved)
+assert req_in == req_out and req_in > 0, (
+    f"request conservation violated under budget: {req_in} vs {req_out}")
+assert tgt_in == tgt_out, (
+    f"target conservation violated under budget: {tgt_in} vs {tgt_out}")
+shed = g["serve.frontend.shed_requests"]
+buckets = (g["serve.frontend.shed_queue_full"] +
+           g["serve.frontend.shed_latency"] +
+           g["serve.frontend.shed_resource"])
+assert shed == buckets, f"shed buckets drifted: {shed} vs {buckets}"
+# Every payload charge admitted at the front door was released again.
+assert g["governor.account.serve.queue.resident_bytes"] == 0
+print(f"budgeted serve conserved exactly: {int(req_in)} requests "
+      f"({int(g['serve.frontend.served_requests'])} served, {int(shed)} "
+      f"shed of which {int(g['serve.frontend.shed_resource'])} resource), "
+      f"budget {g['governor.budget_bytes'] / 2**20:.1f} MiB, "
+      f"pressure {int(g['governor.pressure'])}")
+PYEOF
+echo "memory-governance smoke: budgeted serve conserved, no OOM"
 
 echo "=== BSG_MARCH_NATIVE=ON: f32 parity under native SIMD ==="
 NATIVE_BUILD_DIR="${BUILD_DIR}-native"

@@ -9,6 +9,7 @@
 #include "serve/frontend.h"
 #include "util/buffer_pool.h"
 #include "util/fault.h"
+#include "util/resource_governor.h"
 
 namespace bsg {
 namespace obs {
@@ -35,6 +36,11 @@ void EmitCache(std::vector<GaugeSample>* out, const std::string& prefix,
   Emit(out, prefix, "version_evictions", c.version_evictions);
   Emit(out, prefix, "coalesced_misses", c.coalesced_misses);
   Emit(out, prefix, "flight_failures", c.flight_failures);
+  Emit(out, prefix, "admit_rejects_cost", c.admit_rejects_cost);
+  Emit(out, prefix, "admit_rejects_pressure", c.admit_rejects_pressure);
+  Emit(out, prefix, "shrinks", c.shrinks);
+  Emit(out, prefix, "shrink_bytes_released", c.shrink_bytes_released);
+  Emit(out, prefix, "hit_cost_saved_us", c.hit_cost_saved_us);
   Emit(out, prefix, "entries", c.entries);
   Emit(out, prefix, "resident_bytes", c.resident_bytes);
   Emit(out, prefix, "hit_rate", c.HitRate());
@@ -57,6 +63,7 @@ GaugeRegistration RegisterFrontendMetrics(const ServingFrontend* frontend,
     Emit(out, prefix, "shed_requests", s.shed_requests);
     Emit(out, prefix, "shed_queue_full", s.shed_queue_full);
     Emit(out, prefix, "shed_latency", s.shed_latency);
+    Emit(out, prefix, "shed_resource", s.shed_resource);
     Emit(out, prefix, "closed_requests", s.closed_requests);
     Emit(out, prefix, "timed_out_requests", s.timed_out_requests);
     Emit(out, prefix, "failed_requests", s.failed_requests);
@@ -151,6 +158,33 @@ GaugeRegistration RegisterCheckpointIoMetrics(const std::string& prefix) {
     Emit(out, prefix, "load_failures", s.load_failures);
     Emit(out, prefix, "bak_writes", s.bak_writes);
     Emit(out, prefix, "bak_recoveries", s.bak_recoveries);
+  });
+}
+
+GaugeRegistration RegisterGovernorMetrics(const std::string& prefix) {
+  return Register([prefix](std::vector<GaugeSample>* out) {
+    ResourceGovernorStats s = ResourceGovernor::Global().Stats();
+    Emit(out, prefix, "budget_bytes", s.budget_bytes);
+    Emit(out, prefix, "soft_bytes", s.soft_bytes);
+    Emit(out, prefix, "hard_bytes", s.hard_bytes);
+    Emit(out, prefix, "total_bytes", s.total_bytes);
+    Emit(out, prefix, "peak_total_bytes", s.peak_total_bytes);
+    Emit(out, prefix, "pressure", static_cast<double>(s.pressure));
+    Emit(out, prefix, "soft_transitions", s.soft_transitions);
+    Emit(out, prefix, "hard_transitions", s.hard_transitions);
+    Emit(out, prefix, "recoveries", s.recoveries);
+    Emit(out, prefix, "reclaim_invocations", s.reclaim_invocations);
+    Emit(out, prefix, "reclaimed_bytes", s.reclaimed_bytes);
+    Emit(out, prefix, "refusals", s.refusals);
+    Emit(out, prefix, "injected_refusals", s.injected_refusals);
+    for (const GovernorAccountStats& a : s.accounts) {
+      std::string account_prefix = prefix + ".account." + a.name;
+      Emit(out, account_prefix, "resident_bytes", a.resident_bytes);
+      Emit(out, account_prefix, "peak_bytes", a.peak_bytes);
+      Emit(out, account_prefix, "charges", a.charges);
+      Emit(out, account_prefix, "releases", a.releases);
+      Emit(out, account_prefix, "refusals", a.refusals);
+    }
   });
 }
 

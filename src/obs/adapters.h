@@ -55,6 +55,13 @@ GaugeRegistration RegisterFaultMetrics(const std::string& prefix = "fault");
 GaugeRegistration RegisterCheckpointIoMetrics(
     const std::string& prefix = "ckpt");
 
+/// ResourceGovernor::Global(): budget/watermarks, accounted total + peak,
+/// pressure level, transition/reclaim/refusal counters as "<prefix>.*",
+/// plus per-account resident/peak/charges/releases/refusals as
+/// "<prefix>.account.<name>.*".
+GaugeRegistration RegisterGovernorMetrics(
+    const std::string& prefix = "governor");
+
 /// Tracer bookkeeping (sampled/completed/dropped/...) as "<prefix>.*".
 GaugeRegistration RegisterTracerMetrics(
     const std::string& prefix = "obs.tracer");

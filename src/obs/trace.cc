@@ -121,12 +121,25 @@ void Tracer::Enable(uint32_t sample_every, size_t ring_capacity,
   std::lock_guard<std::mutex> lock(mu_);
   // Grow the slot pool to max_live; existing slots stay (they may be
   // checked out by in-flight requests).
+  size_t slots_added = 0;
   while (slots_.size() < max_live) {
     slots_.push_back(std::make_unique<RequestTrace>());
     free_slots_.push_back(slots_.back().get());
+    ++slots_added;
   }
   ring_.clear();
   ring_capacity_ = ring_capacity;
+  // Account the tracer's provisioned memory: slot growth already happened
+  // (unconditional Charge), and the ring's worst-case headline size is
+  // re-provisioned per Enable.
+  if (account_ == nullptr) {
+    account_ = ResourceGovernor::Global().RegisterAccount("obs.trace");
+  }
+  if (slots_added > 0) account_->Charge(slots_added * sizeof(RequestTrace));
+  account_->Release(ring_charged_bytes_);
+  ring_charged_bytes_ =
+      static_cast<uint64_t>(ring_capacity) * sizeof(CompletedTrace);
+  account_->Charge(ring_charged_bytes_);
   seq_.store(0, std::memory_order_relaxed);
   sampled_.store(0, std::memory_order_relaxed);
   completed_.store(0, std::memory_order_relaxed);

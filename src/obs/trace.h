@@ -35,6 +35,8 @@
 #include <string>
 #include <vector>
 
+#include "util/resource_governor.h"
+
 namespace bsg {
 namespace obs {
 
@@ -181,6 +183,14 @@ class Tracer {
   std::vector<RequestTrace*> free_slots_;
   std::vector<CompletedTrace> ring_;  // oldest first
   size_t ring_capacity_ = 0;
+
+  /// Governor account ("obs.trace") covering the pre-allocated slot pool
+  /// and the completed-ring provisioning. Registered lazily on the first
+  /// Enable (under mu_); slot-pool growth is charged as it happens and the
+  /// ring charge is re-provisioned per Enable (tracked here so the old
+  /// capacity is released first).
+  ResourceGovernor::Account* account_ = nullptr;
+  uint64_t ring_charged_bytes_ = 0;
 
   std::atomic<uint64_t> seq_{0};
   std::atomic<uint64_t> sampled_{0};

@@ -46,7 +46,8 @@ DetectionEngine::DetectionEngine(Bsg4Bot* model, EngineConfig cfg)
                                      : model->config().batch_size),
       num_relations_(model->graph().num_relations()),
       graph_version_(cfg.graph_version),
-      cache_(cfg.cache_capacity) {
+      cache_(cfg.cache_capacity, cfg.cache_byte_budget,
+             cfg.cache_admit_cost_us) {
   BSG_CHECK(model != nullptr, "null model");
   BSG_CHECK(model->inference_ready(),
             "DetectionEngine needs an inference-ready model "

@@ -91,6 +91,13 @@ struct EngineConfig {
   int batch_size = 0;
   /// Maximum cached subgraphs (LRU beyond this).
   size_t cache_capacity = 4096;
+  /// Optional resident-byte cap on the subgraph cache (0 = count cap
+  /// only). Per-entry bytes vary wildly with PPR neighborhood size, so
+  /// byte budgets are the knob that actually bounds memory.
+  size_t cache_byte_budget = 0;
+  /// w_small admission threshold (us per KiB): under byte pressure, builds
+  /// measured cheaper than this are served but not cached. 0 = admit all.
+  double cache_admit_cost_us = 0.0;
   /// Batches in flight during batched scoring (2 = double buffer).
   int prefetch_depth = 2;
   /// Version tag of the underlying graph at construction; SwapModel bumps

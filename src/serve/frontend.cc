@@ -70,6 +70,7 @@ ServingFrontend::ServingFrontend(DetectionEngine* engine, FrontendConfig cfg)
       obs::metric::kRequestLatencyMs);
   queue_wait_hist_ =
       obs::MetricsRegistry::Global().GetHistogram(obs::metric::kQueueWaitMs);
+  queue_account_ = ResourceGovernor::Global().RegisterAccount("serve.queue");
   ms_per_target_ = cfg_.initial_ms_per_target;
   workers_.reserve(static_cast<size_t>(cfg_.workers));
   for (int i = 0; i < cfg_.workers; ++i) {
@@ -157,6 +158,24 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
     }
   }
 
+  // Resource admission: the queued payload is TryCharged to the governor.
+  // With no budget armed this always lands (pure counting — zero
+  // behavioral change); at the hard watermark (or a governor.charge fault
+  // fire) the request sheds with an explicit resource-exhausted detail,
+  // keeping the process inside its byte budget instead of queueing toward
+  // an OOM.
+  const uint64_t payload_bytes = n * sizeof(int);
+  if (!queue_account_->TryCharge(payload_bytes)) {
+    shed_resource_.fetch_add(1, std::memory_order_relaxed);
+    targets_shed_.fetch_add(n, std::memory_order_relaxed);
+    obs::Tracer::Global().Finish(trace, "shed", 0);
+    Resolve(&promise, RequestStatus::kShed, {},
+            Status::ResourceExhausted(
+                "memory budget exhausted: request payload refused at the "
+                "hard watermark"));
+    return future;
+  }
+
   // Count the targets as in flight before the push: a worker may pop and
   // finish the request before TryPush even returns.
   inflight_targets_.fetch_add(static_cast<int64_t>(n),
@@ -166,6 +185,7 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   req.single = single;
   req.submit_time = Clock::now();
   req.trace = trace;
+  req.payload_bytes = payload_bytes;
   if (deadline_ms > 0.0) {
     req.has_deadline = true;
     req.deadline = Clock::now() + std::chrono::duration_cast<Clock::duration>(
@@ -181,6 +201,7 @@ std::future<FrontendResult> ServingFrontend::SubmitInternal(
   if (!pushed) {
     inflight_targets_.fetch_sub(static_cast<int64_t>(n),
                                 std::memory_order_relaxed);
+    queue_account_->Release(payload_bytes);
     // TryPush leaves the value untouched on failure, so req still owns the
     // promise. Queue-full and racing-with-Close both shed here; Close's
     // backlog accounting only covers requests that made it into the queue.
@@ -227,6 +248,7 @@ void ServingFrontend::ServeRequest(Request* req, Rng* jitter) {
   const auto finish = [&] {
     inflight_targets_.fetch_sub(static_cast<int64_t>(n),
                                 std::memory_order_relaxed);
+    queue_account_->Release(req->payload_bytes);
   };
 
   // Queue wait: submit -> this dequeue. One histogram add per request;
@@ -494,6 +516,7 @@ void ServingFrontend::Close() {
     const uint64_t n = static_cast<uint64_t>(req.targets.size());
     inflight_targets_.fetch_sub(static_cast<int64_t>(n),
                                 std::memory_order_relaxed);
+    queue_account_->Release(req.payload_bytes);
     closed_requests_.fetch_add(1, std::memory_order_relaxed);
     targets_closed_.fetch_add(n, std::memory_order_relaxed);
     // Traces of backlogged requests complete as "closed" (the slot must be
@@ -513,7 +536,8 @@ FrontendStats ServingFrontend::Stats() const {
   s.served_requests = served_requests_.load(std::memory_order_relaxed);
   s.shed_queue_full = shed_queue_full_.load(std::memory_order_relaxed);
   s.shed_latency = shed_latency_.load(std::memory_order_relaxed);
-  s.shed_requests = s.shed_queue_full + s.shed_latency;
+  s.shed_resource = shed_resource_.load(std::memory_order_relaxed);
+  s.shed_requests = s.shed_queue_full + s.shed_latency + s.shed_resource;
   s.closed_requests = closed_requests_.load(std::memory_order_relaxed);
   s.timed_out_requests = timed_out_requests_.load(std::memory_order_relaxed);
   s.failed_requests = failed_requests_.load(std::memory_order_relaxed);

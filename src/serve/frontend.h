@@ -16,8 +16,12 @@
 //     ahead of a new request (inflight targets x learned ms/target /
 //     workers) exceeds shed_p95_ms, the request resolves immediately with
 //     RequestStatus::kShed — callers are never blocked and nothing is
-//     dropped silently. Sheds are counted per cause (shed_queue_full /
-//     shed_latency) next to queue_depth_peak;
+//     dropped silently. Under an armed ResourceGovernor budget a third
+//     cause applies: the request's queued payload is TryCharged to the
+//     "serve.queue" account, and a hard-watermark refusal sheds with
+//     RequestStatus::kShed + a kResourceExhausted detail. Sheds are
+//     counted per cause (shed_queue_full / shed_latency / shed_resource)
+//     next to queue_depth_peak;
 //   - the per-target cost estimate is an EWMA of observed service time,
 //     seeded by FrontendConfig::initial_ms_per_target (freeze_cost_model
 //     pins it, making shed decisions exactly reproducible in tests);
@@ -76,6 +80,7 @@
 
 #include "serve/engine.h"
 #include "util/mpmc_queue.h"
+#include "util/resource_governor.h"
 #include "util/rng.h"
 
 namespace bsg {
@@ -161,9 +166,13 @@ struct FrontendConfig {
 struct FrontendStats {
   uint64_t submitted_requests = 0;
   uint64_t served_requests = 0;
-  uint64_t shed_requests = 0;     ///< shed_queue_full + shed_latency
+  /// shed_queue_full + shed_latency + shed_resource
+  uint64_t shed_requests = 0;
   uint64_t shed_queue_full = 0;   ///< bounded queue was full
   uint64_t shed_latency = 0;      ///< estimated wait blew shed_p95_ms
+  /// The governor's hard watermark refused the queued payload (memory
+  /// budget exhausted — resolved kShed with a kResourceExhausted detail).
+  uint64_t shed_resource = 0;
   uint64_t closed_requests = 0;   ///< failed by Close/destructor
   uint64_t timed_out_requests = 0;  ///< resolved kTimeout
   uint64_t failed_requests = 0;     ///< resolved kFailed
@@ -263,6 +272,9 @@ class ServingFrontend {
     Clock::time_point submit_time{};
     /// Sampled pipeline trace, or null (almost always) — see obs/trace.h.
     obs::RequestTrace* trace = nullptr;
+    /// Bytes charged to the "serve.queue" governor account at admission;
+    /// released on every resolve path once the request leaves the system.
+    uint64_t payload_bytes = 0;
     std::promise<FrontendResult> promise;
   };
 
@@ -309,6 +321,11 @@ class ServingFrontend {
   obs::Histogram* request_latency_hist_ = nullptr;
   obs::Histogram* queue_wait_hist_ = nullptr;
 
+  /// Governor account for queued request payloads ("serve.queue"): charged
+  /// at admission, released at resolve, so its resident bytes track the
+  /// admitted-but-unresolved backlog. TryCharge refusal = shed_resource.
+  ResourceGovernor::Account* queue_account_ = nullptr;
+
   BoundedMpmcQueue<Request> queue_;
 
   // Swap gate: workers register busy before scoring and drain out for the
@@ -342,6 +359,7 @@ class ServingFrontend {
   std::atomic<uint64_t> served_requests_{0};
   std::atomic<uint64_t> shed_queue_full_{0};
   std::atomic<uint64_t> shed_latency_{0};
+  std::atomic<uint64_t> shed_resource_{0};
   std::atomic<uint64_t> closed_requests_{0};
   std::atomic<uint64_t> timed_out_requests_{0};
   std::atomic<uint64_t> failed_requests_{0};

@@ -19,7 +19,16 @@ size_t BucketIndex(size_t capacity) {
 }  // namespace
 
 BufferPool& BufferPool::Global() {
-  static BufferPool* pool = new BufferPool();  // leaked: outlives main
+  static BufferPool* pool = [] {
+    BufferPool* p = new BufferPool();  // leaked: outlives main
+    // The pool is the canonical reclaimable subsystem: its account tracks
+    // every heap slab it holds (live or parked), and memory pressure
+    // (soft/hard watermark crossings) drops the parked ones.
+    p->account_ = ResourceGovernor::Global().RegisterAccount("pool");
+    ResourceGovernor::Global().RegisterReclaimer(
+        [p](PressureLevel) { return p->Trim(); });
+    return p;
+  }();
   return *pool;
 }
 
@@ -62,7 +71,13 @@ double* BufferPool::Acquire(size_t n, size_t* capacity) {
     }
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
-  return new double[cap];
+  double* p = new double[cap];
+  // The allocation already happened — an unconditional Charge, which is
+  // what the hard-watermark-below-budget gap exists to absorb. No shard
+  // lock is held here, so a reclaim triggered by this charge may re-enter
+  // Trim safely.
+  account_->Charge(cap * sizeof(double));
+  return p;
 }
 
 void BufferPool::Release(double* p, size_t capacity) {
@@ -97,6 +112,7 @@ uint64_t BufferPool::Trim() {
   trimmed_bytes_.fetch_add(bytes, std::memory_order_relaxed);
   free_slabs_.fetch_sub(slabs, std::memory_order_relaxed);
   free_bytes_.fetch_sub(bytes, std::memory_order_relaxed);
+  account_->Release(bytes);
   return bytes;
 }
 

@@ -39,6 +39,8 @@
 #include <mutex>
 #include <vector>
 
+#include "util/resource_governor.h"
+
 namespace bsg {
 
 /// Counters for observability and regression tests. Totals are cumulative
@@ -95,12 +97,25 @@ class BufferPool {
   void Release(double* p, size_t capacity);
 
   /// Frees every parked slab back to the heap (free lists empty afterwards;
-  /// live slabs are unaffected) and returns the bytes released. This is the
-  /// train->inference phase boundary policy: training's peak working set is
-  /// parked cold once the model is frozen, so serving startup
-  /// (DetectionEngine) trims it instead of carrying it for the whole
-  /// process lifetime. Cumulative bytes are tracked in stats.trimmed_bytes.
+  /// live slabs are unaffected) and returns the bytes released. Each shard
+  /// is drained under its own lock — one bucket's free list is never held
+  /// while another's slabs are deleted, so concurrent Acquire/Release on
+  /// other size classes proceed throughout. This is the train->inference
+  /// phase boundary policy: training's peak working set is parked cold once
+  /// the model is frozen, so serving startup (DetectionEngine) trims it
+  /// instead of carrying it for the whole process lifetime. Cumulative
+  /// bytes are tracked in stats.trimmed_bytes, the per-call bytes are
+  /// released from the pool's governor account, and when the governor's
+  /// pressure reclaim drives the call, the return value feeds its
+  /// reclaimed_bytes counter.
   uint64_t Trim();
+
+  /// The pool's governor account ("pool"): charged when a miss allocates a
+  /// fresh slab, released when Trim returns slabs to the heap, so
+  /// resident_bytes == live_bytes + free_bytes at every instant.
+  const ResourceGovernor::Account* governor_account() const {
+    return account_;
+  }
 
   BufferPoolStats Stats() const;
 
@@ -118,6 +133,9 @@ class BufferPool {
   std::unique_lock<std::mutex> LockShard(Shard& shard);
 
   Shard shards_[kNumShards];
+  /// Set by Global() right after construction (the only way a pool is
+  /// made), before any Acquire can run.
+  ResourceGovernor::Account* account_ = nullptr;
 
   std::atomic<uint64_t> acquires_{0};
   std::atomic<uint64_t> hits_{0};

@@ -62,12 +62,16 @@ inline constexpr const char* kSubgraphBuild = "subgraph.build";
 inline constexpr const char* kCacheFill = "cache.fill";
 inline constexpr const char* kFrontendPush = "frontend.push";
 inline constexpr const char* kEngineForward = "engine.forward";
+/// A fire simulates ResourceGovernor::TryCharge hitting the hard
+/// watermark, so the budget-exhaustion paths (cache admission refusal,
+/// front-end shed_resource) are drillable without real memory pressure.
+inline constexpr const char* kGovernorCharge = "governor.charge";
 
 /// Every registered site, for exhaustive chaos soaks.
 inline constexpr const char* kAllSites[] = {
     kCkptWriteOpen, kCkptWriteShort, kCkptWriteRename, kCkptReadOpen,
     kCkptReadCorrupt, kSubgraphBuild, kCacheFill, kFrontendPush,
-    kEngineForward,
+    kEngineForward, kGovernorCharge,
 };
 inline constexpr size_t kNumSites = sizeof(kAllSites) / sizeof(kAllSites[0]);
 

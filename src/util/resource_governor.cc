@@ -1,0 +1,207 @@
+#include "util/resource_governor.h"
+
+#include <algorithm>
+
+#include "util/fault.h"
+#include "util/status.h"
+
+namespace bsg {
+
+namespace {
+
+/// Racy-max update: fine for a monotone statistic (same idiom as the
+/// front-end's queue_depth_peak).
+void UpdatePeak(std::atomic<uint64_t>* peak, uint64_t value) {
+  uint64_t cur = peak->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !peak->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+ResourceGovernor& ResourceGovernor::Global() {
+  static ResourceGovernor* governor = new ResourceGovernor();  // leaked
+  return *governor;
+}
+
+ResourceGovernor::~ResourceGovernor() {
+  std::lock_guard<std::mutex> lock(accounts_mu_);
+  for (Account* a : accounts_) delete a;
+  accounts_.clear();
+}
+
+ResourceGovernor::Account* ResourceGovernor::RegisterAccount(
+    const std::string& name) {
+  BSG_CHECK(!name.empty(), "governor account needs a name");
+  std::lock_guard<std::mutex> lock(accounts_mu_);
+  for (Account* a : accounts_) {
+    if (a->name_ == name) return a;
+  }
+  Account* fresh = new Account(this, name);
+  accounts_.push_back(fresh);
+  return fresh;
+}
+
+void ResourceGovernor::SetBudget(uint64_t budget_bytes, double soft_frac,
+                                 double hard_frac) {
+  if (budget_bytes == 0) {
+    budget_bytes_.store(0, std::memory_order_relaxed);
+    soft_bytes_.store(0, std::memory_order_relaxed);
+    hard_bytes_.store(0, std::memory_order_relaxed);
+    // Unarmed = no pressure, by definition. Not counted as a recovery: the
+    // budget went away, the memory did not.
+    level_.store(0, std::memory_order_relaxed);
+    return;
+  }
+  BSG_CHECK(soft_frac > 0.0 && soft_frac <= 1.0 && hard_frac > 0.0 &&
+                hard_frac <= 1.0 && soft_frac <= hard_frac,
+            "governor watermark fractions need 0 < soft <= hard <= 1");
+  soft_bytes_.store(
+      static_cast<uint64_t>(static_cast<double>(budget_bytes) * soft_frac),
+      std::memory_order_relaxed);
+  hard_bytes_.store(
+      static_cast<uint64_t>(static_cast<double>(budget_bytes) * hard_frac),
+      std::memory_order_relaxed);
+  budget_bytes_.store(budget_bytes, std::memory_order_relaxed);
+  // Arming below the current footprint must react now, not on the next
+  // charge.
+  EvaluatePressure(total_.load(std::memory_order_relaxed));
+}
+
+uint64_t ResourceGovernor::RegisterReclaimer(ReclaimFn fn) {
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  const uint64_t id = next_reclaimer_id_++;
+  reclaimers_.push_back(Reclaimer{id, std::move(fn)});
+  return id;
+}
+
+void ResourceGovernor::UnregisterReclaimer(uint64_t id) {
+  std::lock_guard<std::mutex> lock(reclaim_mu_);
+  reclaimers_.erase(
+      std::remove_if(reclaimers_.begin(), reclaimers_.end(),
+                     [id](const Reclaimer& r) { return r.id == id; }),
+      reclaimers_.end());
+}
+
+bool ResourceGovernor::WouldExceedHard(uint64_t bytes) const {
+  if (budget_bytes_.load(std::memory_order_relaxed) == 0) return false;
+  const uint64_t hard = hard_bytes_.load(std::memory_order_relaxed);
+  return total_.load(std::memory_order_relaxed) + bytes >= hard;
+}
+
+void ResourceGovernor::ApplyDelta(int64_t delta) {
+  const uint64_t now =
+      total_.fetch_add(static_cast<uint64_t>(delta),
+                       std::memory_order_relaxed) +
+      static_cast<uint64_t>(delta);
+  if (delta > 0) UpdatePeak(&peak_total_, now);
+  // Unconstrained fast path ends here: one load, no branches taken.
+  if (budget_bytes_.load(std::memory_order_relaxed) == 0) return;
+  EvaluatePressure(now);
+}
+
+void ResourceGovernor::EvaluatePressure(uint64_t total) {
+  const uint64_t soft = soft_bytes_.load(std::memory_order_relaxed);
+  const uint64_t hard = hard_bytes_.load(std::memory_order_relaxed);
+  const int next = total >= hard ? 2 : total >= soft ? 1 : 0;
+  int cur = level_.load(std::memory_order_relaxed);
+  while (next != cur) {
+    if (!level_.compare_exchange_weak(cur, next,
+                                      std::memory_order_relaxed)) {
+      continue;  // cur reloaded; another thread moved the level
+    }
+    // This thread owns the cur -> next transition.
+    if (next > cur) {
+      if (cur == 0) soft_transitions_.fetch_add(1, std::memory_order_relaxed);
+      if (next == 2) hard_transitions_.fetch_add(1, std::memory_order_relaxed);
+      TriggerReclaim(static_cast<PressureLevel>(next));
+    } else if (next == 0) {
+      recoveries_.fetch_add(1, std::memory_order_relaxed);
+    }
+    return;
+  }
+}
+
+void ResourceGovernor::TriggerReclaim(PressureLevel entered) {
+  // try_lock: a thread already inside reclaim (this one re-entering via a
+  // callback's own releases, or a sibling) skips — the running pass is
+  // already freeing memory for everyone.
+  std::unique_lock<std::mutex> lock(reclaim_mu_, std::try_to_lock);
+  if (!lock.owns_lock()) return;
+  for (const Reclaimer& r : reclaimers_) {
+    reclaim_invocations_.fetch_add(1, std::memory_order_relaxed);
+    reclaimed_bytes_.fetch_add(r.fn(entered), std::memory_order_relaxed);
+  }
+}
+
+void ResourceGovernor::Account::Charge(uint64_t bytes) {
+  if (bytes == 0) return;
+  charges_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t now =
+      resident_.fetch_add(bytes, std::memory_order_relaxed) + bytes;
+  UpdatePeak(&peak_, now);
+  owner_->ApplyDelta(static_cast<int64_t>(bytes));
+}
+
+bool ResourceGovernor::Account::TryCharge(uint64_t bytes) {
+  // The drillable trust boundary: a fire simulates the hard watermark
+  // refusing this charge, whatever the real budget says.
+  if (BSG_FAULT(fault::kGovernorCharge)) {
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    owner_->refusals_.fetch_add(1, std::memory_order_relaxed);
+    owner_->injected_refusals_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  if (owner_->WouldExceedHard(bytes)) {
+    refusals_.fetch_add(1, std::memory_order_relaxed);
+    owner_->refusals_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Charge(bytes);
+  return true;
+}
+
+void ResourceGovernor::Account::Release(uint64_t bytes) {
+  if (bytes == 0) return;
+  releases_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t prev =
+      resident_.fetch_sub(bytes, std::memory_order_relaxed);
+  BSG_CHECK(prev >= bytes,
+            "governor account released more than it charged");
+  owner_->ApplyDelta(-static_cast<int64_t>(bytes));
+}
+
+ResourceGovernorStats ResourceGovernor::Stats() const {
+  ResourceGovernorStats s;
+  s.budget_bytes = budget_bytes_.load(std::memory_order_relaxed);
+  s.soft_bytes = soft_bytes_.load(std::memory_order_relaxed);
+  s.hard_bytes = hard_bytes_.load(std::memory_order_relaxed);
+  s.total_bytes = total_.load(std::memory_order_relaxed);
+  s.peak_total_bytes = peak_total_.load(std::memory_order_relaxed);
+  s.pressure =
+      static_cast<PressureLevel>(level_.load(std::memory_order_relaxed));
+  s.soft_transitions = soft_transitions_.load(std::memory_order_relaxed);
+  s.hard_transitions = hard_transitions_.load(std::memory_order_relaxed);
+  s.recoveries = recoveries_.load(std::memory_order_relaxed);
+  s.reclaim_invocations =
+      reclaim_invocations_.load(std::memory_order_relaxed);
+  s.reclaimed_bytes = reclaimed_bytes_.load(std::memory_order_relaxed);
+  s.refusals = refusals_.load(std::memory_order_relaxed);
+  s.injected_refusals = injected_refusals_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(accounts_mu_);
+  s.accounts.reserve(accounts_.size());
+  for (const Account* a : accounts_) {
+    GovernorAccountStats as;
+    as.name = a->name_;
+    as.resident_bytes = a->resident_.load(std::memory_order_relaxed);
+    as.peak_bytes = a->peak_.load(std::memory_order_relaxed);
+    as.charges = a->charges_.load(std::memory_order_relaxed);
+    as.releases = a->releases_.load(std::memory_order_relaxed);
+    as.refusals = a->refusals_.load(std::memory_order_relaxed);
+    s.accounts.push_back(std::move(as));
+  }
+  return s;
+}
+
+}  // namespace bsg

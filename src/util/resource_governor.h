@@ -1,0 +1,221 @@
+// Process-wide byte-accounting authority: budgets, watermarks, reclaim.
+//
+// Every pooled subsystem that holds memory across requests — the
+// BufferPool's slab heap, the SubgraphCache's resident entries, the
+// front-end's queued request payloads, the tracer's slot pool — registers
+// as a named *account* and reports its footprint through a charge/release
+// API. The governor aggregates the accounts into one process total and
+// enforces an optional byte budget with two watermarks:
+//
+//   - soft (default 75% of the budget): crossing it upward invokes the
+//     registered reclaim callbacks — BufferPool::Trim drops parked slabs,
+//     each SubgraphCache shrinks toward its target — so the process sheds
+//     cold memory before it matters;
+//   - hard (default 90%): TryCharge refuses, so budget-respecting callers
+//     (cache admission, front-end request admission) stop growing instead
+//     of overshooting. Unconditional Charge (the BufferPool mid-kernel —
+//     an allocation that must succeed) still lands, which is why the hard
+//     watermark sits below the budget: the gap absorbs it.
+//
+// Costs: with no budget configured (the default) a charge is two relaxed
+// fetch_adds plus a relaxed budget load — pure counting, no branches taken,
+// no behavioral effect whatsoever; the serving path stays bit-identical.
+// With a budget armed, each charge additionally classifies the new total
+// against the watermarks; reclaim callbacks run at most once per upward
+// transition, serialized, on the charging thread.
+//
+// Accounts are interned by name with stable pointers (the metrics-registry
+// idiom): a subsystem constructed many times (per-engine caches in tests)
+// shares one account and each instance releases exactly what it charged,
+// so resident_bytes stays balanced. Pressure state is recomputed from the
+// total on every armed charge/release — transitions are counted per
+// direction and exported (obs/adapters.*), and the `governor.charge`
+// BSG_FAULT site makes TryCharge refusal deterministically drillable so
+// the soft -> hard -> recover cycle replays in tests without real memory
+// pressure.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace bsg {
+
+/// Memory-pressure level derived from the accounted total vs watermarks.
+enum class PressureLevel : int {
+  kNone = 0,  ///< below the soft watermark (or no budget configured)
+  kSoft = 1,  ///< soft <= total < hard: reclaim has been asked to help
+  kHard = 2,  ///< total >= hard: TryCharge refuses until pressure recedes
+};
+
+/// Per-account snapshot (cumulative counters; resident is instantaneous).
+struct GovernorAccountStats {
+  std::string name;
+  uint64_t resident_bytes = 0;  ///< currently charged
+  uint64_t peak_bytes = 0;      ///< high-water mark of resident_bytes
+  uint64_t charges = 0;         ///< Charge/TryCharge calls that landed
+  uint64_t releases = 0;        ///< Release calls
+  uint64_t refusals = 0;        ///< TryCharge calls refused
+};
+
+/// Whole-governor snapshot (one Stats() call, coherent enough for tests:
+/// every counter is read back-to-back).
+struct ResourceGovernorStats {
+  uint64_t budget_bytes = 0;  ///< 0 = unconstrained (counting only)
+  uint64_t soft_bytes = 0;    ///< soft watermark in bytes (0 when unarmed)
+  uint64_t hard_bytes = 0;    ///< hard watermark in bytes (0 when unarmed)
+  uint64_t total_bytes = 0;   ///< sum of account residents right now
+  uint64_t peak_total_bytes = 0;  ///< high-water mark of total_bytes
+  PressureLevel pressure = PressureLevel::kNone;
+  uint64_t soft_transitions = 0;  ///< upward crossings into kSoft
+  uint64_t hard_transitions = 0;  ///< upward crossings into kHard
+  uint64_t recoveries = 0;        ///< downward transitions back to kNone
+  uint64_t reclaim_invocations = 0;  ///< reclaim callbacks actually run
+  uint64_t reclaimed_bytes = 0;  ///< bytes the callbacks reported freeing
+  uint64_t refusals = 0;         ///< TryCharge refusals, all accounts
+  uint64_t injected_refusals = 0;  ///< refusals fired by governor.charge
+  std::vector<GovernorAccountStats> accounts;
+};
+
+/// The byte-accounting authority. One Global() instance backs the serving
+/// stack; tests may construct private instances to drive watermark
+/// machinery in isolation.
+class ResourceGovernor {
+ public:
+  /// Stable handle to one named account. Obtained from RegisterAccount;
+  /// never freed (interned), so subsystems cache the pointer and charge
+  /// through it with no lookup on the hot path.
+  class Account {
+   public:
+    /// Unconditional accounting: the bytes exist whether the budget likes
+    /// it or not (a heap allocation already made). Updates pressure and
+    /// may trigger reclaim, but never refuses.
+    void Charge(uint64_t bytes);
+
+    /// Budget-respecting accounting: refuses (returning false, charging
+    /// nothing) when the armed hard watermark would be met or crossed, or
+    /// when the `governor.charge` fault site fires. Callers refuse the
+    /// work that wanted the bytes (cache admission, request admission).
+    bool TryCharge(uint64_t bytes);
+
+    /// Returns previously charged bytes. Releasing more than resident is a
+    /// bug in the caller (checked).
+    void Release(uint64_t bytes);
+
+    uint64_t resident_bytes() const {
+      return resident_.load(std::memory_order_relaxed);
+    }
+    const std::string& name() const { return name_; }
+
+   private:
+    friend class ResourceGovernor;
+    explicit Account(ResourceGovernor* owner, std::string name)
+        : owner_(owner), name_(std::move(name)) {}
+
+    ResourceGovernor* const owner_;
+    const std::string name_;
+    std::atomic<uint64_t> resident_{0};
+    std::atomic<uint64_t> peak_{0};
+    std::atomic<uint64_t> charges_{0};
+    std::atomic<uint64_t> releases_{0};
+    std::atomic<uint64_t> refusals_{0};
+  };
+
+  /// A reclaim callback: invoked with the pressure level just entered,
+  /// returns the bytes it freed (reported in reclaimed_bytes). Runs on the
+  /// charging thread that crossed the watermark, serialized against other
+  /// reclaims; it may Release on this governor (downward pressure updates
+  /// never re-enter reclaim) but must not block on work that charges.
+  using ReclaimFn = std::function<uint64_t(PressureLevel)>;
+
+  ResourceGovernor() = default;
+  ~ResourceGovernor();  ///< frees accounts (never runs for Global())
+  ResourceGovernor(const ResourceGovernor&) = delete;
+  ResourceGovernor& operator=(const ResourceGovernor&) = delete;
+
+  /// The process-wide instance the serving stack charges. Never destroyed
+  /// (accounts registered from leaked singletons must stay valid at exit).
+  static ResourceGovernor& Global();
+
+  /// Interns and returns the account named `name` (creating it on first
+  /// use). Thread-safe; the pointer is stable for the governor's lifetime.
+  Account* RegisterAccount(const std::string& name);
+
+  /// Arms (budget_bytes > 0) or disarms (0) the budget. Watermark
+  /// fractions are clamped to (0, 1] with soft <= hard. Re-evaluates
+  /// pressure immediately — arming below the current total reclaims right
+  /// away. Thread-safe, but intended for startup/tests, not the hot path.
+  void SetBudget(uint64_t budget_bytes, double soft_frac = 0.75,
+                 double hard_frac = 0.90);
+
+  /// Registers a reclaim callback; returns an id for Unregister. The
+  /// callback must stay valid until unregistered.
+  uint64_t RegisterReclaimer(ReclaimFn fn);
+  void UnregisterReclaimer(uint64_t id);
+
+  uint64_t budget_bytes() const {
+    return budget_bytes_.load(std::memory_order_relaxed);
+  }
+  uint64_t total_bytes() const {
+    return total_.load(std::memory_order_relaxed);
+  }
+  PressureLevel pressure() const {
+    return static_cast<PressureLevel>(level_.load(std::memory_order_relaxed));
+  }
+  /// True when request-sized admission should refuse: the budget is armed
+  /// and adding `bytes` would meet or cross the hard watermark. (TryCharge
+  /// = this check + the charge, atomically enough for admission control —
+  /// a racing pair may both land, which the watermark gap absorbs.)
+  bool WouldExceedHard(uint64_t bytes) const;
+
+  ResourceGovernorStats Stats() const;
+
+ private:
+  /// Applies a signed delta to the total, maintains the peak, and — only
+  /// when a budget is armed — recomputes the pressure level, counting
+  /// transitions and triggering reclaim on upward crossings.
+  void ApplyDelta(int64_t delta);
+  void EvaluatePressure(uint64_t total);
+  void TriggerReclaim(PressureLevel entered);
+
+  // Account registry: grow-only, stable pointers (interning mutex is off
+  // the charge path — subsystems register once and cache the handle).
+  mutable std::mutex accounts_mu_;
+  std::vector<Account*> accounts_;  // leaked on purpose (see Global())
+
+  // Budget + watermarks. Written by SetBudget, read relaxed on every
+  // charge; 0 budget short-circuits all pressure work.
+  std::atomic<uint64_t> budget_bytes_{0};
+  std::atomic<uint64_t> soft_bytes_{0};
+  std::atomic<uint64_t> hard_bytes_{0};
+
+  std::atomic<uint64_t> total_{0};
+  std::atomic<uint64_t> peak_total_{0};
+  std::atomic<int> level_{0};
+
+  std::atomic<uint64_t> soft_transitions_{0};
+  std::atomic<uint64_t> hard_transitions_{0};
+  std::atomic<uint64_t> recoveries_{0};
+  std::atomic<uint64_t> reclaim_invocations_{0};
+  std::atomic<uint64_t> reclaimed_bytes_{0};
+  std::atomic<uint64_t> refusals_{0};
+  std::atomic<uint64_t> injected_refusals_{0};
+
+  // Reclaimers: the mutex guards the list AND serializes invocation, so an
+  // Unregister never races a running callback. TriggerReclaim try-locks —
+  // a thread already reclaiming (or a re-entrant transition inside a
+  // callback) skips instead of deadlocking.
+  std::mutex reclaim_mu_;
+  struct Reclaimer {
+    uint64_t id;
+    ReclaimFn fn;
+  };
+  std::vector<Reclaimer> reclaimers_;
+  uint64_t next_reclaimer_id_ = 1;
+};
+
+}  // namespace bsg

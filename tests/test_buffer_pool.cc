@@ -11,6 +11,7 @@
 #include "tensor/optim.h"
 #include "tensor/tensor.h"
 #include "util/buffer_pool.h"
+#include "util/resource_governor.h"
 #include "util/rng.h"
 
 namespace bsg {
@@ -80,6 +81,26 @@ TEST(BufferPool, CountersTrackBytesAndSlabs) {
   EXPECT_EQ(trimmed.trimmed_bytes - start.trimmed_bytes,
             cap * sizeof(double));
   EXPECT_EQ(pool.Trim(), 0u);  // nothing parked: a no-op trim releases 0
+}
+
+TEST(BufferPool, GovernorAccountTracksLivePlusFreeBytes) {
+  BufferPool& pool = BufferPool::Global();
+  const ResourceGovernor::Account* account = pool.governor_account();
+  ASSERT_NE(account, nullptr);
+  const auto check = [&] {
+    BufferPoolStats s = pool.Stats();
+    ASSERT_EQ(account->resident_bytes(), s.live_bytes + s.free_bytes);
+  };
+  check();
+  size_t cap = 0;
+  double* p = pool.Acquire(3000, &cap);  // live grows (or free shrinks)
+  check();
+  pool.Release(p, cap);  // live -> free: account unchanged
+  check();
+  pool.Trim();  // free slabs destroyed: account shrinks with them
+  check();
+  EXPECT_EQ(account->resident_bytes(),
+            pool.Stats().live_bytes);  // nothing parked after a trim
 }
 
 TEST(BufferPool, ZeroSizedAcquireIsFree) {

@@ -17,6 +17,7 @@
 #include "serve/frontend.h"
 #include "test_common.h"
 #include "util/fault.h"
+#include "util/resource_governor.h"
 
 namespace bsg {
 namespace {
@@ -640,6 +641,157 @@ TEST(ServingFrontendFaults, ChaosSoakConservesEveryRequestExactly) {
 
   // Disarmed, the same front-end config serves fault-free bit-identically
   // to the serial oracle — the robustness layer leaves no residue.
+  DetectionEngine clean_engine(&model, EngineConfig{});
+  ServingFrontend clean(&clean_engine, cfg);
+  const std::vector<int> targets(pool.begin(), pool.begin() + 16);
+  DetectionEngine oracle_engine(&model, EngineConfig{});
+  ExpectSameScores(clean.ScoreBatch(targets).scores,
+                   oracle_engine.ScoreBatch(targets));
+}
+
+// --- memory-bounded serving (PR 10): governor budgets at admission --------
+
+// Disarms the process-wide byte budget when a test exits, pass or fail —
+// later tests (and later binaries' tests) must run unconstrained.
+struct BudgetGuard {
+  ~BudgetGuard() { ResourceGovernor::Global().SetBudget(0); }
+};
+
+uint64_t QueueAccountResident() {
+  for (const GovernorAccountStats& a :
+       ResourceGovernor::Global().Stats().accounts) {
+    if (a.name == "serve.queue") return a.resident_bytes;
+  }
+  return 0;
+}
+
+TEST(ServingFrontendMemory, HardWatermarkRefusesAdmissionDeterministically) {
+  BudgetGuard budget_guard;
+  Bsg4Bot& model = TrainedModel();
+  DetectionEngine engine(&model, EngineConfig{});
+  FrontendConfig cfg;
+  cfg.workers = 0;  // admission-only: decisions are exact
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+
+  // Arm the budget at the current footprint: hard (90%) sits below the
+  // accounted total, so request admission must refuse. Each arming triggers
+  // reclaim (pool trim, cache shrink) which lowers the total — re-arm at
+  // the new floor until the pressure sticks at kHard.
+  ResourceGovernor& gov = ResourceGovernor::Global();
+  for (int i = 0; i < 10 && gov.pressure() != PressureLevel::kHard; ++i) {
+    gov.SetBudget(std::max<uint64_t>(gov.total_bytes(), 1));
+  }
+  ASSERT_EQ(gov.pressure(), PressureLevel::kHard);
+
+  for (int i = 0; i < 3; ++i) {
+    FrontendResult res = frontend.Submit({pool[0], pool[1]}).get();
+    EXPECT_EQ(res.status, RequestStatus::kShed) << i;
+    EXPECT_EQ(res.detail.code(), StatusCode::kResourceExhausted) << i;
+    EXPECT_TRUE(res.scores.empty()) << i;
+  }
+  FrontendStats mid = frontend.Stats();
+  EXPECT_EQ(mid.shed_resource, 3u);
+  EXPECT_EQ(mid.shed_queue_full, 0u);
+  EXPECT_EQ(mid.shed_requests, 3u);
+  EXPECT_EQ(mid.targets_shed, 6u);
+  EXPECT_EQ(QueueAccountResident(), 0u);  // refused charges never land
+
+  // Disarm: the same front-end admits again (queued; Close resolves it).
+  gov.SetBudget(0);
+  auto admitted = frontend.Submit({pool[0], pool[1]});
+  EXPECT_GT(QueueAccountResident(), 0u);
+  frontend.Close();
+  EXPECT_EQ(admitted.get().status, RequestStatus::kClosed);
+  EXPECT_EQ(QueueAccountResident(), 0u);  // Close drained the charge
+
+  FrontendStats end = frontend.Stats();
+  EXPECT_EQ(end.submitted_requests, 4u);
+  EXPECT_EQ(end.closed_requests, 1u);
+  ExpectConservation(end);
+}
+
+TEST(ServingFrontendMemory, PressureChaosSoakConservesAndRecovers) {
+  FaultGuard fault_guard;
+  BudgetGuard budget_guard;
+  Bsg4Bot& model = TrainedModel();
+  EngineConfig ecfg;
+  ecfg.cache_byte_budget = 32 << 10;  // tight: admission + eviction churn
+  DetectionEngine engine(&model, ecfg);
+  FrontendConfig cfg;
+  cfg.workers = 4;
+  cfg.queue_capacity = 16;
+  cfg.max_retries = 1;
+  cfg.retry_backoff_ms = 0.1;
+  ServingFrontend frontend(&engine, cfg);
+  const std::vector<int>& pool = SmallGraph().test_idx;
+
+  // A budget with watermarks a small margin above the current footprint:
+  // cache growth crosses them mid-soak, so real reclaim (pool trim, cache
+  // shrink) and real refusals mix with the injected ones.
+  ResourceGovernor& gov = ResourceGovernor::Global();
+  const uint64_t base = gov.total_bytes();
+  const uint64_t budget = base + (256u << 10);
+  gov.SetBudget(budget,
+                static_cast<double>(base + (64u << 10)) /
+                    static_cast<double>(budget),
+                static_cast<double>(base + (128u << 10)) /
+                    static_cast<double>(budget));
+  // Plus deterministic-in-seed injected refusals on every TryCharge path.
+  ASSERT_TRUE(FaultInjector::Global()
+                  .Configure("governor.charge:p=0.15", /*seed=*/77)
+                  .ok());
+
+  constexpr int kClients = 4;
+  constexpr int kPerClient = 25;
+  std::atomic<uint64_t> ok{0}, shed{0}, timed_out{0}, failed{0}, degraded{0};
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < kPerClient; ++i) {
+        const int base_i = c * kPerClient + i;
+        std::vector<int> req;
+        for (int k = 0; k <= base_i % 3; ++k) {
+          req.push_back(pool[static_cast<size_t>(base_i + k) % pool.size()]);
+        }
+        switch (frontend.Submit(std::move(req)).get().status) {
+          case RequestStatus::kOk: ok.fetch_add(1); break;
+          case RequestStatus::kShed: shed.fetch_add(1); break;
+          case RequestStatus::kTimeout: timed_out.fetch_add(1); break;
+          case RequestStatus::kFailed: failed.fetch_add(1); break;
+          case RequestStatus::kDegraded: degraded.fetch_add(1); break;
+          case RequestStatus::kClosed: FAIL() << "closed mid-soak"; break;
+        }
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  frontend.Close();
+  FaultInjector::Global().Disarm();
+
+  // Exact conservation with the resource bucket folded in, agreeing with
+  // what the clients observed — refusal under pressure is never silent.
+  FrontendStats stats = frontend.Stats();
+  EXPECT_EQ(stats.submitted_requests,
+            static_cast<uint64_t>(kClients * kPerClient));
+  EXPECT_EQ(stats.served_requests, ok.load());
+  EXPECT_EQ(stats.shed_requests, shed.load());
+  EXPECT_EQ(stats.timed_out_requests, timed_out.load());
+  EXPECT_EQ(stats.failed_requests, failed.load());
+  EXPECT_EQ(stats.degraded_requests, degraded.load());
+  ExpectConservation(stats);
+  // The injected refusals actually shed traffic through the new bucket...
+  EXPECT_GT(stats.shed_resource, 0u);
+  EXPECT_EQ(stats.shed_requests,
+            stats.shed_queue_full + stats.shed_latency + stats.shed_resource);
+  // ...and every admitted payload charge was released on resolution.
+  EXPECT_EQ(QueueAccountResident(), 0u);
+  ResourceGovernorStats gs = gov.Stats();
+  EXPECT_GT(gs.injected_refusals, 0u);
+
+  // Recovery: disarm the budget and the same model serves bit-identically
+  // to the unconstrained serial oracle — pressure leaves no residue.
+  gov.SetBudget(0);
   DetectionEngine clean_engine(&model, EngineConfig{});
   ServingFrontend clean(&clean_engine, cfg);
   const std::vector<int> targets(pool.begin(), pool.begin() + 16);

@@ -10,6 +10,8 @@
 #include <gtest/gtest.h>
 
 #include "serve/subgraph_cache.h"
+#include "util/fault.h"
+#include "util/resource_governor.h"
 
 namespace bsg {
 namespace {
@@ -72,7 +74,7 @@ TEST(SubgraphCache, CapacityBoundHoldsAndBytesTrackEntries) {
   EXPECT_EQ(s.inserts, 100u);
   EXPECT_EQ(s.evictions, 92u);
   // All entries are identical in shape, so resident bytes = 8 x one.
-  EXPECT_EQ(s.resident_bytes, 8 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+  EXPECT_EQ(s.resident_bytes, 8 * SubgraphCache::EntryBytes(FakeSubgraph(0)));
 
   cache.Clear();
   s = cache.Stats();
@@ -99,7 +101,7 @@ TEST(SubgraphCache, EvictWhereVersionBelowSweepsOnlyStaleVersions) {
   EXPECT_EQ(s.version_evictions, 4u);
   EXPECT_EQ(s.evictions, 0u);  // LRU-bound evictions stay separate
   EXPECT_EQ(s.entries, 3u);
-  EXPECT_EQ(s.resident_bytes, 3 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+  EXPECT_EQ(s.resident_bytes, 3 * SubgraphCache::EntryBytes(FakeSubgraph(0)));
   // The survivors are exactly the version-1 entries.
   for (int t = 0; t < 4; ++t) EXPECT_EQ(cache.Lookup(t, 0), nullptr);
   for (int t = 0; t < 3; ++t) EXPECT_NE(cache.Lookup(t, 1), nullptr);
@@ -119,7 +121,7 @@ TEST(SubgraphCache, VersionSweepCounterBalanceAfterMixedTraffic) {
   SubgraphCacheStats s = cache.Stats();
   EXPECT_EQ(s.entries, 5u);
   EXPECT_EQ(s.inserts, s.entries + s.evictions + s.version_evictions);
-  EXPECT_EQ(s.resident_bytes, 5 * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+  EXPECT_EQ(s.resident_bytes, 5 * SubgraphCache::EntryBytes(FakeSubgraph(0)));
   // Zero stale-version residents: every surviving entry is at version 1.
   for (int t = 0; t < 20; ++t) EXPECT_EQ(cache.Lookup(t, 0), nullptr);
 }
@@ -378,7 +380,169 @@ TEST(SubgraphCache, ConcurrentGetOrBuildIsSafeAndConsistent) {
   // Entries/bytes must balance: inserts - evictions = resident entries.
   EXPECT_EQ(s.inserts - s.evictions, s.entries);
   EXPECT_EQ(s.resident_bytes,
-            s.entries * SubgraphCache::ApproxBytes(FakeSubgraph(0)));
+            s.entries * SubgraphCache::EntryBytes(FakeSubgraph(0)));
+}
+
+// ---- Byte budgets, cost-aware admission, governor accounting (PR 10) ----
+
+// Resident bytes of the shared "serve.cache" governor account. Caches are
+// stack-scoped in this binary and release everything at destruction, so
+// within one test the account mirrors the live cache exactly.
+uint64_t CacheAccountResident() {
+  for (const GovernorAccountStats& a :
+       ResourceGovernor::Global().Stats().accounts) {
+    if (a.name == "serve.cache") return a.resident_bytes;
+  }
+  return 0;
+}
+
+TEST(SubgraphCache, EntryBytesCountsPayloadAndBookkeepingOverhead) {
+  const BiasedSubgraph sub = FakeSubgraph(0);
+  size_t payload = sizeof(BiasedSubgraph);
+  for (const RelationSubgraph& rel : sub.per_relation) {
+    payload += sizeof(RelationSubgraph) + rel.nodes.size() * sizeof(int) +
+               rel.adj.indptr().size() * sizeof(int64_t) +
+               rel.adj.indices().size() * sizeof(int) +
+               rel.adj.weights().size() * sizeof(double);
+  }
+  // The entry cost is the payload plus the cache's per-entry bookkeeping
+  // (LRU node, index node, control block) — strictly more than the arrays.
+  EXPECT_GT(SubgraphCache::EntryBytes(sub), payload);
+}
+
+TEST(SubgraphCache, ResidentBytesStayExactAcrossEveryEvictionPath) {
+  const uint64_t per = SubgraphCache::EntryBytes(FakeSubgraph(0));
+  const uint64_t account_base = CacheAccountResident();
+  SubgraphCache cache(8);
+  const auto check = [&] {
+    SubgraphCacheStats s = cache.Stats();
+    ASSERT_EQ(s.resident_bytes, s.entries * per);
+    ASSERT_EQ(CacheAccountResident() - account_base, s.resident_bytes);
+  };
+  // LRU eviction path: every insert beyond capacity pops the tail.
+  for (int t = 0; t < 50; ++t) {
+    cache.Insert(t, 0, Shared(t));
+    check();
+  }
+  // Version-sweep path.
+  for (int t = 0; t < 4; ++t) cache.Insert(t, 1, Shared(t));
+  cache.EvictWhereVersionBelow(1);
+  check();
+  // Shrink path (partial, then to empty).
+  cache.ShrinkToBytes(2 * per);
+  check();
+  EXPECT_LE(cache.Stats().resident_bytes, 2 * per);
+  EXPECT_EQ(cache.ShrinkToBytes(0), 2 * per);
+  check();
+  EXPECT_EQ(cache.Stats().entries, 0u);
+}
+
+TEST(SubgraphCache, DestructionReleasesTheGovernorAccount) {
+  const uint64_t account_base = CacheAccountResident();
+  {
+    SubgraphCache cache(16);
+    for (int t = 0; t < 10; ++t) cache.Insert(t, 0, Shared(t));
+    EXPECT_GT(CacheAccountResident(), account_base);
+  }
+  EXPECT_EQ(CacheAccountResident(), account_base);
+}
+
+TEST(SubgraphCache, ByteBudgetEvictsBeyondBytesKeepingNewest) {
+  const size_t per = SubgraphCache::EntryBytes(FakeSubgraph(0));
+  SubgraphCache cache(1024, /*byte_budget=*/3 * per);
+  for (int t = 0; t < 20; ++t) cache.Insert(t, 0, Shared(t));
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_LE(s.resident_bytes, 3 * per);
+  EXPECT_EQ(s.entries, 3u);
+  EXPECT_NE(cache.Lookup(19, 0), nullptr);  // the newest insert survives
+  EXPECT_EQ(s.inserts, 20u);
+  EXPECT_EQ(s.evictions, 17u);
+}
+
+TEST(SubgraphCache, OversizedEntryRefusedAtAdmissionButStillReturned) {
+  SubgraphCache cache(8, /*byte_budget=*/1);  // smaller than any entry
+  auto sub = Shared(1);
+  // Callers always get a usable subgraph even when admission refuses.
+  EXPECT_EQ(cache.Insert(1, 0, sub).get(), sub.get());
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 0u);
+  EXPECT_EQ(s.resident_bytes, 0u);
+  EXPECT_EQ(s.admit_rejects_pressure, 1u);
+}
+
+TEST(SubgraphCache, CostAwareAdmissionRejectsCheapBuildsUnderPressure) {
+  const size_t per = SubgraphCache::EntryBytes(FakeSubgraph(0));
+  SubgraphCache cache(1024, /*byte_budget=*/2 * per,
+                      /*admit_cost_us_per_kib=*/50.0);
+  // With free space even a zero-cost build is admitted: the w_small rule
+  // only prices admissions that would force an eviction.
+  cache.InsertWithCost(1, 0, Shared(1), 0.0);
+  cache.InsertWithCost(2, 0, Shared(2), 0.0);
+  ASSERT_EQ(cache.Stats().entries, 2u);
+
+  // Full: a cheap build must not displace resident entries...
+  auto cheap = Shared(3);
+  EXPECT_EQ(cache.InsertWithCost(3, 0, cheap, 0.0).get(), cheap.get());
+  EXPECT_EQ(cache.Lookup(3, 0), nullptr);
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.admit_rejects_cost, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+
+  // ...but a build worth >= 50 us per KiB of its size does.
+  const double expensive_us =
+      50.0 * static_cast<double>(per) / 1024.0 + 1.0;
+  cache.InsertWithCost(4, 0, Shared(4), expensive_us);
+  EXPECT_NE(cache.Lookup(4, 0), nullptr);
+  s = cache.Stats();
+  EXPECT_EQ(s.entries, 2u);
+  EXPECT_EQ(s.evictions, 1u);
+  EXPECT_EQ(s.inserts, 3u);
+}
+
+TEST(SubgraphCache, MissBalanceHoldsWithAdmissionRejects) {
+  // Every GetOrBuild miss lands in exactly one bucket, with the admission
+  // rejects extending the PR 8 balance.
+  SubgraphCache cache(8, /*byte_budget=*/1);  // nothing is ever admitted
+  for (int t = 0; t < 5; ++t) {
+    auto sub = cache.GetOrBuild(t, 0, FakeSubgraph);
+    ASSERT_NE(sub, nullptr);
+    EXPECT_EQ(sub->center, t);
+  }
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.inserts, 0u);
+  EXPECT_EQ(s.admit_rejects_pressure, 5u);
+  EXPECT_EQ(s.misses, s.coalesced_misses + s.flight_failures + s.inserts +
+                          s.admit_rejects_cost + s.admit_rejects_pressure);
+}
+
+TEST(SubgraphCache, HitsAccumulateSavedBuildCost) {
+  SubgraphCache cache(8);
+  for (int pass = 0; pass < 3; ++pass) {
+    auto sub = cache.GetOrBuild(5, 0, FakeSubgraph);
+    ASSERT_NE(sub, nullptr);
+  }
+  SubgraphCacheStats s = cache.Stats();
+  EXPECT_EQ(s.hits, 2u);
+  // Each hit credits the measured build cost of the entry it served.
+  EXPECT_GT(s.hit_cost_saved_us, 0.0);
+}
+
+TEST(SubgraphCache, GovernorChargeFaultRefusesAdmission) {
+  struct FaultGuard {
+    ~FaultGuard() { FaultInjector::Global().Disarm(); }
+  } guard;
+  ASSERT_TRUE(
+      FaultInjector::Global().Configure("governor.charge:first=1").ok());
+  SubgraphCache cache(8);
+  auto first = Shared(1);
+  // The injected refusal simulates the hard watermark: served, not cached.
+  EXPECT_EQ(cache.Insert(1, 0, first).get(), first.get());
+  EXPECT_EQ(cache.Stats().admit_rejects_pressure, 1u);
+  EXPECT_EQ(cache.Stats().entries, 0u);
+  // The site fires once; the next admission proceeds normally.
+  cache.Insert(2, 0, Shared(2));
+  EXPECT_EQ(cache.Stats().entries, 1u);
 }
 
 }  // namespace
